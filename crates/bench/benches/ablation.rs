@@ -1,0 +1,45 @@
+//! **Module ablation at wall-clock level**: full `P_LL` vs. `−Tournament`
+//! vs. BackUp-only — the contribution of each fast-path module.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_bench::fast_criterion;
+use pp_core::Pll;
+use pp_engine::{Simulation, UniformScheduler};
+use std::hint::black_box;
+
+fn bench_module_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/modules");
+    let n = 1024usize;
+    let mut seed = 0u64;
+    type MakePll = fn(usize) -> Pll;
+    let variants: [(&str, MakePll); 3] = [
+        ("full", |n| Pll::for_population(n).expect("n >= 2")),
+        ("no_tournament", |n| {
+            Pll::for_population(n).expect("n >= 2").without_tournament()
+        }),
+        ("backup_only", |n| {
+            Pll::for_population(n)
+                .expect("n >= 2")
+                .without_quick_elimination()
+                .without_tournament()
+        }),
+    ];
+    for (name, make) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &n, |b, &n| {
+            b.iter(|| {
+                seed += 1;
+                let mut sim = Simulation::new(make(n), n, UniformScheduler::seed_from_u64(seed))
+                    .expect("n >= 2");
+                black_box(sim.run_until_single_leader(u64::MAX).steps)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_module_ablation
+}
+criterion_main!(benches);

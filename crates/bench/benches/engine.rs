@@ -1,0 +1,58 @@
+//! Engine micro-benchmarks: interactions per second for the per-agent and
+//! count-based engines, on the paper's protocol and on a trivial baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_bench::fast_criterion;
+use pp_core::Pll;
+use pp_engine::{CountSimulation, Simulation, UniformScheduler};
+use pp_protocols::Fratricide;
+use pp_rand::Xoshiro256PlusPlus;
+use std::hint::black_box;
+
+fn bench_agent_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/agent_steps");
+    for &n in &[1024usize, 16384] {
+        group.bench_with_input(BenchmarkId::new("pll", n), &n, |b, &n| {
+            let pll = Pll::for_population(n).expect("n >= 2");
+            let mut sim =
+                Simulation::new(pll, n, UniformScheduler::seed_from_u64(1)).expect("n >= 2");
+            b.iter(|| {
+                sim.run(1000);
+                black_box(sim.steps())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fratricide", n), &n, |b, &n| {
+            let mut sim =
+                Simulation::new(Fratricide, n, UniformScheduler::seed_from_u64(1))
+                    .expect("n >= 2");
+            b.iter(|| {
+                sim.run(1000);
+                black_box(sim.steps())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_count_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/count_steps");
+    for &n in &[1024usize, 1 << 20] {
+        group.bench_with_input(BenchmarkId::new("pll", n), &n, |b, &n| {
+            let pll = Pll::for_population(n).expect("n >= 2");
+            let rng = Xoshiro256PlusPlus::seed_from_u64(1);
+            let mut sim = CountSimulation::new(pll, n, rng).expect("n >= 2");
+            b.iter(|| {
+                sim.run(1000);
+                black_box(sim.steps())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_agent_engine, bench_count_engine
+}
+criterion_main!(benches);

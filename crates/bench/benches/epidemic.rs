@@ -1,0 +1,40 @@
+//! **Lemma 2 at wall-clock level**: one-way epidemic completion across
+//! population and sub-population sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_bench::fast_criterion;
+use pp_engine::epidemic::Epidemic;
+use pp_rand::Xoshiro256PlusPlus;
+use std::hint::black_box;
+
+fn bench_epidemic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epidemic/completion");
+    let mut seed = 0u64;
+    for &n in &[1024usize, 8192, 65536] {
+        group.bench_with_input(BenchmarkId::new("whole", n), &n, |b, &n| {
+            b.iter(|| {
+                seed += 1;
+                let mut ep = Epidemic::whole_population(n, 0).expect("n >= 2");
+                let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+                black_box(ep.run_to_completion(&mut rng, u64::MAX).expect("completes"))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("half", n), &n, |b, &n| {
+            b.iter(|| {
+                seed += 1;
+                let members: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+                let mut ep = Epidemic::new(members, 0).expect("source is a member");
+                let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+                black_box(ep.run_to_completion(&mut rng, u64::MAX).expect("completes"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_epidemic
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! **Lemma 7 / Lemma 12 at wall-clock level**: the `QuickElimination()`
+//! window and `BackUp()` from adversarial configurations, plus the raw
+//! transition-function cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_bench::fast_criterion;
+use pp_core::{Pll, PllState};
+use pp_engine::{Protocol, Simulation, UniformScheduler};
+use pp_stats::theory;
+use std::hint::black_box;
+
+fn bench_transition(c: &mut Criterion) {
+    let pll = Pll::for_population(1024).expect("n >= 2");
+    let leader = PllState::backup(true, 3);
+    let follower = PllState::backup(false, 1);
+    c.benchmark_group("modules/transition")
+        .bench_function("backup_pair", |b| {
+            b.iter(|| black_box(pll.transition(&leader, &follower)))
+        })
+        .bench_function("initial_pair", |b| {
+            let init = PllState::initial();
+            b.iter(|| black_box(pll.transition(&init, &init)))
+        });
+}
+
+fn bench_quick_elimination_window(c: &mut Criterion) {
+    // Lemma 7's measurement: run exactly ⌊21·n·ln n⌋ interactions.
+    let mut group = c.benchmark_group("modules/qe_window");
+    let mut seed = 0u64;
+    for &n in &[256usize, 1024] {
+        let horizon = theory::qe_horizon(n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                seed += 1;
+                let pll = Pll::for_population(n).expect("n >= 2");
+                let mut sim = Simulation::new(pll, n, UniformScheduler::seed_from_u64(seed))
+                    .expect("n >= 2");
+                sim.run(horizon);
+                black_box(sim.leader_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_backup_from_bstart(c: &mut Criterion) {
+    // Lemma 12's measurement: election from a B_start-style configuration.
+    let mut group = c.benchmark_group("modules/backup_bstart");
+    let n = 1024usize;
+    let mut seed = 0u64;
+    for &k in &[2usize, 32] {
+        group.bench_with_input(BenchmarkId::new("tied_leaders", k), &k, |b, &k| {
+            b.iter(|| {
+                seed += 1;
+                let mut states = Vec::with_capacity(n);
+                for i in 0..n {
+                    if i < k {
+                        states.push(PllState::backup(true, 0));
+                    } else if i < n / 2 {
+                        states.push(PllState::backup(false, 0));
+                    } else {
+                        let mut t = PllState::timer(0, 0);
+                        t.epoch = 4;
+                        t.init = 4;
+                        states.push(t);
+                    }
+                }
+                let mut sim = Simulation::from_states(
+                    Pll::for_population(n).expect("n >= 2"),
+                    states,
+                    UniformScheduler::seed_from_u64(seed),
+                )
+                .expect("n >= 2");
+                black_box(sim.run_until_single_leader(u64::MAX).steps)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_transition, bench_quick_elimination_window, bench_backup_from_bstart
+}
+criterion_main!(benches);

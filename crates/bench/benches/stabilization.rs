@@ -1,0 +1,56 @@
+//! **Tables 1/2 + Theorem 1 at wall-clock level**: time-to-stabilization for
+//! each protocol across population sizes. The *shape* — who wins and how the
+//! gap scales — mirrors the paper's Table 1 comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_bench::fast_criterion;
+use pp_core::Pll;
+use pp_engine::{Simulation, UniformScheduler};
+use pp_protocols::{Fratricide, UnboundedLottery};
+use std::hint::black_box;
+
+fn bench_stabilization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stabilization");
+    let mut seed = 0u64;
+    for &n in &[256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::new("pll", n), &n, |b, &n| {
+            b.iter(|| {
+                seed += 1;
+                let pll = Pll::for_population(n).expect("n >= 2");
+                let mut sim = Simulation::new(pll, n, UniformScheduler::seed_from_u64(seed))
+                    .expect("n >= 2");
+                black_box(sim.run_until_single_leader(u64::MAX).steps)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("lottery", n), &n, |b, &n| {
+            b.iter(|| {
+                seed += 1;
+                let mut sim =
+                    Simulation::new(UnboundedLottery, n, UniformScheduler::seed_from_u64(seed))
+                        .expect("n >= 2");
+                black_box(sim.run_until_single_leader(u64::MAX).steps)
+            });
+        });
+        // Fratricide is Θ(n) parallel time = Θ(n²) steps: bench the smaller
+        // sizes only so the suite stays fast.
+        if n <= 1024 {
+            group.bench_with_input(BenchmarkId::new("fratricide", n), &n, |b, &n| {
+                b.iter(|| {
+                    seed += 1;
+                    let mut sim =
+                        Simulation::new(Fratricide, n, UniformScheduler::seed_from_u64(seed))
+                            .expect("n >= 2");
+                    black_box(sim.run_until_single_leader(u64::MAX).steps)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_stabilization
+}
+criterion_main!(benches);

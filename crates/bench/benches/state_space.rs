@@ -1,0 +1,43 @@
+//! **Table 3 / Lemma 3 at wall-clock level**: count-engine interning cost as
+//! the `O(log n)` state space fills up, and the inventory computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_bench::fast_criterion;
+use pp_core::{inventory, Pll, PllParams};
+use pp_engine::CountSimulation;
+use pp_rand::Xoshiro256PlusPlus;
+use std::hint::black_box;
+
+fn bench_interning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_space/count_engine_fill");
+    for &m in &[8u32, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("m", m), &m, |b, &m| {
+            b.iter(|| {
+                let pll = Pll::new(PllParams::new(m).expect("m >= 1"));
+                let rng = Xoshiro256PlusPlus::seed_from_u64(7);
+                let mut sim = CountSimulation::new(pll, 1024, rng).expect("n >= 2");
+                sim.run(50_000);
+                black_box(sim.distinct_states_seen())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_inventory(c: &mut Criterion) {
+    c.benchmark_group("state_space/inventory")
+        .bench_function("table3_and_bound", |b| {
+            let p = PllParams::for_population(1 << 20).expect("n >= 2");
+            b.iter(|| {
+                let rows = inventory::table3(&p);
+                black_box((rows.len(), inventory::state_bound(&p)))
+            });
+        });
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_interning, bench_inventory
+}
+criterion_main!(benches);

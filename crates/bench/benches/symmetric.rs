@@ -1,0 +1,50 @@
+//! **Section 4 at wall-clock level**: symmetric vs. asymmetric `P_LL`
+//! stabilization, and the symmetric transition function's cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_bench::fast_criterion;
+use pp_core::{Pll, SymPll};
+use pp_engine::{Protocol, Simulation, UniformScheduler};
+use std::hint::black_box;
+
+fn bench_symmetric_stabilization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetric/stabilization");
+    let mut seed = 0u64;
+    for &n in &[256usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("asymmetric", n), &n, |b, &n| {
+            b.iter(|| {
+                seed += 1;
+                let p = Pll::for_population(n).expect("n >= 2");
+                let mut sim = Simulation::new(p, n, UniformScheduler::seed_from_u64(seed))
+                    .expect("n >= 2");
+                black_box(sim.run_until_single_leader(u64::MAX).steps)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("symmetric", n), &n, |b, &n| {
+            b.iter(|| {
+                seed += 1;
+                let p = SymPll::for_population(n).expect("n >= 3");
+                let mut sim = Simulation::new(p, n, UniformScheduler::seed_from_u64(seed))
+                    .expect("n >= 2");
+                black_box(sim.run_until_single_leader(u64::MAX).steps)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_symmetric_transition(c: &mut Criterion) {
+    let p = SymPll::for_population(1024).expect("n >= 3");
+    let init = p.initial_state();
+    c.benchmark_group("symmetric/transition")
+        .bench_function("initial_pair", |b| {
+            b.iter(|| black_box(p.transition(&init, &init)))
+        });
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_symmetric_stabilization, bench_symmetric_transition
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! **Lemma 6 at wall-clock level**: one full color cycle of the
+//! count-up/color synchronization machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_bench::fast_criterion;
+use pp_core::Pll;
+use pp_engine::{Simulation, UniformScheduler};
+use std::hint::black_box;
+
+fn bench_color_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync/color_cycle");
+    let mut seed = 0u64;
+    for &n in &[256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                seed += 1;
+                let pll = Pll::for_population(n).expect("n >= 2");
+                let mut sim = Simulation::new(pll, n, UniformScheduler::seed_from_u64(seed))
+                    .expect("n >= 2");
+                // Run until some agent first leaves color 0 — one full
+                // count-up period.
+                let outcome = sim.run_until((n as u64 / 4).max(1), u64::MAX, |sim| {
+                    sim.states().iter().any(|s| s.color != 0)
+                });
+                black_box(outcome.steps)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_color_cycle
+}
+criterion_main!(benches);

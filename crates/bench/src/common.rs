@@ -1,0 +1,14 @@
+//! Shared bench configuration: short, CI-friendly measurement windows.
+
+use criterion::Criterion;
+use std::time::Duration;
+
+/// A criterion instance tuned so `cargo bench --workspace` finishes in
+/// minutes: small sample counts, sub-second warm-up.
+pub fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .configure_from_args()
+}

@@ -1,0 +1,22 @@
+//! Support code for the workspace's criterion benchmark suite.
+//!
+//! The benches mirror the experiment suite (`pp-sim`) at wall-clock level —
+//! one bench target per paper artifact plus engine/RNG micro-benchmarks:
+//!
+//! | bench target | paper artifact |
+//! |---|---|
+//! | `stabilization` | Tables 1/2, Theorem 1 — who wins, and how it scales |
+//! | `epidemic` | Lemma 2 |
+//! | `modules` | Lemma 7 (QuickElimination window), Lemma 12 (BackUp) |
+//! | `sync` | Lemma 6 (CountUp color cycles) |
+//! | `state_space` | Table 3 / Lemma 3 (count-engine interning) |
+//! | `symmetric` | Section 4 |
+//! | `ablation` | module-contribution ablation |
+//! | `engine`, `rng` | substrate micro-benchmarks |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod common;
+
+pub use common::fast_criterion;

@@ -1,0 +1,199 @@
+//! State-space inventory: Table 3 of the paper and the `O(log n)` state
+//! count of Lemma 3, computed programmatically from [`PllParams`].
+
+use crate::PllParams;
+
+/// One row of the paper's Table 3: a variable, its owning group, its domain
+/// size, and its initial value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VariableSpec {
+    /// The group of agents carrying the variable (`All agents`, `V_B`, …).
+    pub group: &'static str,
+    /// Variable name as in the paper.
+    pub name: &'static str,
+    /// Rendered domain, e.g. `{0,...,409}`.
+    pub domain: String,
+    /// Number of values the variable ranges over.
+    pub domain_size: u64,
+    /// Rendered initial value (`Undefined` for group variables).
+    pub initial: &'static str,
+}
+
+/// The rows of Table 3 for the given parameters.
+///
+/// `tick` is included for fidelity to the paper even though the
+/// implementation models it as a transient (see [`PllState`](crate::PllState)
+/// docs).
+pub fn table3(params: &PllParams) -> Vec<VariableSpec> {
+    let lmax = params.lmax() as u64;
+    let cmax = params.cmax() as u64;
+    let phi = params.phi() as u64;
+    vec![
+        VariableSpec {
+            group: "All agents",
+            name: "leader",
+            domain: "{false,true}".to_string(),
+            domain_size: 2,
+            initial: "true",
+        },
+        VariableSpec {
+            group: "All agents",
+            name: "tick",
+            domain: "{false,true} (transient)".to_string(),
+            domain_size: 2,
+            initial: "false",
+        },
+        VariableSpec {
+            group: "All agents",
+            name: "status",
+            domain: "{X,A,B}".to_string(),
+            domain_size: 3,
+            initial: "X",
+        },
+        VariableSpec {
+            group: "All agents",
+            name: "epoch",
+            domain: "{1,2,3,4}".to_string(),
+            domain_size: 4,
+            initial: "1",
+        },
+        VariableSpec {
+            group: "All agents",
+            name: "init",
+            domain: "{1,2,3,4}".to_string(),
+            domain_size: 4,
+            initial: "1",
+        },
+        VariableSpec {
+            group: "All agents",
+            name: "color",
+            domain: "{0,1,2}".to_string(),
+            domain_size: 3,
+            initial: "0",
+        },
+        VariableSpec {
+            group: "V_B",
+            name: "count",
+            domain: format!("{{0,...,{}}}", cmax - 1),
+            domain_size: cmax,
+            initial: "Undefined",
+        },
+        VariableSpec {
+            group: "V_A ∩ V_1",
+            name: "levelQ",
+            domain: format!("{{0,...,{lmax}}}"),
+            domain_size: lmax + 1,
+            initial: "Undefined",
+        },
+        VariableSpec {
+            group: "V_A ∩ V_1",
+            name: "done",
+            domain: "{false,true}".to_string(),
+            domain_size: 2,
+            initial: "Undefined",
+        },
+        VariableSpec {
+            group: "V_A ∩ (V_2 ∪ V_3)",
+            name: "rand",
+            domain: format!("{{0,...,{}}}", (1u64 << phi) - 1),
+            domain_size: 1u64 << phi,
+            initial: "Undefined",
+        },
+        VariableSpec {
+            group: "V_A ∩ (V_2 ∪ V_3)",
+            name: "index",
+            domain: format!("{{0,...,{phi}}}"),
+            domain_size: phi + 1,
+            initial: "Undefined",
+        },
+        VariableSpec {
+            group: "V_A ∩ V_4",
+            name: "levelB",
+            domain: format!("{{0,...,{lmax}}}"),
+            domain_size: lmax + 1,
+            initial: "Undefined",
+        },
+    ]
+}
+
+/// An upper bound on the number of persistent states per agent, computed as
+/// in Lemma 3: common variables (excluding the transient `tick`) times the
+/// largest per-group additional domain, summed over groups.
+///
+/// The bound is `O(m) = O(log n)`: the dominant group is `V_B` with its
+/// `c_max = 41m` timer values.
+pub fn state_bound(params: &PllParams) -> u64 {
+    let common = 2 * 4 * 4 * 3; // leader × epoch × init × color
+    let lmax = params.lmax() as u64;
+    let cmax = params.cmax() as u64;
+    let phi = params.phi() as u64;
+    let groups = 1 // V_X
+        + cmax // V_B
+        + (lmax + 1) * 2 // V_A ∩ V_1
+        + (1u64 << phi) * (phi + 1) // V_A ∩ (V_2 ∪ V_3)
+        + (lmax + 1); // V_A ∩ V_4
+    common * groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_row_count_and_domains() {
+        let p = PllParams::for_population(1024).unwrap(); // m = 10
+        let rows = table3(&p);
+        assert_eq!(rows.len(), 12);
+        let count = rows.iter().find(|r| r.name == "count").unwrap();
+        assert_eq!(count.domain_size, 410);
+        assert_eq!(count.domain, "{0,...,409}");
+        let rand = rows.iter().find(|r| r.name == "rand").unwrap();
+        assert_eq!(rand.domain_size, 8); // 2^3
+        let level_q = rows.iter().find(|r| r.name == "levelQ").unwrap();
+        assert_eq!(level_q.domain_size, 51);
+        let index = rows.iter().find(|r| r.name == "index").unwrap();
+        assert_eq!(index.domain_size, 4); // {0..=3}
+    }
+
+    #[test]
+    fn state_bound_grows_linearly_in_m_lemma3() {
+        // Lemma 3: states per agent are O(log n), i.e. O(m). Doubling m
+        // should roughly double the bound (the 2^Φ·(Φ+1) term grows like
+        // m^{2/3} log m, strictly slower).
+        let b16 = state_bound(&PllParams::new(16).unwrap()) as f64;
+        let b32 = state_bound(&PllParams::new(32).unwrap()) as f64;
+        let b64 = state_bound(&PllParams::new(64).unwrap()) as f64;
+        let r1 = b32 / b16;
+        let r2 = b64 / b32;
+        assert!(r1 > 1.6 && r1 < 2.4, "ratio {r1}");
+        assert!(r2 > 1.6 && r2 < 2.4, "ratio {r2}");
+    }
+
+    #[test]
+    fn state_bound_dominated_by_timer_group() {
+        let p = PllParams::new(64).unwrap();
+        let bound = state_bound(&p);
+        let common = 96;
+        let timer_part = common * p.cmax() as u64;
+        assert!(timer_part * 2 > bound, "V_B should dominate the bound");
+    }
+
+    #[test]
+    fn empirical_distinct_states_stay_below_bound() {
+        use crate::Pll;
+        use pp_engine::CountSimulation;
+        use pp_rand::Xoshiro256PlusPlus;
+        let n = 512;
+        let pll = Pll::for_population(n).unwrap();
+        let bound = state_bound(pll.params());
+        let rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut sim = CountSimulation::new(pll, n, rng).unwrap();
+        sim.run(500_000);
+        let seen = sim.distinct_states_seen() as u64;
+        assert!(
+            seen <= bound,
+            "reached {seen} distinct states, bound is {bound}"
+        );
+        assert!(seen > 10, "sanity: execution explores many states");
+    }
+}

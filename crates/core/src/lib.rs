@@ -1,0 +1,57 @@
+//! # `pp-core`: the `P_LL` protocol
+//!
+//! The primary contribution of *"Logarithmic Expected-Time Leader Election in
+//! Population Protocol Model"* (Sudo, Ooshita, Izumi, Kakugawa, Masuzawa;
+//! PODC 2019 / arXiv:1812.11309): the first leader-election protocol with
+//! **O(log n) expected parallel stabilization time** and **O(log n) states
+//! per agent**, given a size knowledge `m ≥ log₂ n`, `m = Θ(log n)`.
+//!
+//! * [`Pll`] — the asymmetric protocol exactly as in the paper's
+//!   Algorithms 1–5 (main dispatch, `CountUp`, `QuickElimination`,
+//!   `Tournament`, `BackUp`).
+//! * [`SymPll`] — the symmetric variant of Section 4: the X/Y status dance
+//!   and the J/K/F0/F1 follower coin statuses that realize *totally
+//!   independent and fair* coin flips without initiator/responder asymmetry.
+//! * [`PllParams`] — the parameters `m`, `l_max = 5m`, `c_max = 41m`,
+//!   `Φ = ⌈⅔·lg m⌉` of Table 3.
+//! * [`inventory`] — Table 3 and the Lemma 3 state-count bound, computed
+//!   programmatically.
+//!
+//! Pseudocode-fidelity note: the paper writes `max(x+1, cap)` in saturating
+//! increments (Algorithm 1 line 9, Algorithm 3 line 36, Algorithm 4 line 45,
+//! Algorithm 5 line 52); the domains of Table 3 and the surrounding prose
+//! make clear `min(x+1, cap)` is meant, and that is what this crate
+//! implements.
+//!
+//! # Example
+//!
+//! ```
+//! use pp_core::Pll;
+//! use pp_engine::{Simulation, UniformScheduler};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let n = 5_000;
+//! let pll = Pll::for_population(n)?;
+//! let mut sim = Simulation::new(pll, n, UniformScheduler::seed_from_u64(9))?;
+//! let outcome = sim.run_until_single_leader(u64::MAX);
+//! assert!(outcome.converged);
+//! // O(log n): a few hundred parallel time units at this size.
+//! assert!(outcome.parallel_time(n) < 2_000.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod inventory;
+pub mod metrics;
+mod params;
+mod protocol;
+mod state;
+mod symmetric;
+
+pub use params::{PllError, PllParams};
+pub use protocol::Pll;
+pub use state::{Extra, PllState, Status};
+pub use symmetric::{Coin, RoleVar, SymExtra, SymPll, SymPllState, SymStatus};

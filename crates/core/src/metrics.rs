@@ -1,0 +1,249 @@
+//! Execution analytics: attributing leader eliminations to the module that
+//! caused them.
+//!
+//! `P_LL` wins by layering three elimination mechanisms; this module
+//! classifies each observed demotion so experiments can report *which*
+//! mechanism did the work (the module-contribution breakdown that motivates
+//! the paper's three-phase design).
+
+use crate::{PllState, Status};
+
+/// The mechanism that turned a leader into a follower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Demotion {
+    /// Status assignment: a pristine agent joined as a follower (Algorithm 1
+    /// lines 3/5).
+    StatusAssignment,
+    /// `QuickElimination()` observed a larger `levelQ` (Algorithm 3).
+    QuickElimination,
+    /// `Tournament()` observed a larger nonce (Algorithm 4).
+    Tournament,
+    /// `BackUp()` observed a larger `levelB` (Algorithm 5, lines 54–57).
+    BackUpLevel,
+    /// The simple election between equal-`levelB` leaders (Algorithm 5,
+    /// line 58).
+    BackUpDuel,
+}
+
+impl std::fmt::Display for Demotion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Demotion::StatusAssignment => "status assignment",
+            Demotion::QuickElimination => "QuickElimination",
+            Demotion::Tournament => "Tournament",
+            Demotion::BackUpLevel => "BackUp (level race)",
+            Demotion::BackUpDuel => "BackUp (duel)",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Classifies the demotion of one agent across one interaction, given its
+/// pre- and post-interaction states. Returns `None` if the agent was not
+/// demoted in this interaction.
+///
+/// # Example
+///
+/// ```
+/// use pp_core::metrics::{classify_demotion, Demotion};
+/// use pp_core::PllState;
+///
+/// let pre = PllState::backup(true, 3);
+/// let post = PllState::backup(false, 7);
+/// assert_eq!(classify_demotion(&pre, &post), Some(Demotion::BackUpLevel));
+/// ```
+pub fn classify_demotion(pre: &PllState, post: &PllState) -> Option<Demotion> {
+    if !pre.leader || post.leader {
+        return None;
+    }
+    if pre.status == Status::X {
+        return Some(Demotion::StatusAssignment);
+    }
+    Some(match post.epoch {
+        1 => Demotion::QuickElimination,
+        2 | 3 => Demotion::Tournament,
+        4 => {
+            // Entering epoch 4 re-initializes levelB to 0; a demotion by the
+            // max-level epidemic always adopts a strictly larger level,
+            // while the duel leaves the (equal) levels untouched.
+            let pre_level = if pre.epoch == 4 {
+                pre.level_b().unwrap_or(0)
+            } else {
+                0
+            };
+            if post.level_b().unwrap_or(0) > pre_level {
+                Demotion::BackUpLevel
+            } else {
+                Demotion::BackUpDuel
+            }
+        }
+        e => unreachable!("epoch {e} out of range"),
+    })
+}
+
+/// Counts of demotions per mechanism over an execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DemotionTally {
+    /// Demotions by status assignment.
+    pub status_assignment: u64,
+    /// Demotions by `QuickElimination()`.
+    pub quick_elimination: u64,
+    /// Demotions by `Tournament()`.
+    pub tournament: u64,
+    /// Demotions by the `BackUp()` level race.
+    pub backup_level: u64,
+    /// Demotions by the `BackUp()` duel.
+    pub backup_duel: u64,
+}
+
+impl DemotionTally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one classified demotion.
+    pub fn record(&mut self, demotion: Demotion) {
+        match demotion {
+            Demotion::StatusAssignment => self.status_assignment += 1,
+            Demotion::QuickElimination => self.quick_elimination += 1,
+            Demotion::Tournament => self.tournament += 1,
+            Demotion::BackUpLevel => self.backup_level += 1,
+            Demotion::BackUpDuel => self.backup_duel += 1,
+        }
+    }
+
+    /// Observes one interaction's pre/post state pairs and records any
+    /// demotions among the two participants.
+    pub fn observe(&mut self, pre: (&PllState, &PllState), post: (&PllState, &PllState)) {
+        if let Some(d) = classify_demotion(pre.0, post.0) {
+            self.record(d);
+        }
+        if let Some(d) = classify_demotion(pre.1, post.1) {
+            self.record(d);
+        }
+    }
+
+    /// Total demotions recorded.
+    pub fn total(&self) -> u64 {
+        self.status_assignment
+            + self.quick_elimination
+            + self.tournament
+            + self.backup_level
+            + self.backup_duel
+    }
+
+    /// `(mechanism, count)` rows in presentation order.
+    pub fn rows(&self) -> [(Demotion, u64); 5] {
+        [
+            (Demotion::StatusAssignment, self.status_assignment),
+            (Demotion::QuickElimination, self.quick_elimination),
+            (Demotion::Tournament, self.tournament),
+            (Demotion::BackUpLevel, self.backup_level),
+            (Demotion::BackUpDuel, self.backup_duel),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Extra, Pll};
+    use pp_engine::{Configuration, Scheduler, UniformScheduler};
+
+    fn qe(leader: bool, level_q: u32, done: bool) -> PllState {
+        PllState {
+            leader,
+            status: Status::A,
+            epoch: 1,
+            init: 1,
+            color: 0,
+            extra: Extra::Quick { level_q, done },
+        }
+    }
+
+    #[test]
+    fn classification_by_epoch() {
+        // Not a demotion.
+        assert_eq!(classify_demotion(&qe(true, 1, true), &qe(true, 1, true)), None);
+        assert_eq!(classify_demotion(&qe(false, 1, true), &qe(false, 2, true)), None);
+        // Status assignment.
+        let x = PllState::initial();
+        let joined = qe(false, 0, true);
+        assert_eq!(
+            classify_demotion(&x, &joined),
+            Some(Demotion::StatusAssignment)
+        );
+        // QE.
+        assert_eq!(
+            classify_demotion(&qe(true, 1, true), &qe(false, 5, true)),
+            Some(Demotion::QuickElimination)
+        );
+        // Tournament.
+        let mut t_pre = qe(true, 0, true);
+        t_pre.epoch = 2;
+        t_pre.init = 2;
+        t_pre.extra = Extra::Rand { rand: 1, index: 3 };
+        let mut t_post = t_pre;
+        t_post.leader = false;
+        t_post.extra = Extra::Rand { rand: 6, index: 3 };
+        assert_eq!(classify_demotion(&t_pre, &t_post), Some(Demotion::Tournament));
+        // BackUp level vs duel.
+        assert_eq!(
+            classify_demotion(&PllState::backup(true, 2), &PllState::backup(false, 9)),
+            Some(Demotion::BackUpLevel)
+        );
+        assert_eq!(
+            classify_demotion(&PllState::backup(true, 2), &PllState::backup(false, 2)),
+            Some(Demotion::BackUpDuel)
+        );
+    }
+
+    #[test]
+    fn tally_records_and_sums() {
+        let mut tally = DemotionTally::new();
+        tally.record(Demotion::QuickElimination);
+        tally.record(Demotion::QuickElimination);
+        tally.record(Demotion::BackUpDuel);
+        assert_eq!(tally.total(), 3);
+        assert_eq!(tally.quick_elimination, 2);
+        assert_eq!(tally.rows()[4], (Demotion::BackUpDuel, 1));
+    }
+
+    #[test]
+    fn full_run_attribution_accounts_for_all_demotions() {
+        // Drive a run manually and check: total demotions = n - 1 - … — more
+        // precisely, initial leaders n, final 1, every lost leader classified.
+        let n = 128;
+        let pll = Pll::for_population(n).unwrap();
+        let mut config = Configuration::initial(&pll, n).unwrap();
+        let mut scheduler = UniformScheduler::seed_from_u64(42);
+        let mut tally = DemotionTally::new();
+        let mut steps = 0u64;
+        while config.leader_count(&pll) > 1 {
+            let interaction = scheduler.next_interaction(n);
+            let pre_i = *config.state(interaction.initiator).unwrap();
+            let pre_r = *config.state(interaction.responder).unwrap();
+            config.apply(&pll, interaction).unwrap();
+            let post_i = *config.state(interaction.initiator).unwrap();
+            let post_r = *config.state(interaction.responder).unwrap();
+            tally.observe((&pre_i, &pre_r), (&post_i, &post_r));
+            steps += 1;
+            assert!(steps < 500_000_000, "did not stabilize");
+        }
+        assert_eq!(
+            tally.total(),
+            (n - 1) as u64,
+            "every demoted agent classified exactly once: {tally:?}"
+        );
+        // The bulk of eliminations happen at status assignment (half the
+        // population becomes B/followers immediately).
+        assert!(tally.status_assignment >= (n / 4) as u64);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Demotion::BackUpDuel.to_string(), "BackUp (duel)");
+        assert_eq!(Demotion::QuickElimination.to_string(), "QuickElimination");
+    }
+}

@@ -1,0 +1,277 @@
+//! Protocol parameters derived from the size knowledge `m`.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from constructing [`PllParams`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PllError {
+    /// `m` must be at least 1.
+    InvalidSizeKnowledge {
+        /// The offending value of `m`.
+        m: u32,
+    },
+    /// The requested population size was too small (`n < 2`).
+    PopulationTooSmall {
+        /// The offending population size.
+        n: usize,
+    },
+    /// `m` does not satisfy `m ≥ log₂ n` for the target population.
+    SizeKnowledgeTooSmall {
+        /// The size knowledge provided.
+        m: u32,
+        /// The population it must cover.
+        n: usize,
+    },
+}
+
+impl fmt::Display for PllError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PllError::InvalidSizeKnowledge { m } => {
+                write!(f, "size knowledge m = {m} is invalid; need m >= 1")
+            }
+            PllError::PopulationTooSmall { n } => {
+                write!(f, "population of {n} agents is too small; need at least 2")
+            }
+            PllError::SizeKnowledgeTooSmall { m, n } => {
+                write!(
+                    f,
+                    "size knowledge m = {m} violates m >= log2(n) for n = {n} agents"
+                )
+            }
+        }
+    }
+}
+
+impl Error for PllError {}
+
+/// The parameters of `P_LL` (paper, Table 3 and Section 3.2):
+///
+/// * `m` — the size knowledge, required to satisfy `m ≥ log₂ n` and
+///   `m = Θ(log n)`;
+/// * `l_max = 5m` — the cap of `levelQ` and `levelB`;
+/// * `c_max = 41m` — the period of the count-up timers driving
+///   synchronization;
+/// * `Φ = ⌈⅔·lg m⌉` — the number of coin flips per `Tournament()` execution
+///   (`rand ∈ {0, …, 2^Φ − 1}`).
+///
+/// # Example
+///
+/// ```
+/// use pp_core::PllParams;
+///
+/// let p = PllParams::for_population(1024)?;
+/// assert_eq!(p.m(), 10);
+/// assert_eq!(p.lmax(), 50);
+/// assert_eq!(p.cmax(), 410);
+/// assert_eq!(p.phi(), 3); // ceil(2/3 * lg 10) = ceil(2.215)
+/// # Ok::<(), pp_core::PllError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PllParams {
+    m: u32,
+    lmax: u32,
+    cmax: u32,
+    phi: u32,
+}
+
+impl PllParams {
+    /// Creates parameters from an explicit size knowledge `m ≥ 1`.
+    ///
+    /// This constructor does not check `m` against any population size: the
+    /// paper's guarantee needs `m ≥ log₂ n`, which
+    /// [`for_population`](PllParams::for_population) enforces, but
+    /// under-sized `m` is deliberately constructible for the ablation
+    /// experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PllError::InvalidSizeKnowledge`] when `m == 0`.
+    pub fn new(m: u32) -> Result<Self, PllError> {
+        if m == 0 {
+            return Err(PllError::InvalidSizeKnowledge { m });
+        }
+        let phi = if m == 1 {
+            0
+        } else {
+            (2.0 / 3.0 * (m as f64).log2()).ceil() as u32
+        };
+        Ok(Self {
+            m,
+            lmax: 5 * m,
+            cmax: 41 * m,
+            phi,
+        })
+    }
+
+    /// Creates the canonical parameters for a population of `n` agents:
+    /// `m = max(1, ⌈log₂ n⌉)`, the smallest valid size knowledge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PllError::PopulationTooSmall`] when `n < 2`.
+    pub fn for_population(n: usize) -> Result<Self, PllError> {
+        if n < 2 {
+            return Err(PllError::PopulationTooSmall { n });
+        }
+        let m = (n as f64).log2().ceil().max(1.0) as u32;
+        Self::new(m)
+    }
+
+    /// Creates parameters with `m = max(1, ⌈factor·log₂ n⌉)` — used by the
+    /// ablation experiments to study over- and under-sized size knowledge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PllError::PopulationTooSmall`] when `n < 2` and
+    /// [`PllError::InvalidSizeKnowledge`] when the scaled `m` underflows to 0.
+    pub fn with_scaled_knowledge(n: usize, factor: f64) -> Result<Self, PllError> {
+        if n < 2 {
+            return Err(PllError::PopulationTooSmall { n });
+        }
+        let m = (factor * (n as f64).log2()).ceil().max(1.0) as u32;
+        Self::new(m)
+    }
+
+    /// Validates the paper's precondition `m ≥ log₂ n` for population `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PllError::SizeKnowledgeTooSmall`] when violated.
+    pub fn check_covers(&self, n: usize) -> Result<(), PllError> {
+        if (self.m as f64) < (n as f64).log2() {
+            return Err(PllError::SizeKnowledgeTooSmall { m: self.m, n });
+        }
+        Ok(())
+    }
+
+    /// The size knowledge `m`.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// `l_max = 5m`: the cap of `levelQ` and `levelB`.
+    pub fn lmax(&self) -> u32 {
+        self.lmax
+    }
+
+    /// `c_max = 41m`: the count-up timer period.
+    pub fn cmax(&self) -> u32 {
+        self.cmax
+    }
+
+    /// `Φ = ⌈⅔·lg m⌉`: coin flips per `Tournament()` execution.
+    pub fn phi(&self) -> u32 {
+        self.phi
+    }
+
+    /// `2^Φ`: the number of distinct `rand` nonces in `Tournament()`.
+    pub fn rand_space(&self) -> u32 {
+        1 << self.phi
+    }
+
+    /// Overrides `c_max` (default `41m`) — for the sensitivity ablation of
+    /// the synchronization period called out in `DESIGN.md`. Values far
+    /// below `41m` violate the Lemma 6 analysis and are expected to degrade
+    /// the fast path (while `BackUp()` still guarantees correctness).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cmax == 0`.
+    pub fn with_cmax(mut self, cmax: u32) -> Self {
+        assert!(cmax > 0, "c_max must be positive");
+        self.cmax = cmax;
+        self
+    }
+
+    /// Overrides `l_max` (default `5m`) — for ablation experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lmax == 0`.
+    pub fn with_lmax(mut self, lmax: u32) -> Self {
+        assert!(lmax > 0, "l_max must be positive");
+        self.lmax = lmax;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_parameters_for_powers_of_two() {
+        let p = PllParams::for_population(1 << 16).unwrap();
+        assert_eq!(p.m(), 16);
+        assert_eq!(p.lmax(), 80);
+        assert_eq!(p.cmax(), 656);
+        assert_eq!(p.phi(), 3); // ceil(2/3 * 4) = ceil(2.667)
+        assert_eq!(p.rand_space(), 8);
+    }
+
+    #[test]
+    fn m_is_at_least_log2_n() {
+        for n in [2usize, 3, 7, 100, 1000, 4097, 1 << 20] {
+            let p = PllParams::for_population(n).unwrap();
+            assert!(
+                p.m() as f64 >= (n as f64).log2(),
+                "n={n}: m={} < lg n",
+                p.m()
+            );
+            p.check_covers(n).unwrap();
+        }
+    }
+
+    #[test]
+    fn phi_formula_spot_checks() {
+        assert_eq!(PllParams::new(1).unwrap().phi(), 0);
+        assert_eq!(PllParams::new(2).unwrap().phi(), 1);
+        assert_eq!(PllParams::new(4).unwrap().phi(), 2);
+        assert_eq!(PllParams::new(8).unwrap().phi(), 2);
+        assert_eq!(PllParams::new(10).unwrap().phi(), 3);
+        assert_eq!(PllParams::new(64).unwrap().phi(), 4);
+    }
+
+    #[test]
+    fn errors_are_raised() {
+        assert!(matches!(
+            PllParams::new(0),
+            Err(PllError::InvalidSizeKnowledge { m: 0 })
+        ));
+        assert!(matches!(
+            PllParams::for_population(1),
+            Err(PllError::PopulationTooSmall { n: 1 })
+        ));
+        let small = PllParams::new(2).unwrap();
+        assert!(matches!(
+            small.check_covers(1 << 12),
+            Err(PllError::SizeKnowledgeTooSmall { m: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn scaled_knowledge_for_ablations() {
+        let half = PllParams::with_scaled_knowledge(1024, 0.5).unwrap();
+        assert_eq!(half.m(), 5);
+        let double = PllParams::with_scaled_knowledge(1024, 2.0).unwrap();
+        assert_eq!(double.m(), 20);
+        // Tiny factor still yields a valid m >= 1.
+        let tiny = PllParams::with_scaled_knowledge(4, 0.01).unwrap();
+        assert_eq!(tiny.m(), 1);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(PllError::InvalidSizeKnowledge { m: 0 }
+            .to_string()
+            .contains("m >= 1"));
+        assert!(PllError::SizeKnowledgeTooSmall { m: 3, n: 99 }
+            .to_string()
+            .contains("99"));
+        assert!(PllError::PopulationTooSmall { n: 1 }
+            .to_string()
+            .contains("at least 2"));
+    }
+}

@@ -1,0 +1,1210 @@
+//! The asymmetric `P_LL` protocol: Algorithms 1–5 of the paper.
+
+use crate::{Extra, PllError, PllParams, PllState, Status};
+use pp_engine::{LeaderElection, Protocol, Role};
+
+/// `P_LL`: leader election in `O(log n)` expected parallel time with
+/// `O(log n)` states per agent.
+///
+/// The protocol value carries the parameters derived from the size knowledge
+/// `m` (see [`PllParams`]). An execution is a competition in three phases,
+/// delimited by the epoch variable that the count-up/color machinery
+/// advances roughly every `Θ(log n)` parallel time:
+///
+/// 1. **`QuickElimination()`** (epoch 1): every leader plays the geometric
+///    lottery — the number of surviving leaders is `i` with probability at
+///    most `2^{1−i}` (Lemma 7).
+/// 2. **`Tournament()`** (epochs 2 and 3): surviving leaders draw `Φ`-bit
+///    nonces; the maximum nonce wins, leaving a unique leader with
+///    probability `1 − O(1/log n)` (Lemma 8).
+/// 3. **`BackUp()`** (epoch 4): a slow but certain fallback that elects a
+///    unique leader in `O(log² n)` expected parallel time from any reachable
+///    configuration (Lemmas 9–12).
+///
+/// Followers never become leaders, each phase preserves at least one leader,
+/// and thus the leader count is monotone non-increasing and positive — which
+/// is also how the engines detect stabilization exactly.
+///
+/// # Example
+///
+/// ```
+/// use pp_core::Pll;
+/// use pp_engine::{Simulation, UniformScheduler};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let n = 2_000;
+/// let pll = Pll::for_population(n)?;
+/// let mut sim = Simulation::new(pll, n, UniformScheduler::seed_from_u64(1))?;
+/// let outcome = sim.run_until_single_leader(50_000_000);
+/// assert!(outcome.converged);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pll {
+    params: PllParams,
+    enable_quick_elimination: bool,
+    enable_tournament: bool,
+}
+
+impl Pll {
+    /// Creates `P_LL` from explicit parameters.
+    pub fn new(params: PllParams) -> Self {
+        Self {
+            params,
+            enable_quick_elimination: true,
+            enable_tournament: true,
+        }
+    }
+
+    /// Disables the `QuickElimination()` module (epoch 1 becomes a no-op
+    /// wait). For the module-contribution ablation; correctness is preserved
+    /// because `BackUp()` elects from any configuration.
+    pub fn without_quick_elimination(mut self) -> Self {
+        self.enable_quick_elimination = false;
+        self
+    }
+
+    /// Disables the `Tournament()` module (epochs 2–3 become no-op waits).
+    /// For the module-contribution ablation.
+    pub fn without_tournament(mut self) -> Self {
+        self.enable_tournament = false;
+        self
+    }
+
+    /// Creates `P_LL` with the canonical size knowledge for `n` agents
+    /// (`m = ⌈log₂ n⌉`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PllError::PopulationTooSmall`] when `n < 2`.
+    pub fn for_population(n: usize) -> Result<Self, PllError> {
+        Ok(Self::new(PllParams::for_population(n)?))
+    }
+
+    /// The protocol parameters.
+    pub fn params(&self) -> &PllParams {
+        &self.params
+    }
+}
+
+impl Protocol for Pll {
+    type State = PllState;
+    type Output = Role;
+
+    fn initial_state(&self) -> PllState {
+        PllState::initial()
+    }
+
+    fn transition(&self, initiator: &PllState, responder: &PllState) -> (PllState, PllState) {
+        let mut s = [*initiator, *responder];
+        let mut tick = [false, false];
+
+        assign_status(&mut s);
+        count_up(&mut s, &mut tick, &self.params);
+        advance_epochs(&mut s, &tick);
+        init_vars(&mut s);
+
+        debug_assert_eq!(s[0].epoch, s[1].epoch, "epochs synchronized by line 10");
+        match s[0].epoch {
+            1 => {
+                if self.enable_quick_elimination {
+                    quick_elimination(&mut s, &self.params);
+                }
+            }
+            2 | 3 => {
+                if self.enable_tournament {
+                    tournament(&mut s, &self.params);
+                }
+            }
+            4 => back_up(&mut s, &tick, &self.params),
+            e => unreachable!("epoch {e} out of range"),
+        }
+
+        (s[0], s[1])
+    }
+
+    fn output(&self, state: &PllState) -> Role {
+        if state.leader {
+            Role::Leader
+        } else {
+            Role::Follower
+        }
+    }
+
+    fn name(&self) -> String {
+        let mut name = format!("P_LL(m={})", self.params.m());
+        if !self.enable_quick_elimination {
+            name.push_str("[-QE]");
+        }
+        if !self.enable_tournament {
+            name.push_str("[-T]");
+        }
+        name
+    }
+}
+
+impl LeaderElection for Pll {
+    fn monotone_leaders(&self) -> bool {
+        true
+    }
+}
+
+/// Algorithm 1, lines 1–6: status assignment at an agent's first interaction.
+///
+/// * Both pristine (`X × X`): the initiator becomes an `A` leader with fresh
+///   `QuickElimination()` variables, the responder becomes a `B` timer
+///   follower.
+/// * One pristine: it becomes an `A` follower that never joins the lottery
+///   (`done = true`).
+fn assign_status(s: &mut [PllState; 2]) {
+    match (s[0].status, s[1].status) {
+        (Status::X, Status::X) => {
+            s[0].status = Status::A;
+            s[0].extra = Extra::Quick {
+                level_q: 0,
+                done: false,
+            };
+            s[0].leader = true;
+            s[1].status = Status::B;
+            s[1].extra = Extra::Timer { count: 0 };
+            s[1].leader = false;
+        }
+        (Status::X, _) => {
+            s[0].status = Status::A;
+            s[0].extra = Extra::Quick {
+                level_q: 0,
+                done: true,
+            };
+            s[0].leader = false;
+        }
+        (_, Status::X) => {
+            s[1].status = Status::A;
+            s[1].extra = Extra::Quick {
+                level_q: 0,
+                done: true,
+            };
+            s[1].leader = false;
+        }
+        _ => {}
+    }
+}
+
+/// Algorithm 2 (`CountUp()`): every `B` agent advances its timer; a wrap
+/// yields a fresh color and a tick; newer colors propagate by one-way
+/// epidemic, resetting adopters' timers and raising their ticks.
+fn count_up(s: &mut [PllState; 2], tick: &mut [bool; 2], p: &PllParams) {
+    // Lines 23–29: timers.
+    for i in 0..2 {
+        if s[i].status == Status::B {
+            if let Extra::Timer { count } = &mut s[i].extra {
+                *count += 1;
+                if *count == p.cmax() {
+                    *count = 0;
+                    s[i].color = (s[i].color + 1) % 3;
+                    tick[i] = true;
+                }
+            }
+        }
+    }
+    // Lines 30–34: color adoption (at most one side can be "behind").
+    for i in 0..2 {
+        let other = 1 - i;
+        if s[other].color == (s[i].color + 1) % 3 {
+            s[i].color = s[other].color;
+            tick[i] = true;
+            if let Extra::Timer { count } = &mut s[i].extra {
+                *count = 0;
+            }
+        }
+    }
+}
+
+/// Algorithm 1, lines 9–10: ticks advance epochs (saturating at 4), then both
+/// agents adopt the larger epoch.
+fn advance_epochs(s: &mut [PllState; 2], tick: &[bool; 2]) {
+    for i in 0..2 {
+        if tick[i] {
+            s[i].epoch = (s[i].epoch + 1).min(4);
+        }
+    }
+    let e = s[0].epoch.max(s[1].epoch);
+    s[0].epoch = e;
+    s[1].epoch = e;
+}
+
+/// Algorithm 1, lines 11–15: on an epoch increase, `A` agents re-initialize
+/// the additional variables of their new group; `B` agents keep their timer.
+fn init_vars(s: &mut [PllState; 2]) {
+    for agent in s.iter_mut() {
+        if agent.epoch > agent.init {
+            if agent.status == Status::A {
+                agent.extra = match agent.epoch {
+                    2 | 3 => Extra::Rand { rand: 0, index: 0 },
+                    4 => Extra::Backup { level_b: 0 },
+                    e => unreachable!("epoch {e} cannot exceed init here"),
+                };
+            }
+            agent.init = agent.epoch;
+        }
+    }
+}
+
+/// Algorithm 3 (`QuickElimination()`), executed while both agents are in
+/// epoch 1.
+///
+/// A leader that meets a follower flips a fair coin: as initiator it counts a
+/// head (`levelQ += 1`, saturating at `l_max`); as responder it sees its
+/// first tail and stops (`done`). Stopped `A` agents propagate the maximum
+/// `levelQ`; observing a larger value demotes a leader.
+fn quick_elimination(s: &mut [PllState; 2], p: &PllParams) {
+    // Lines 35–38: the coin flip (at most one leader-follower pair matches).
+    for i in 0..2 {
+        let other = 1 - i;
+        if s[i].leader && !s[other].leader {
+            if let Extra::Quick { level_q, done } = &mut s[i].extra {
+                if !*done {
+                    if i == 0 {
+                        *level_q = (*level_q + 1).min(p.lmax());
+                    } else {
+                        *done = true;
+                    }
+                }
+            }
+        }
+    }
+    // Lines 39–42: one-way epidemic of the maximum levelQ among done agents.
+    if let (
+        Extra::Quick {
+            level_q: l0,
+            done: true,
+        },
+        Extra::Quick {
+            level_q: l1,
+            done: true,
+        },
+    ) = (s[0].extra, s[1].extra)
+    {
+        debug_assert!(s[0].status == Status::A && s[1].status == Status::A);
+        if l0 < l1 {
+            s[0].leader = false;
+            s[0].extra = Extra::Quick {
+                level_q: l1,
+                done: true,
+            };
+        } else if l1 < l0 {
+            s[1].leader = false;
+            s[1].extra = Extra::Quick {
+                level_q: l0,
+                done: true,
+            };
+        }
+    }
+}
+
+/// Algorithm 4 (`Tournament()`), executed while both agents are in epoch 2 or
+/// epoch 3.
+///
+/// A leader that meets a follower appends one uniform bit to its nonce
+/// (`0` as initiator, `1` as responder) until `Φ` bits are collected; the
+/// maximum completed nonce spreads through `V_A` and demotes smaller-nonce
+/// leaders.
+fn tournament(s: &mut [PllState; 2], p: &PllParams) {
+    // Lines 43–46: append one bit.
+    for i in 0..2 {
+        let other = 1 - i;
+        if s[i].leader && !s[other].leader {
+            if let Extra::Rand { rand, index } = &mut s[i].extra {
+                if *index < p.phi() {
+                    *rand = 2 * *rand + i as u32;
+                    *index += 1;
+                }
+            }
+        }
+    }
+    // Lines 47–50: epidemic of the maximum completed nonce.
+    //
+    // Fidelity note: the printed pseudocode requires `index = Φ` of *both*
+    // agents, but followers never flip coins, so under that literal reading
+    // the epidemic would be confined to the few leaders and could not reach
+    // "the whole sub-population V_A within O(log n) parallel time" as the
+    // proof of Lemma 8 requires (via Lemma 2 with V' = V_A). We therefore
+    // implement the analysis-consistent rule, mirroring `levelQ`/`levelB`:
+    // an agent's nonce *competes* only once complete (`index = Φ`) if it is
+    // a leader, while followers always participate as carriers (their
+    // adopted value originates from completed leader nonces, so the leader
+    // holding the maximum nonce can never be demoted).
+    if let (
+        Extra::Rand {
+            rand: r0,
+            index: i0,
+        },
+        Extra::Rand {
+            rand: r1,
+            index: i1,
+        },
+    ) = (s[0].extra, s[1].extra)
+    {
+        let participates0 = !s[0].leader || i0 == p.phi();
+        let participates1 = !s[1].leader || i1 == p.phi();
+        if participates0 && participates1 {
+            if r0 < r1 {
+                s[0].leader = false;
+                s[0].extra = Extra::Rand {
+                    rand: r1,
+                    index: i0,
+                };
+            } else if r1 < r0 {
+                s[1].leader = false;
+                s[1].extra = Extra::Rand {
+                    rand: r0,
+                    index: i1,
+                };
+            }
+        }
+    }
+}
+
+/// Algorithm 5 (`BackUp()`), executed while both agents are in epoch 4.
+///
+/// A leader whose tick was raised *in this interaction* and who meets a
+/// follower as initiator counts a head (`levelB += 1`, saturating). The
+/// maximum `levelB` spreads through `V_A`, demoting leaders that observe a
+/// larger value; finally, two equal-`levelB` leaders resolve by demoting the
+/// responder (the simple election of \[Ang+06\]).
+fn back_up(s: &mut [PllState; 2], tick: &[bool; 2], p: &PllParams) {
+    // Lines 51–53: the tick-gated coin flip (initiator = head).
+    if tick[0] && s[0].leader && !s[1].leader {
+        if let Extra::Backup { level_b } = &mut s[0].extra {
+            *level_b = (*level_b + 1).min(p.lmax());
+        }
+    }
+    // Lines 54–57: epidemic of the maximum levelB.
+    if let (Extra::Backup { level_b: l0 }, Extra::Backup { level_b: l1 }) = (s[0].extra, s[1].extra)
+    {
+        if l0 < l1 {
+            s[0].extra = Extra::Backup { level_b: l1 };
+            s[0].leader = false;
+        } else if l1 < l0 {
+            s[1].extra = Extra::Backup { level_b: l0 };
+            s[1].leader = false;
+        }
+    }
+    // Line 58: simple election between equal-level leaders.
+    if s[0].leader && s[1].leader {
+        s[1].leader = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> PllParams {
+        PllParams::for_population(1024).unwrap() // m=10, lmax=50, cmax=410, phi=3
+    }
+
+    fn pll() -> Pll {
+        Pll::new(params())
+    }
+
+    fn apply(p: &Pll, a: PllState, b: PllState) -> (PllState, PllState) {
+        p.transition(&a, &b)
+    }
+
+    // ---- status assignment (Algorithm 1, lines 1–6) ----
+
+    #[test]
+    fn first_interaction_assigns_a_and_b() {
+        let p = pll();
+        let (a, b) = apply(&p, PllState::initial(), PllState::initial());
+        assert_eq!(a.status, Status::A);
+        assert!(a.leader);
+        // QuickElimination runs within the same interaction: the fresh
+        // leader participates as initiator, which counts as its first head
+        // ("the number of interactions it participates in as an initiator
+        // until it interacts as a responder", §3.1.1).
+        assert_eq!(
+            a.extra,
+            Extra::Quick {
+                level_q: 1,
+                done: false
+            }
+        );
+        assert_eq!(b.status, Status::B);
+        assert!(!b.leader);
+        // CountUp ran within the same interaction: the fresh timer ticked once.
+        assert_eq!(b.extra, Extra::Timer { count: 1 });
+    }
+
+    #[test]
+    fn pristine_meeting_assigned_agent_becomes_a_follower() {
+        let p = pll();
+        let (a0, b0) = apply(&p, PllState::initial(), PllState::initial());
+        // Pristine initiator meets the A leader.
+        let (x, a1) = apply(&p, PllState::initial(), a0);
+        assert_eq!(x.status, Status::A);
+        assert!(!x.leader);
+        // The leader (levelQ = 1 from its first head) saw a tail here and
+        // stopped; both agents are then done, so the joiner immediately
+        // adopts the maximum levelQ via the epidemic rule.
+        assert_eq!(
+            x.extra,
+            Extra::Quick {
+                level_q: 1,
+                done: true
+            }
+        );
+        assert!(a1.leader, "existing leader survives");
+        // Pristine responder meets the B timer.
+        let (b1, y) = apply(&p, b0, PllState::initial());
+        assert_eq!(y.status, Status::A);
+        assert!(!y.leader);
+        assert!(b1.is_b());
+    }
+
+    #[test]
+    fn statuses_are_permanent() {
+        let p = pll();
+        let (a, b) = apply(&p, PllState::initial(), PllState::initial());
+        let (a2, b2) = apply(&p, a, b);
+        assert_eq!(a2.status, Status::A);
+        assert_eq!(b2.status, Status::B);
+        let (b3, a3) = apply(&p, b2, a2);
+        assert_eq!(a3.status, Status::A);
+        assert_eq!(b3.status, Status::B);
+    }
+
+    // ---- CountUp (Algorithm 2) ----
+
+    #[test]
+    fn timer_increments_every_interaction() {
+        let p = pll();
+        let follower_a = {
+            let (x, _) = apply(&p, PllState::initial(), PllState::timer(0, 0));
+            x
+        };
+        let mut b = PllState::timer(0, 0);
+        for expected in 1..=5u32 {
+            let (nb, _) = apply(&p, b, follower_a);
+            assert_eq!(nb.count(), Some(expected));
+            b = nb;
+        }
+    }
+
+    #[test]
+    fn timer_wrap_changes_color_and_advances_epoch() {
+        let p = pll();
+        let b = PllState::timer(p.params().cmax() - 1, 0);
+        let other = PllState::timer(0, 0);
+        let (nb, nother) = apply(&p, b, other);
+        assert_eq!(nb.count(), Some(0));
+        assert_eq!(nb.color, 1);
+        assert_eq!(nb.epoch, 2, "tick advanced the wrapping agent's epoch");
+        // The partner adopted the newer color in the same interaction and
+        // also ticked, so both end in epoch 2 (and epochs are synced anyway).
+        assert_eq!(nother.color, 1);
+        assert_eq!(nother.epoch, 2);
+        assert_eq!(nother.count(), Some(0), "adoption resets the timer");
+    }
+
+    #[test]
+    fn color_adoption_follows_cyclic_successor() {
+        let p = pll();
+        // color 2 meets color 0: 0 = 2+1 (mod 3) so the color-2 agent adopts.
+        let mut behind = PllState::timer(5, 2);
+        behind.epoch = 4;
+        behind.init = 4;
+        let mut ahead = PllState::backup(false, 0);
+        ahead.color = 0;
+        let (nb, na) = apply(&p, behind, ahead);
+        assert_eq!(nb.color, 0);
+        assert_eq!(nb.count(), Some(0));
+        assert_eq!(na.color, 0, "ahead agent unchanged");
+    }
+
+    #[test]
+    fn equal_colors_do_not_adopt() {
+        let p = pll();
+        let b = PllState::timer(3, 1);
+        let mut a = PllState::backup(false, 0);
+        a.color = 1;
+        a.epoch = 4;
+        let (nb, _) = apply(&p, b, a);
+        // b's epoch jumps to 4 via max-sync, but color must be untouched.
+        assert_eq!(nb.color, 1);
+    }
+
+    // ---- epoch synchronization & variable initialization ----
+
+    #[test]
+    fn epoch_max_propagates_and_reinitializes_group_vars() {
+        let p = pll();
+        // A-leader in epoch 1 meets a B agent already in epoch 3.
+        let leader = {
+            let (a, _) = apply(&p, PllState::initial(), PllState::initial());
+            a
+        };
+        let mut b = PllState::timer(0, 0);
+        b.epoch = 3;
+        b.init = 3;
+        let (nl, nb) = apply(&p, leader, b);
+        assert_eq!(nl.epoch, 3);
+        assert_eq!(nl.init, 3);
+        assert_eq!(nb.epoch, 3);
+        // The A agent entered V_2∪V_3 with fresh Tournament variables and,
+        // still within this interaction, flipped its first nonce bit (0, as
+        // initiator) against the B follower.
+        assert_eq!(nl.extra, Extra::Rand { rand: 0, index: 1 });
+        assert!(nl.leader, "epoch sync does not demote");
+    }
+
+    #[test]
+    fn entering_epoch_4_initializes_level_b() {
+        let p = pll();
+        let mut a = PllState {
+            leader: true,
+            status: Status::A,
+            epoch: 3,
+            init: 3,
+            color: 0,
+            extra: Extra::Rand { rand: 7, index: 3 },
+        };
+        a.color = 0;
+        let mut b = PllState::timer(1, 0);
+        b.epoch = 4;
+        b.init = 4;
+        let (na, _) = apply(&p, a, b);
+        assert_eq!(na.epoch, 4);
+        assert_eq!(na.extra, Extra::Backup { level_b: 0 });
+    }
+
+    #[test]
+    fn epoch_saturates_at_four() {
+        let p = pll();
+        let mut b = PllState::timer(p.params().cmax() - 1, 0);
+        b.epoch = 4;
+        b.init = 4;
+        let mut other = PllState::backup(false, 0);
+        other.color = 0;
+        let (nb, _) = apply(&p, b, other);
+        assert_eq!(nb.epoch, 4);
+        assert_eq!(nb.color, 1, "color still cycles");
+    }
+
+    // ---- QuickElimination (Algorithm 3) ----
+
+    fn qe_leader(level_q: u32, done: bool) -> PllState {
+        PllState {
+            leader: true,
+            status: Status::A,
+            epoch: 1,
+            init: 1,
+            color: 0,
+            extra: Extra::Quick { level_q, done },
+        }
+    }
+
+    fn qe_follower(level_q: u32, done: bool) -> PllState {
+        PllState {
+            leader: false,
+            ..qe_leader(level_q, done)
+        }
+    }
+
+    #[test]
+    fn initiator_leader_counts_a_head() {
+        let p = pll();
+        let (l, _) = apply(&p, qe_leader(2, false), qe_follower(0, true));
+        assert_eq!(l.level_q(), Some(3));
+        assert!(l.leader);
+    }
+
+    #[test]
+    fn responder_leader_sees_tail_and_stops() {
+        let p = pll();
+        let (_, l) = apply(&p, qe_follower(0, true), qe_leader(2, false));
+        assert_eq!(l.extra, Extra::Quick { level_q: 2, done: true });
+    }
+
+    #[test]
+    fn leader_meeting_leader_does_not_flip() {
+        let p = pll();
+        let (l0, l1) = apply(&p, qe_leader(1, false), qe_leader(4, false));
+        // No coin flip; neither is done, so no epidemic comparison either.
+        assert_eq!(l0.level_q(), Some(1));
+        assert_eq!(l1.level_q(), Some(4));
+        assert!(l0.leader && l1.leader);
+    }
+
+    #[test]
+    fn done_leader_stops_flipping() {
+        let p = pll();
+        let (l, _) = apply(&p, qe_leader(3, true), qe_follower(3, true));
+        assert_eq!(l.extra, Extra::Quick { level_q: 3, done: true });
+        assert!(l.leader, "equal levels: no demotion");
+    }
+
+    #[test]
+    fn level_q_saturates_at_lmax() {
+        let p = pll();
+        let lmax = p.params().lmax();
+        let (l, _) = apply(&p, qe_leader(lmax, false), qe_follower(0, true));
+        assert_eq!(l.level_q(), Some(lmax));
+    }
+
+    #[test]
+    fn larger_level_q_demotes_and_propagates() {
+        let p = pll();
+        let (lo, hi) = apply(&p, qe_leader(2, true), qe_leader(5, true));
+        assert!(!lo.leader, "smaller level loses");
+        assert_eq!(lo.level_q(), Some(5), "loser adopts the maximum");
+        assert!(hi.leader);
+        // Also works leader vs follower: follower with larger level demotes.
+        let (l, f) = apply(&p, qe_leader(1, true), qe_follower(9, true));
+        assert!(!l.leader);
+        assert_eq!(l.level_q(), Some(9));
+        assert!(!f.leader);
+    }
+
+    #[test]
+    fn not_done_agents_do_not_compare_levels() {
+        let p = pll();
+        // Leader not done with small level vs follower (done) with larger:
+        // line 39 requires BOTH done, so no demotion. The flip still happens
+        // (leader-as-initiator counts a head).
+        let (l, _) = apply(&p, qe_leader(0, false), qe_follower(9, true));
+        assert!(l.leader);
+        assert_eq!(l.level_q(), Some(1));
+    }
+
+    #[test]
+    fn b_agents_do_not_join_level_epidemic() {
+        let p = pll();
+        let (l, b) = apply(&p, qe_leader(0, true), PllState::timer(0, 0));
+        assert!(l.leader, "timer agents carry no levelQ to compare");
+        assert!(b.is_b());
+    }
+
+    // ---- Tournament (Algorithm 4) ----
+
+    fn t_leader(rand: u32, index: u32, epoch: u8) -> PllState {
+        PllState {
+            leader: true,
+            status: Status::A,
+            epoch,
+            init: epoch,
+            color: 0,
+            extra: Extra::Rand { rand, index },
+        }
+    }
+
+    fn t_follower(rand: u32, index: u32, epoch: u8) -> PllState {
+        PllState {
+            leader: false,
+            ..t_leader(rand, index, epoch)
+        }
+    }
+
+    #[test]
+    fn nonce_bits_follow_roles() {
+        let p = pll();
+        // Initiator appends 0.
+        let (l, _) = apply(&p, t_leader(0b10, 2, 2), t_follower(0, 3, 2));
+        assert_eq!(l.extra, Extra::Rand { rand: 0b100, index: 3 });
+        // Responder appends 1.
+        let (_, l) = apply(&p, t_follower(0, 3, 2), t_leader(0b10, 2, 2));
+        assert_eq!(l.extra, Extra::Rand { rand: 0b101, index: 3 });
+    }
+
+    #[test]
+    fn nonce_stops_at_phi_bits() {
+        let p = pll();
+        let phi = p.params().phi();
+        let (l, _) = apply(&p, t_leader(0b101, phi, 2), t_follower(0, phi, 2));
+        assert_eq!(l.rand(), Some(0b101), "no more bits appended");
+    }
+
+    #[test]
+    fn completed_nonces_compete() {
+        let p = pll();
+        let phi = p.params().phi();
+        let (lo, hi) = apply(&p, t_leader(2, phi, 3), t_leader(6, phi, 3));
+        assert!(!lo.leader);
+        assert_eq!(lo.rand(), Some(6));
+        assert!(hi.leader);
+    }
+
+    #[test]
+    fn incomplete_nonces_do_not_compete() {
+        let p = pll();
+        let phi = p.params().phi();
+        // One leader still collecting bits: no comparison even though rands differ.
+        let (l0, l1) = apply(&p, t_leader(0, 1, 2), t_leader(7, phi, 2));
+        assert!(l0.leader && l1.leader);
+    }
+
+    #[test]
+    fn followers_carry_the_nonce_epidemic() {
+        let p = pll();
+        let phi = p.params().phi();
+        // A completed leader hands its nonce to a fresh follower…
+        let (f, _) = apply(&p, t_follower(0, 0, 3), t_leader(6, phi, 3));
+        assert_eq!(f.rand(), Some(6));
+        // …which can then demote a smaller-nonce leader it meets later.
+        let (l, _) = apply(&p, t_leader(2, phi, 3), f);
+        assert!(!l.leader);
+        assert_eq!(l.rand(), Some(6));
+    }
+
+    #[test]
+    fn follower_zero_nonce_never_demotes_completed_leader() {
+        let p = pll();
+        let phi = p.params().phi();
+        let (l, _) = apply(&p, t_leader(0, phi, 2), t_follower(0, 0, 2));
+        assert!(l.leader, "equal rand 0: no demotion");
+    }
+
+    #[test]
+    fn equal_nonces_both_survive_tournament() {
+        let p = pll();
+        let phi = p.params().phi();
+        let (l0, l1) = apply(&p, t_leader(5, phi, 3), t_leader(5, phi, 3));
+        assert!(l0.leader && l1.leader, "ties are resolved later by BackUp");
+    }
+
+    // ---- BackUp (Algorithm 5) ----
+
+    #[test]
+    fn backup_flip_requires_tick() {
+        let p = pll();
+        let l = PllState::backup(true, 0);
+        let f = PllState::backup(false, 0);
+        // No tick raised in this interaction: no increment; responder then
+        // gets demoted by the simple election?? No: f is already follower.
+        let (nl, _) = apply(&p, l, f);
+        assert_eq!(nl.level_b(), Some(0));
+    }
+
+    #[test]
+    fn backup_flip_on_tick_with_follower() {
+        let p = pll();
+        // Engineer a tick for the initiating leader: it is behind in color.
+        let mut l = PllState::backup(true, 0);
+        l.color = 0;
+        let mut f = PllState::backup(false, 0);
+        f.color = 1; // leader adopts color 1 -> tick raised
+        let (nl, _) = apply(&p, l, f);
+        assert_eq!(nl.level_b(), Some(1), "head counted on tick");
+        assert_eq!(nl.color, 1);
+        // As responder the leader would see a tail: no increment.
+        let (_, nl2) = apply(&p, f, l);
+        assert_eq!(nl2.level_b(), Some(0));
+        assert_eq!(nl2.color, 1);
+    }
+
+    #[test]
+    fn level_b_epidemic_demotes() {
+        let p = pll();
+        let (lo, hi) = apply(&p, PllState::backup(true, 1), PllState::backup(true, 4));
+        assert!(!lo.leader);
+        assert_eq!(lo.level_b(), Some(4));
+        assert!(hi.leader);
+        // Followers also adopt the max.
+        let (f, _) = apply(&p, PllState::backup(false, 0), PllState::backup(true, 9));
+        assert_eq!(f.level_b(), Some(9));
+    }
+
+    #[test]
+    fn equal_level_leaders_resolve_by_simple_election() {
+        let p = pll();
+        let (l0, l1) = apply(&p, PllState::backup(true, 7), PllState::backup(true, 7));
+        assert!(l0.leader);
+        assert!(!l1.leader, "responder demoted (line 58)");
+    }
+
+    #[test]
+    fn level_b_saturates_at_lmax() {
+        let p = pll();
+        let lmax = p.params().lmax();
+        let mut l = PllState::backup(true, lmax);
+        l.color = 0;
+        let mut f = PllState::backup(false, lmax);
+        f.color = 1;
+        let (nl, _) = apply(&p, l, f);
+        assert_eq!(nl.level_b(), Some(lmax));
+    }
+
+    // ---- protocol-level facts ----
+
+    #[test]
+    fn output_follows_leader_flag() {
+        let p = pll();
+        assert_eq!(p.output(&PllState::initial()), Role::Leader);
+        assert_eq!(p.output(&PllState::timer(0, 0)), Role::Follower);
+        assert!(p.monotone_leaders());
+    }
+
+    #[test]
+    fn name_mentions_parameters() {
+        assert_eq!(pll().name(), "P_LL(m=10)");
+        assert_eq!(
+            pll().without_quick_elimination().without_tournament().name(),
+            "P_LL(m=10)[-QE][-T]"
+        );
+    }
+
+    #[test]
+    fn ablated_epochs_are_inert() {
+        let p = pll().without_quick_elimination();
+        // The leader-follower meeting that would flip a coin does nothing.
+        let (l, _) = apply(&p, qe_leader(2, false), qe_follower(0, true));
+        assert_eq!(l.extra, Extra::Quick { level_q: 2, done: false });
+        let p = pll().without_tournament();
+        let (l, _) = apply(&p, t_leader(0b10, 2, 2), t_follower(0, 3, 2));
+        assert_eq!(l.extra, Extra::Rand { rand: 0b10, index: 2 });
+    }
+
+    #[test]
+    fn backup_only_variant_still_elects() {
+        use pp_engine::{Simulation, UniformScheduler};
+        let p = Pll::for_population(64)
+            .unwrap()
+            .without_quick_elimination()
+            .without_tournament();
+        let mut sim = Simulation::new(p, 64, UniformScheduler::seed_from_u64(31)).unwrap();
+        let o = sim.run_until_single_leader(500_000_000);
+        assert!(o.converged);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_extra() -> impl Strategy<Value = Extra> {
+        prop_oneof![
+            Just(Extra::None),
+            (0u32..410).prop_map(|count| Extra::Timer { count }),
+            ((0u32..=50), any::<bool>()).prop_map(|(level_q, done)| Extra::Quick { level_q, done }),
+            // Representation invariant: a nonce of `index` bits satisfies
+            // rand < 2^index.
+            (0u32..=3).prop_flat_map(|index| {
+                (0u32..(1 << index), Just(index))
+                    .prop_map(|(rand, index)| Extra::Rand { rand, index })
+            }),
+            (0u32..=50).prop_map(|level_b| Extra::Backup { level_b }),
+        ]
+    }
+
+    /// States with *consistent* group structure (the shape the transition
+    /// function actually maintains): X agents are pristine leaders; A agents
+    /// carry the additional variables of their epoch's group; B agents carry
+    /// timers.
+    fn arb_consistent_state() -> impl Strategy<Value = PllState> {
+        (any::<bool>(), 1u8..=4, 0u8..=2, arb_extra()).prop_filter_map(
+            "group structure",
+            |(leader, epoch, color, extra)| {
+                let status = match extra {
+                    Extra::None => Status::X,
+                    Extra::Timer { .. } => Status::B,
+                    _ => Status::A,
+                };
+                // Align extra variant with epoch for A agents.
+                let extra_ok = matches!(
+                    (status, epoch, extra),
+                    (Status::X, 1, Extra::None)
+                        | (Status::B, _, Extra::Timer { .. })
+                        | (Status::A, 1, Extra::Quick { .. })
+                        | (Status::A, 2..=3, Extra::Rand { .. })
+                        | (Status::A, 4, Extra::Backup { .. })
+                );
+                if !extra_ok {
+                    return None;
+                }
+                let leader = match status {
+                    Status::X => true,       // pristine agents are leaders
+                    Status::B => false,      // timer agents never lead
+                    Status::A => leader,
+                };
+                Some(PllState {
+                    leader,
+                    status,
+                    epoch,
+                    init: epoch,
+                    color,
+                    extra,
+                })
+            },
+        )
+    }
+
+    proptest! {
+        /// No follower is ever promoted back to leader.
+        #[test]
+        fn no_follower_promotion(a in arb_consistent_state(), b in arb_consistent_state()) {
+            let p = Pll::new(PllParams::new(10).unwrap());
+            let (na, nb) = p.transition(&a, &b);
+            if !a.leader {
+                prop_assert!(!na.leader, "{a:?} × {b:?} promoted the initiator");
+            }
+            if !b.leader {
+                prop_assert!(!nb.leader, "{a:?} × {b:?} promoted the responder");
+            }
+        }
+
+        /// The inductive step behind "no module ever eliminates all
+        /// leaders": a demoted (assigned) leader always leaves behind either
+        /// a leader partner (the duel case) or a partner carrying a
+        /// *strictly greater* competition value than the leader brought to
+        /// the comparison. Hence the leader holding the population maximum
+        /// can never be demoted.
+        ///
+        /// (Pairwise, both participants can end up followers — e.g. an
+        /// epoch-lagged leader meeting a follower that carries a higher
+        /// `levelB` — but only because a strictly larger value, minted by
+        /// some still-alive leader lineage, is present.)
+        #[test]
+        fn demotion_requires_strictly_greater_witness(
+            a in arb_consistent_state(),
+            b in arb_consistent_state(),
+        ) {
+            // The value an agent carries into a comparison at `epoch`,
+            // accounting for the re-initialization of lagging agents.
+            fn effective_value(s: &PllState, epoch: u8) -> Option<u64> {
+                if s.status != Status::A {
+                    return None;
+                }
+                if s.epoch < epoch {
+                    return Some(0); // init_vars resets the group variables
+                }
+                match (epoch, s.extra) {
+                    (1, Extra::Quick { level_q, .. }) => Some(level_q as u64),
+                    (2..=3, Extra::Rand { rand, .. }) => Some(rand as u64),
+                    (4, Extra::Backup { level_b }) => Some(level_b as u64),
+                    _ => None,
+                }
+            }
+            let p = Pll::new(PllParams::new(10).unwrap());
+            let (na, nb) = p.transition(&a, &b);
+            let epoch = na.epoch;
+            for (pre, post, partner_post) in [(&a, &na, &nb), (&b, &nb, &na)] {
+                if pre.leader && pre.status == Status::A && !post.leader {
+                    if partner_post.leader {
+                        continue; // duel: a leader survives in the pair
+                    }
+                    let mine = effective_value(pre, epoch)
+                        .expect("assigned leaders carry a competition value");
+                    let theirs = effective_value(partner_post, epoch)
+                        .expect("only V_A partners can demote");
+                    prop_assert!(
+                        theirs > mine,
+                        "leader {pre:?} demoted without a greater witness ({mine} vs {theirs}) in {a:?} × {b:?}"
+                    );
+                }
+            }
+        }
+
+        /// The nonce representation invariant rand < 2^index is preserved.
+        #[test]
+        fn nonce_width_invariant(a in arb_consistent_state(), b in arb_consistent_state()) {
+            let p = Pll::new(PllParams::new(10).unwrap());
+            let (na, nb) = p.transition(&a, &b);
+            for s in [na, nb] {
+                if let Extra::Rand { rand, index } = s.extra {
+                    // Followers may carry adopted full-width nonces; leaders
+                    // under construction satisfy the width bound.
+                    if s.leader {
+                        prop_assert!(rand < (1 << index), "leader nonce too wide: {s:?}");
+                    }
+                }
+            }
+        }
+
+        /// Statuses are permanent once assigned, and X never survives an
+        /// interaction.
+        #[test]
+        fn statuses_permanent(a in arb_consistent_state(), b in arb_consistent_state()) {
+            let p = Pll::new(PllParams::new(10).unwrap());
+            let (na, nb) = p.transition(&a, &b);
+            prop_assert_ne!(na.status, Status::X);
+            prop_assert_ne!(nb.status, Status::X);
+            if a.status != Status::X {
+                prop_assert_eq!(na.status, a.status);
+            }
+            if b.status != Status::X {
+                prop_assert_eq!(nb.status, b.status);
+            }
+        }
+
+        /// Epochs never decrease, are equal after the interaction, and init
+        /// tracks epoch.
+        #[test]
+        fn epochs_monotone_and_synced(a in arb_consistent_state(), b in arb_consistent_state()) {
+            let p = Pll::new(PllParams::new(10).unwrap());
+            let (na, nb) = p.transition(&a, &b);
+            prop_assert!(na.epoch >= a.epoch);
+            prop_assert!(nb.epoch >= b.epoch);
+            prop_assert_eq!(na.epoch, nb.epoch);
+            prop_assert!(na.init <= na.epoch);
+            prop_assert!(nb.init <= nb.epoch);
+            prop_assert!((1..=4).contains(&na.epoch));
+        }
+
+        /// Domain bounds of Table 3 are never violated.
+        #[test]
+        fn variables_stay_in_domain(a in arb_consistent_state(), b in arb_consistent_state()) {
+            let params = PllParams::new(10).unwrap();
+            let p = Pll::new(params);
+            let (na, nb) = p.transition(&a, &b);
+            for s in [na, nb] {
+                prop_assert!(s.color <= 2);
+                match s.extra {
+                    Extra::None => {}
+                    Extra::Timer { count } => prop_assert!(count < params.cmax()),
+                    Extra::Quick { level_q, .. } => prop_assert!(level_q <= params.lmax()),
+                    Extra::Rand { rand, index } => {
+                        prop_assert!(rand < params.rand_space());
+                        prop_assert!(index <= params.phi());
+                    }
+                    Extra::Backup { level_b } => prop_assert!(level_b <= params.lmax()),
+                }
+            }
+        }
+
+        /// The group structure (status ↔ extra-variant ↔ epoch) is preserved.
+        #[test]
+        fn group_structure_preserved(a in arb_consistent_state(), b in arb_consistent_state()) {
+            let p = Pll::new(PllParams::new(10).unwrap());
+            let (na, nb) = p.transition(&a, &b);
+            for s in [na, nb] {
+                let ok = match (s.status, s.epoch, s.extra) {
+                    (Status::B, _, Extra::Timer { .. }) => true,
+                    (Status::A, 1, Extra::Quick { .. }) => true,
+                    (Status::A, 2..=3, Extra::Rand { .. }) => true,
+                    (Status::A, 4, Extra::Backup { .. }) => true,
+                    // An A agent that just jumped epochs re-initializes in
+                    // init_vars, so init == epoch always holds for groups.
+                    _ => false,
+                };
+                prop_assert!(ok, "inconsistent group: {s:?}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod run_tests {
+    use super::*;
+    use pp_engine::{CountSimulation, Simulation, UniformScheduler};
+    use pp_rand::{SeedSequence, Xoshiro256PlusPlus};
+
+    #[test]
+    fn stabilizes_to_single_leader_small() {
+        for n in [2usize, 3, 4, 8, 64] {
+            let pll = Pll::for_population(n).unwrap();
+            let mut sim =
+                Simulation::new(pll, n, UniformScheduler::seed_from_u64(n as u64)).unwrap();
+            let outcome = sim.run_until_single_leader(200_000_000);
+            assert!(outcome.converged, "n={n} did not converge");
+            assert_eq!(sim.leader_count(), 1);
+            // Stability: more steps never change the unique leader.
+            sim.run(50_000);
+            assert_eq!(sim.leader_count(), 1, "n={n} lost uniqueness");
+        }
+    }
+
+    #[test]
+    fn leader_count_is_monotone_and_positive() {
+        let n = 128;
+        let pll = Pll::for_population(n).unwrap();
+        let mut sim = Simulation::new(pll, n, UniformScheduler::seed_from_u64(7)).unwrap();
+        let mut last = sim.leader_count();
+        assert_eq!(last, n, "initially every agent outputs L");
+        for _ in 0..200_000 {
+            sim.step();
+            let now = sim.leader_count();
+            assert!(now <= last, "leader count increased {last} -> {now}");
+            assert!(now >= 1, "all leaders eliminated");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn lemma4_population_split_invariants() {
+        use crate::Status;
+        let n = 256;
+        let pll = Pll::for_population(n).unwrap();
+        let mut sim = Simulation::new(pll, n, UniformScheduler::seed_from_u64(3)).unwrap();
+        // Run until every agent has been assigned a status.
+        let outcome = sim.run_until(64, 10_000_000, |sim| {
+            sim.states().iter().all(|s| s.status != Status::X)
+        });
+        assert!(outcome.converged);
+        for _ in 0..10 {
+            sim.run(1000);
+            let a = sim.states().iter().filter(|s| s.is_a()).count();
+            let b = sim.states().iter().filter(|s| s.is_b()).count();
+            let f = sim.states().iter().filter(|s| !s.leader).count();
+            assert!(a >= n / 2, "|V_A| = {a} < n/2");
+            assert!(f >= n / 2, "|V_F| = {f} < n/2");
+            assert!(b >= 1, "|V_B| empty");
+        }
+    }
+
+    #[test]
+    fn count_engine_agrees_with_agent_engine() {
+        let n = 512;
+        let seeds = SeedSequence::new(42);
+        let runs = 8;
+        let mean_parallel = |count_engine: bool| -> f64 {
+            let mut total = 0.0;
+            for i in 0..runs {
+                let pll = Pll::for_population(n).unwrap();
+                let seed = seeds.seed_at(i + u64::from(count_engine) * 1000);
+                let steps = if count_engine {
+                    let rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+                    let mut sim = CountSimulation::new(pll, n, rng).unwrap();
+                    sim.run_until_single_leader(u64::MAX).steps
+                } else {
+                    let sched = UniformScheduler::seed_from_u64(seed);
+                    let mut sim = Simulation::new(pll, n, sched).unwrap();
+                    sim.run_until_single_leader(u64::MAX).steps
+                };
+                total += steps as f64 / n as f64;
+            }
+            total / runs as f64
+        };
+        let agent = mean_parallel(false);
+        let count = mean_parallel(true);
+        // Identical Markov chains: means agree within Monte-Carlo noise.
+        assert!(
+            (agent / count - 1.0).abs() < 0.5,
+            "agent {agent} vs count {count}"
+        );
+    }
+
+    #[test]
+    fn parallel_time_grows_sublinearly() {
+        // T(4n)/T(n) for log growth is ~ (lg 4n)/(lg n) << 4.
+        let seeds = SeedSequence::new(11);
+        let mean = |n: usize| {
+            let mut total = 0.0;
+            for i in 0..6 {
+                let pll = Pll::for_population(n).unwrap();
+                let sched = UniformScheduler::seed_from_u64(seeds.seed_at(i + n as u64));
+                let mut sim = Simulation::new(pll, n, sched).unwrap();
+                let o = sim.run_until_single_leader(u64::MAX);
+                total += o.parallel_time(n);
+            }
+            total / 6.0
+        };
+        let t_small = mean(256);
+        let t_big = mean(1024);
+        assert!(
+            t_big / t_small < 2.5,
+            "t(1024)={t_big} vs t(256)={t_small}: growing too fast for O(log n)"
+        );
+    }
+}

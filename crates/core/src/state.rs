@@ -1,0 +1,388 @@
+//! The per-agent state of `P_LL` (paper, Table 3).
+
+/// Agent status (common variable `status`): determines the agent's group.
+///
+/// `X` is the pristine initial status; the first interaction assigns `A`
+/// ("leader candidate") or `B` ("timer agent") — paper Section 3.2.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Status {
+    /// Initial status: no group assigned yet.
+    X,
+    /// Leader candidate: carries the per-epoch competition variables.
+    A,
+    /// Timer agent: carries the count-up timer driving synchronization.
+    B,
+}
+
+impl std::fmt::Display for Status {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Status::X => write!(f, "X"),
+            Status::A => write!(f, "A"),
+            Status::B => write!(f, "B"),
+        }
+    }
+}
+
+/// Group-specific additional variables (paper, Table 3).
+///
+/// Each agent carries *at most one* non-constant additional variable group,
+/// which is what keeps the state space at `O(log n)` (Lemma 3):
+///
+/// | group | variables |
+/// |---|---|
+/// | `V_X` | none |
+/// | `V_B` | `count ∈ {0, …, c_max−1}` |
+/// | `V_A ∩ V_1` | `levelQ ∈ {0, …, l_max}`, `done ∈ {false, true}` |
+/// | `V_A ∩ (V_2 ∪ V_3)` | `rand ∈ {0, …, 2^Φ−1}`, `index ∈ {0, …, Φ}` |
+/// | `V_A ∩ V_4` | `levelB ∈ {0, …, l_max}` |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Extra {
+    /// `V_X`: no additional variables.
+    None,
+    /// `V_B`: the count-up timer.
+    Timer {
+        /// `count ∈ {0, …, c_max − 1}`.
+        count: u32,
+    },
+    /// `V_A ∩ V_1`: the `QuickElimination()` variables.
+    Quick {
+        /// `levelQ ∈ {0, …, l_max}`: heads seen before the first tail.
+        level_q: u32,
+        /// `done`: whether this agent stopped flipping coins.
+        done: bool,
+    },
+    /// `V_A ∩ (V_2 ∪ V_3)`: the `Tournament()` variables.
+    Rand {
+        /// `rand ∈ {0, …, 2^Φ − 1}`: the nonce built from coin flips.
+        rand: u32,
+        /// `index ∈ {0, …, Φ}`: how many coin flips contributed so far.
+        index: u32,
+    },
+    /// `V_A ∩ V_4`: the `BackUp()` variable.
+    Backup {
+        /// `levelB ∈ {0, …, l_max}`.
+        level_b: u32,
+    },
+}
+
+/// The full state of one `P_LL` agent.
+///
+/// Fields are public: this is a passive record whose invariants are enforced
+/// by the protocol's transition function, and the experiment suite needs to
+/// construct adversarial configurations (e.g. the `B_start` configurations of
+/// Lemma 12) directly.
+///
+/// The common variable `tick` of Table 3 is **not** stored: the paper resets
+/// it at the start of every interaction (Algorithm 1, line 7) and notes it
+/// "does not affect the transition at v's next interaction", so it is
+/// transient and modeled as a local inside the transition function. This
+/// halves the state count without changing the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PllState {
+    /// Output variable: `true` ⇒ the agent outputs `L`.
+    pub leader: bool,
+    /// Common variable `status ∈ {X, A, B}`.
+    pub status: Status,
+    /// Common variable `epoch ∈ {1, 2, 3, 4}`.
+    pub epoch: u8,
+    /// Common variable `init ∈ {1, 2, 3, 4}`: last epoch whose additional
+    /// variables have been initialized.
+    pub init: u8,
+    /// Common variable `color ∈ {0, 1, 2}`: the synchronization color.
+    pub color: u8,
+    /// Group-specific additional variables.
+    pub extra: Extra,
+}
+
+impl PllState {
+    /// The initial state `s_init`: leader with pristine status `X`
+    /// (paper, Table 3 initial values).
+    pub fn initial() -> Self {
+        Self {
+            leader: true,
+            status: Status::X,
+            epoch: 1,
+            init: 1,
+            color: 0,
+            extra: Extra::None,
+        }
+    }
+
+    /// A `V_B` timer agent (follower) with the given timer and color —
+    /// convenience for adversarial test configurations.
+    pub fn timer(count: u32, color: u8) -> Self {
+        Self {
+            leader: false,
+            status: Status::B,
+            epoch: 1,
+            init: 1,
+            color,
+            extra: Extra::Timer { count },
+        }
+    }
+
+    /// A fourth-epoch `V_A` agent with `levelB = level_b` — the building
+    /// block of the `B_start` configurations of Lemma 12.
+    pub fn backup(leader: bool, level_b: u32) -> Self {
+        Self {
+            leader,
+            status: Status::A,
+            epoch: 4,
+            init: 4,
+            color: 0,
+            extra: Extra::Backup { level_b },
+        }
+    }
+
+    /// Whether this agent belongs to `V_A`.
+    pub fn is_a(&self) -> bool {
+        self.status == Status::A
+    }
+
+    /// Whether this agent belongs to `V_B`.
+    pub fn is_b(&self) -> bool {
+        self.status == Status::B
+    }
+
+    /// The agent's `levelQ`, if it carries `QuickElimination()` variables.
+    pub fn level_q(&self) -> Option<u32> {
+        match self.extra {
+            Extra::Quick { level_q, .. } => Some(level_q),
+            _ => None,
+        }
+    }
+
+    /// The agent's `levelB`, if it carries the `BackUp()` variable.
+    pub fn level_b(&self) -> Option<u32> {
+        match self.extra {
+            Extra::Backup { level_b } => Some(level_b),
+            _ => None,
+        }
+    }
+
+    /// The agent's tournament nonce `rand`, if it carries `Tournament()`
+    /// variables.
+    pub fn rand(&self) -> Option<u32> {
+        match self.extra {
+            Extra::Rand { rand, .. } => Some(rand),
+            _ => None,
+        }
+    }
+
+    /// The agent's timer `count`, if it is a `V_B` agent.
+    pub fn count(&self) -> Option<u32> {
+        match self.extra {
+            Extra::Timer { count } => Some(count),
+            _ => None,
+        }
+    }
+
+    /// Packs the state into a single `u64` (compact interning key; also a
+    /// constructive witness that the state fits comfortably in one word).
+    ///
+    /// Layout (low to high): leader(1) status(2) epoch(3) init(3) color(2)
+    /// variant(3) payload(34).
+    pub fn pack(&self) -> u64 {
+        let status = match self.status {
+            Status::X => 0u64,
+            Status::A => 1,
+            Status::B => 2,
+        };
+        let (variant, payload): (u64, u64) = match self.extra {
+            Extra::None => (0, 0),
+            Extra::Timer { count } => (1, count as u64),
+            Extra::Quick { level_q, done } => (2, ((level_q as u64) << 1) | u64::from(done)),
+            Extra::Rand { rand, index } => (3, ((rand as u64) << 8) | index as u64),
+            Extra::Backup { level_b } => (4, level_b as u64),
+        };
+        u64::from(self.leader)
+            | (status << 1)
+            | ((self.epoch as u64) << 3)
+            | ((self.init as u64) << 6)
+            | ((self.color as u64) << 9)
+            | (variant << 11)
+            | (payload << 14)
+    }
+
+    /// Reverses [`pack`](PllState::pack).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a word that does not encode a valid state (unknown status or
+    /// variant tag).
+    pub fn unpack(word: u64) -> Self {
+        let leader = word & 1 == 1;
+        let status = match (word >> 1) & 0b11 {
+            0 => Status::X,
+            1 => Status::A,
+            2 => Status::B,
+            other => panic!("invalid packed status tag {other}"),
+        };
+        let epoch = ((word >> 3) & 0b111) as u8;
+        let init = ((word >> 6) & 0b111) as u8;
+        let color = ((word >> 9) & 0b11) as u8;
+        let payload = word >> 14;
+        let extra = match (word >> 11) & 0b111 {
+            0 => Extra::None,
+            1 => Extra::Timer {
+                count: payload as u32,
+            },
+            2 => Extra::Quick {
+                level_q: (payload >> 1) as u32,
+                done: payload & 1 == 1,
+            },
+            3 => Extra::Rand {
+                rand: (payload >> 8) as u32,
+                index: (payload & 0xFF) as u32,
+            },
+            4 => Extra::Backup {
+                level_b: payload as u32,
+            },
+            other => panic!("invalid packed extra tag {other}"),
+        };
+        Self {
+            leader,
+            status,
+            epoch,
+            init,
+            color,
+            extra,
+        }
+    }
+}
+
+impl Default for PllState {
+    fn default() -> Self {
+        Self::initial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_matches_table3() {
+        let s = PllState::initial();
+        assert!(s.leader);
+        assert_eq!(s.status, Status::X);
+        assert_eq!(s.epoch, 1);
+        assert_eq!(s.init, 1);
+        assert_eq!(s.color, 0);
+        assert_eq!(s.extra, Extra::None);
+        assert_eq!(s, PllState::default());
+    }
+
+    #[test]
+    fn accessors_match_variants() {
+        let t = PllState::timer(5, 2);
+        assert!(t.is_b());
+        assert_eq!(t.count(), Some(5));
+        assert_eq!(t.level_q(), None);
+
+        let b = PllState::backup(true, 7);
+        assert!(b.is_a());
+        assert_eq!(b.level_b(), Some(7));
+        assert_eq!(b.rand(), None);
+
+        let mut q = PllState::initial();
+        q.extra = Extra::Quick {
+            level_q: 3,
+            done: false,
+        };
+        assert_eq!(q.level_q(), Some(3));
+
+        let mut r = PllState::initial();
+        r.extra = Extra::Rand { rand: 6, index: 2 };
+        assert_eq!(r.rand(), Some(6));
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_spot() {
+        let states = [
+            PllState::initial(),
+            PllState::timer(409, 2),
+            PllState::backup(true, 80),
+            PllState {
+                leader: true,
+                status: Status::A,
+                epoch: 3,
+                init: 3,
+                color: 1,
+                extra: Extra::Rand { rand: 7, index: 3 },
+            },
+            PllState {
+                leader: false,
+                status: Status::A,
+                epoch: 1,
+                init: 1,
+                color: 0,
+                extra: Extra::Quick {
+                    level_q: 80,
+                    done: true,
+                },
+            },
+        ];
+        for s in states {
+            assert_eq!(PllState::unpack(s.pack()), s, "roundtrip for {s:?}");
+        }
+    }
+
+    #[test]
+    fn status_display() {
+        assert_eq!(Status::X.to_string(), "X");
+        assert_eq!(Status::A.to_string(), "A");
+        assert_eq!(Status::B.to_string(), "B");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_extra() -> impl Strategy<Value = Extra> {
+        prop_oneof![
+            Just(Extra::None),
+            (0u32..100_000).prop_map(|count| Extra::Timer { count }),
+            ((0u32..100_000), any::<bool>())
+                .prop_map(|(level_q, done)| Extra::Quick { level_q, done }),
+            ((0u32..1 << 20), (0u32..200)).prop_map(|(rand, index)| Extra::Rand { rand, index }),
+            (0u32..100_000).prop_map(|level_b| Extra::Backup { level_b }),
+        ]
+    }
+
+    pub(crate) fn arb_state() -> impl Strategy<Value = PllState> {
+        (
+            any::<bool>(),
+            prop_oneof![Just(Status::X), Just(Status::A), Just(Status::B)],
+            1u8..=4,
+            1u8..=4,
+            0u8..=2,
+            arb_extra(),
+        )
+            .prop_map(|(leader, status, epoch, init, color, extra)| PllState {
+                leader,
+                status,
+                epoch,
+                init,
+                color,
+                extra,
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn pack_unpack_roundtrip(s in arb_state()) {
+            prop_assert_eq!(PllState::unpack(s.pack()), s);
+        }
+
+        #[test]
+        fn pack_is_injective(a in arb_state(), b in arb_state()) {
+            if a != b {
+                prop_assert_ne!(a.pack(), b.pack());
+            }
+        }
+    }
+}

@@ -1,0 +1,964 @@
+//! The symmetric variant of `P_LL` (paper, Section 4).
+//!
+//! A protocol is *symmetric* when equal inputs produce equal outputs:
+//! `T(p, p) = (p', p')` — it cannot exploit the initiator/responder
+//! distinction on equal states (relevant e.g. for chemical reaction
+//! networks). The asymmetric `P_LL` breaks symmetry in exactly two places:
+//! status assignment and coin flips. Section 4 sketches the fixes, which
+//! this module implements in full:
+//!
+//! * **Status dance** — a fourth status `Y` with rules `X×X → Y×Y`,
+//!   `Y×Y → X×X`, `X×Y → A×B`; an `X`/`Y` agent meeting an `A`/`B` agent
+//!   becomes an `A` follower.
+//! * **Totally independent and fair coins** — every follower carries a coin
+//!   status in `{J, K, F0, F1}` (`J` on follower creation). Two followers
+//!   update by `J×J → K×K`, `K×K → J×J`, `J×K → F0×F1`, so the numbers of
+//!   `F0` and `F1` followers are *always equal*. A leader flips by meeting a
+//!   follower whose coin status is `F0` (head) or `F1` (tail): conditioned on
+//!   hitting the equal-sized `F0`/`F1` pools, each flip is exactly
+//!   `Bernoulli(½)` and independent of all previous flips.
+//!
+//! Two details the paper leaves open are completed here and documented in
+//! `DESIGN.md`:
+//!
+//! 1. An `X`/`Y` agent can now reach a later epoch *before* getting a status
+//!    (it keeps exchanging colors), so status assignment initializes the
+//!    group variables of the agent's **current** epoch, not epoch 1.
+//! 2. The simple election of Algorithm 5 line 58 ("responder becomes
+//!    follower") is asymmetric. Instead, leaders carry a *parity bit*
+//!    re-randomized by every coin observation; two equal-`levelB` leaders
+//!    with different parities demote the parity-one leader, while equal
+//!    parities toggle together (preserving `T(p,p) = (p',p')`).
+//!
+//! Symmetric protocols provably cannot elect a leader for `n = 2` (equal
+//! states evolve to equal states forever), so [`SymPll`] requires `n ≥ 3`.
+
+use crate::{Extra, PllError, PllParams};
+use pp_engine::{LeaderElection, Protocol, Role};
+
+/// Agent status in the symmetric variant: `X`/`Y` pristine dance states plus
+/// the `A`/`B` groups of the asymmetric protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SymStatus {
+    /// First pristine status (initial).
+    X,
+    /// Second pristine status (from `X×X`).
+    Y,
+    /// Leader candidate.
+    A,
+    /// Timer agent.
+    B,
+}
+
+/// A follower's coin status.
+///
+/// `J`/`K` are "charging" states; `J×K` meetings mint one `F0` and one `F1`,
+/// keeping `#F0 = #F1` invariant forever — the source of exact fairness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Coin {
+    /// Charging state (assigned at follower creation).
+    J,
+    /// Charging state (from `J×J`).
+    K,
+    /// A usable coin showing *head*.
+    F0,
+    /// A usable coin showing *tail*.
+    F1,
+}
+
+/// Role-specific auxiliary state: leaders carry a tie-break parity bit,
+/// followers carry a coin status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RoleVar {
+    /// A leader and its parity bit (used only by the symmetric simple
+    /// election in `BackUp()`).
+    Leader {
+        /// Tie-break parity, re-randomized by every coin observation.
+        parity: bool,
+    },
+    /// A follower and its coin status.
+    Follower {
+        /// The follower's coin status.
+        coin: Coin,
+    },
+}
+
+/// Group-specific additional variables — identical to the asymmetric
+/// protocol's [`Extra`].
+pub type SymExtra = Extra;
+
+/// The full state of one symmetric `P_LL` agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymPllState {
+    /// Leader/follower role with its auxiliary variable.
+    pub role: RoleVar,
+    /// Status `∈ {X, Y, A, B}`.
+    pub status: SymStatus,
+    /// Epoch `∈ {1, 2, 3, 4}`.
+    pub epoch: u8,
+    /// Last epoch whose group variables were initialized.
+    pub init: u8,
+    /// Synchronization color `∈ {0, 1, 2}`.
+    pub color: u8,
+    /// Group-specific additional variables.
+    pub extra: SymExtra,
+}
+
+impl SymPllState {
+    /// The initial state: a pristine `X` leader.
+    pub fn initial() -> Self {
+        Self {
+            role: RoleVar::Leader { parity: false },
+            status: SymStatus::X,
+            epoch: 1,
+            init: 1,
+            color: 0,
+            extra: Extra::None,
+        }
+    }
+
+    /// Whether the agent currently outputs `L`.
+    pub fn is_leader(&self) -> bool {
+        matches!(self.role, RoleVar::Leader { .. })
+    }
+
+    /// The agent's coin status, if it is a follower.
+    pub fn coin(&self) -> Option<Coin> {
+        match self.role {
+            RoleVar::Follower { coin } => Some(coin),
+            RoleVar::Leader { .. } => None,
+        }
+    }
+
+    /// Demotes a leader to a follower with a fresh `J` coin. A no-op on
+    /// agents that are already followers (their coin must be preserved, or
+    /// the `#F0 = #F1` invariant would break).
+    fn demote(&mut self) {
+        if self.is_leader() {
+            self.role = RoleVar::Follower { coin: Coin::J };
+        }
+    }
+}
+
+impl Default for SymPllState {
+    fn default() -> Self {
+        Self::initial()
+    }
+}
+
+/// The symmetric `P_LL` protocol (paper, Section 4).
+///
+/// Same phase structure, parameters, and asymptotics as [`Pll`](crate::Pll);
+/// all role asymmetry is replaced by the status dance and the follower-coin
+/// machinery described in the module-level documentation above.
+///
+/// # Example
+///
+/// ```
+/// use pp_core::SymPll;
+/// use pp_engine::{check_symmetry, Protocol, Simulation, UniformScheduler};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let n = 500;
+/// let pll = SymPll::for_population(n)?;
+/// // The defining property: equal states map to equal states.
+/// assert!(check_symmetry(&pll, [pll.initial_state()]).is_none());
+/// let mut sim = Simulation::new(pll, n, UniformScheduler::seed_from_u64(2))?;
+/// assert!(sim.run_until_single_leader(u64::MAX).converged);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymPll {
+    params: PllParams,
+}
+
+impl SymPll {
+    /// Creates the symmetric protocol from explicit parameters.
+    pub fn new(params: PllParams) -> Self {
+        Self { params }
+    }
+
+    /// Creates the symmetric protocol with canonical parameters for `n`
+    /// agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PllError::PopulationTooSmall`] when `n < 3` — symmetric
+    /// protocols cannot break the symmetry of a two-agent population.
+    pub fn for_population(n: usize) -> Result<Self, PllError> {
+        if n < 3 {
+            return Err(PllError::PopulationTooSmall { n });
+        }
+        Ok(Self::new(PllParams::for_population(n)?))
+    }
+
+    /// The protocol parameters.
+    pub fn params(&self) -> &PllParams {
+        &self.params
+    }
+}
+
+impl Protocol for SymPll {
+    type State = SymPllState;
+    type Output = Role;
+
+    fn initial_state(&self) -> SymPllState {
+        SymPllState::initial()
+    }
+
+    fn transition(
+        &self,
+        initiator: &SymPllState,
+        responder: &SymPllState,
+    ) -> (SymPllState, SymPllState) {
+        let mut s = [*initiator, *responder];
+        let mut tick = [false, false];
+
+        assign_status(&mut s);
+        count_up(&mut s, &mut tick, &self.params);
+        advance_epochs(&mut s, &tick);
+        init_vars(&mut s);
+        coin_dance(&mut s);
+
+        debug_assert_eq!(s[0].epoch, s[1].epoch);
+        match s[0].epoch {
+            1 => quick_elimination(&mut s, &self.params),
+            2 | 3 => tournament(&mut s, &self.params),
+            4 => back_up(&mut s, &tick, &self.params),
+            e => unreachable!("epoch {e} out of range"),
+        }
+
+        (s[0], s[1])
+    }
+
+    fn output(&self, state: &SymPllState) -> Role {
+        if state.is_leader() {
+            Role::Leader
+        } else {
+            Role::Follower
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("SymP_LL(m={})", self.params.m())
+    }
+}
+
+impl LeaderElection for SymPll {
+    fn monotone_leaders(&self) -> bool {
+        true
+    }
+}
+
+/// Group variables for an agent freshly assigned status `A` in `epoch`.
+fn fresh_a_extra(epoch: u8, follower: bool) -> Extra {
+    match epoch {
+        1 => Extra::Quick {
+            level_q: 0,
+            done: follower,
+        },
+        2 | 3 => Extra::Rand { rand: 0, index: 0 },
+        4 => Extra::Backup { level_b: 0 },
+        e => unreachable!("epoch {e} out of range"),
+    }
+}
+
+/// Section 4 status dance: `X×X → Y×Y`, `Y×Y → X×X`, `X×Y → A×B`; a
+/// pristine agent meeting an assigned agent becomes an `A` follower.
+fn assign_status(s: &mut [SymPllState; 2]) {
+    use SymStatus::{A, B, X, Y};
+    match (s[0].status, s[1].status) {
+        (X, X) => {
+            s[0].status = Y;
+            s[1].status = Y;
+        }
+        (Y, Y) => {
+            s[0].status = X;
+            s[1].status = X;
+        }
+        (X, Y) | (Y, X) => {
+            let (x_side, y_side) = if s[0].status == X { (0, 1) } else { (1, 0) };
+            // Pristine agents are leaders in every reachable configuration;
+            // preserving the role here keeps "followers are never promoted"
+            // a total invariant of the transition function.
+            let stays_leader = s[x_side].is_leader();
+            s[x_side].status = A;
+            s[x_side].extra = fresh_a_extra(s[x_side].epoch, !stays_leader);
+            if stays_leader {
+                s[x_side].role = RoleVar::Leader { parity: false };
+            } else {
+                s[x_side].role = RoleVar::Follower { coin: Coin::J };
+            }
+            s[y_side].status = B;
+            s[y_side].extra = Extra::Timer { count: 0 };
+            s[y_side].demote();
+        }
+        (X | Y, A | B) => {
+            s[0].status = A;
+            s[0].extra = fresh_a_extra(s[0].epoch, true);
+            s[0].demote();
+        }
+        (A | B, X | Y) => {
+            s[1].status = A;
+            s[1].extra = fresh_a_extra(s[1].epoch, true);
+            s[1].demote();
+        }
+        _ => {}
+    }
+}
+
+/// `CountUp()` — identical to the asymmetric protocol (timers and color
+/// adoption are role-free and therefore already symmetric).
+fn count_up(s: &mut [SymPllState; 2], tick: &mut [bool; 2], p: &PllParams) {
+    for i in 0..2 {
+        if s[i].status == SymStatus::B {
+            if let Extra::Timer { count } = &mut s[i].extra {
+                *count += 1;
+                if *count == p.cmax() {
+                    *count = 0;
+                    s[i].color = (s[i].color + 1) % 3;
+                    tick[i] = true;
+                }
+            }
+        }
+    }
+    for i in 0..2 {
+        let other = 1 - i;
+        if s[other].color == (s[i].color + 1) % 3 {
+            s[i].color = s[other].color;
+            tick[i] = true;
+            if let Extra::Timer { count } = &mut s[i].extra {
+                *count = 0;
+            }
+        }
+    }
+}
+
+/// Algorithm 1 lines 9–10, unchanged.
+fn advance_epochs(s: &mut [SymPllState; 2], tick: &[bool; 2]) {
+    for i in 0..2 {
+        if tick[i] {
+            s[i].epoch = (s[i].epoch + 1).min(4);
+        }
+    }
+    let e = s[0].epoch.max(s[1].epoch);
+    s[0].epoch = e;
+    s[1].epoch = e;
+}
+
+/// Algorithm 1 lines 11–15, unchanged (only `A` agents carry group
+/// variables that need re-initialization).
+fn init_vars(s: &mut [SymPllState; 2]) {
+    for agent in s.iter_mut() {
+        if agent.epoch > agent.init {
+            if agent.status == SymStatus::A {
+                agent.extra = match agent.epoch {
+                    2 | 3 => Extra::Rand { rand: 0, index: 0 },
+                    4 => Extra::Backup { level_b: 0 },
+                    e => unreachable!("epoch {e} cannot exceed init here"),
+                };
+            }
+            agent.init = agent.epoch;
+        }
+    }
+}
+
+/// The coin dance between two followers: `J×J → K×K`, `K×K → J×J`,
+/// `J×K → F0×F1`. `F0`/`F1` are absorbing, which preserves `#F0 = #F1`.
+///
+/// One completion of the paper's sketch: a leader meeting a *charging*
+/// (`J`/`K`) follower toggles that follower's charging state. Without this,
+/// a population whose followers all hold the same charging state in lockstep
+/// (exactly two followers, e.g. n = 4) would never produce a `J×K` pair and
+/// never mint usable coins, deadlocking every coin-gated module. The toggle
+/// is symmetric (the pair's states differ), touches neither `F0` nor `F1`
+/// (so fairness is untouched), and only accelerates mixing for larger
+/// populations.
+fn coin_dance(s: &mut [SymPllState; 2]) {
+    match (s[0].role, s[1].role) {
+        (RoleVar::Follower { coin: c0 }, RoleVar::Follower { coin: c1 }) => {
+            let (n0, n1) = match (c0, c1) {
+                (Coin::J, Coin::J) => (Coin::K, Coin::K),
+                (Coin::K, Coin::K) => (Coin::J, Coin::J),
+                (Coin::J, Coin::K) => (Coin::F0, Coin::F1),
+                (Coin::K, Coin::J) => (Coin::F1, Coin::F0),
+                _ => return,
+            };
+            s[0].role = RoleVar::Follower { coin: n0 };
+            s[1].role = RoleVar::Follower { coin: n1 };
+        }
+        (RoleVar::Leader { .. }, RoleVar::Follower { coin }) => {
+            if let Some(toggled) = toggle_charging(coin) {
+                s[1].role = RoleVar::Follower { coin: toggled };
+            }
+        }
+        (RoleVar::Follower { coin }, RoleVar::Leader { .. }) => {
+            if let Some(toggled) = toggle_charging(coin) {
+                s[0].role = RoleVar::Follower { coin: toggled };
+            }
+        }
+        _ => {}
+    }
+}
+
+/// `J ↔ K`; usable coins (`F0`/`F1`) are left alone.
+fn toggle_charging(coin: Coin) -> Option<Coin> {
+    match coin {
+        Coin::J => Some(Coin::K),
+        Coin::K => Some(Coin::J),
+        Coin::F0 | Coin::F1 => None,
+    }
+}
+
+/// The result of a symmetric coin observation: the partner's usable coin.
+fn observed_coin(partner: &SymPllState) -> Option<Coin> {
+    match partner.coin() {
+        Some(Coin::F0) => Some(Coin::F0),
+        Some(Coin::F1) => Some(Coin::F1),
+        _ => None,
+    }
+}
+
+/// `QuickElimination()` with symmetric coins: a flipping leader reads `F0`
+/// as head (`levelQ += 1`) and `F1` as tail (`done`); `J`/`K` partners are
+/// not usable coins, so no flip happens. The `levelQ` epidemic is unchanged.
+fn quick_elimination(s: &mut [SymPllState; 2], p: &PllParams) {
+    for i in 0..2 {
+        let other = 1 - i;
+        if s[i].is_leader() {
+            if let Some(coin) = observed_coin(&s[other]) {
+                if let Extra::Quick { level_q, done } = &mut s[i].extra {
+                    if !*done {
+                        match coin {
+                            Coin::F0 => *level_q = (*level_q + 1).min(p.lmax()),
+                            Coin::F1 => *done = true,
+                            _ => unreachable!(),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let (
+        Extra::Quick {
+            level_q: l0,
+            done: true,
+        },
+        Extra::Quick {
+            level_q: l1,
+            done: true,
+        },
+    ) = (s[0].extra, s[1].extra)
+    {
+        if l0 < l1 {
+            s[0].demote();
+            s[0].extra = Extra::Quick {
+                level_q: l1,
+                done: true,
+            };
+        } else if l1 < l0 {
+            s[1].demote();
+            s[1].extra = Extra::Quick {
+                level_q: l0,
+                done: true,
+            };
+        }
+    }
+}
+
+/// `Tournament()` with symmetric coins: `F0` appends bit 0, `F1` appends
+/// bit 1. Epidemic participation as in the asymmetric implementation.
+fn tournament(s: &mut [SymPllState; 2], p: &PllParams) {
+    for i in 0..2 {
+        let other = 1 - i;
+        if s[i].is_leader() {
+            if let Some(coin) = observed_coin(&s[other]) {
+                if let Extra::Rand { rand, index } = &mut s[i].extra {
+                    if *index < p.phi() {
+                        let bit = u32::from(coin == Coin::F1);
+                        *rand = 2 * *rand + bit;
+                        *index += 1;
+                    }
+                }
+            }
+        }
+    }
+    if let (
+        Extra::Rand {
+            rand: r0,
+            index: i0,
+        },
+        Extra::Rand {
+            rand: r1,
+            index: i1,
+        },
+    ) = (s[0].extra, s[1].extra)
+    {
+        let participates0 = !s[0].is_leader() || i0 == p.phi();
+        let participates1 = !s[1].is_leader() || i1 == p.phi();
+        if participates0 && participates1 {
+            if r0 < r1 {
+                s[0].demote();
+                s[0].extra = Extra::Rand {
+                    rand: r1,
+                    index: i0,
+                };
+            } else if r1 < r0 {
+                s[1].demote();
+                s[1].extra = Extra::Rand {
+                    rand: r0,
+                    index: i1,
+                };
+            }
+        }
+    }
+}
+
+/// `BackUp()` with symmetric coins: a tick-holding leader reads `F0` as head
+/// (`levelB += 1`); every coin observation also re-randomizes the leader's
+/// parity bit; the `levelB` epidemic is unchanged; the simple election
+/// between equal-`levelB` leaders uses parities (demote the parity-one
+/// leader, or toggle both when equal).
+fn back_up(s: &mut [SymPllState; 2], tick: &[bool; 2], p: &PllParams) {
+    for i in 0..2 {
+        let other = 1 - i;
+        let coin = match observed_coin(&s[other]) {
+            Some(coin) => coin,
+            None => continue,
+        };
+        if let RoleVar::Leader { parity } = &mut s[i].role {
+            // Parity refresh: an independent fair bit per observation.
+            *parity = coin == Coin::F1;
+            if tick[i] && coin == Coin::F0 {
+                if let Extra::Backup { level_b } = &mut s[i].extra {
+                    *level_b = (*level_b + 1).min(p.lmax());
+                }
+            }
+        }
+    }
+    if let (Extra::Backup { level_b: l0 }, Extra::Backup { level_b: l1 }) = (s[0].extra, s[1].extra)
+    {
+        if l0 < l1 {
+            s[0].extra = Extra::Backup { level_b: l1 };
+            s[0].demote();
+        } else if l1 < l0 {
+            s[1].extra = Extra::Backup { level_b: l0 };
+            s[1].demote();
+        }
+    }
+    if let (RoleVar::Leader { parity: p0 }, RoleVar::Leader { parity: p1 }) =
+        (s[0].role, s[1].role)
+    {
+        if p0 == p1 {
+            s[0].role = RoleVar::Leader { parity: !p0 };
+            s[1].role = RoleVar::Leader { parity: !p1 };
+        } else if p0 {
+            s[0].demote();
+        } else {
+            s[1].demote();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_engine::{check_symmetry, Simulation, UniformScheduler};
+
+    fn sym() -> SymPll {
+        SymPll::new(PllParams::for_population(512).unwrap())
+    }
+
+    fn leader(epoch: u8, extra: Extra) -> SymPllState {
+        SymPllState {
+            role: RoleVar::Leader { parity: false },
+            status: SymStatus::A,
+            epoch,
+            init: epoch,
+            color: 0,
+            extra,
+        }
+    }
+
+    fn follower(coin: Coin, epoch: u8, extra: Extra) -> SymPllState {
+        SymPllState {
+            role: RoleVar::Follower { coin },
+            status: SymStatus::A,
+            epoch,
+            init: epoch,
+            color: 0,
+            extra,
+        }
+    }
+
+    // ---- status dance ----
+
+    #[test]
+    fn pristine_pair_becomes_y_then_back() {
+        let p = sym();
+        let (a, b) = p.transition(&SymPllState::initial(), &SymPllState::initial());
+        assert_eq!(a.status, SymStatus::Y);
+        assert_eq!(b.status, SymStatus::Y);
+        assert!(a.is_leader() && b.is_leader());
+        let (a2, b2) = p.transition(&a, &b);
+        assert_eq!(a2.status, SymStatus::X);
+        assert_eq!(b2.status, SymStatus::X);
+    }
+
+    #[test]
+    fn x_meets_y_assigns_a_and_b() {
+        let p = sym();
+        let x = SymPllState::initial();
+        let mut y = SymPllState::initial();
+        y.status = SymStatus::Y;
+        // Order 1: X initiates.
+        let (a, b) = p.transition(&x, &y);
+        assert_eq!(a.status, SymStatus::A);
+        assert!(a.is_leader());
+        assert_eq!(b.status, SymStatus::B);
+        // Fresh followers charge at J; the new leader toggled it to K within
+        // this same interaction.
+        assert_eq!(b.coin(), Some(Coin::K));
+        // Order 2: Y initiates — the X agent still becomes the A leader.
+        let (b2, a2) = p.transition(&y, &x);
+        assert_eq!(a2.status, SymStatus::A);
+        assert!(a2.is_leader());
+        assert_eq!(b2.status, SymStatus::B);
+    }
+
+    #[test]
+    fn pristine_meets_assigned_becomes_follower() {
+        let p = sym();
+        let a_leader = leader(1, Extra::Quick { level_q: 0, done: false });
+        for status in [SymStatus::X, SymStatus::Y] {
+            let mut pristine = SymPllState::initial();
+            pristine.status = status;
+            let (joined, l) = p.transition(&pristine, &a_leader);
+            assert_eq!(joined.status, SymStatus::A);
+            assert!(!joined.is_leader());
+            // J at creation, toggled to K by the leader in this interaction.
+            assert_eq!(joined.coin(), Some(Coin::K));
+            assert_eq!(
+                joined.extra,
+                Extra::Quick { level_q: 0, done: true }
+            );
+            assert!(l.is_leader());
+        }
+    }
+
+    #[test]
+    fn late_joiner_gets_current_epoch_variables() {
+        let p = sym();
+        let mut pristine = SymPllState::initial();
+        pristine.epoch = 3;
+        pristine.init = 3;
+        // Partner carries no larger values, so the joiner's fresh variables
+        // survive the same-interaction epidemics.
+        let f = follower(Coin::K, 3, Extra::Rand { rand: 0, index: 3 });
+        let (joined, _) = p.transition(&pristine, &f);
+        assert_eq!(joined.extra, Extra::Rand { rand: 0, index: 0 });
+        // And in epoch 4:
+        let mut pristine4 = SymPllState::initial();
+        pristine4.epoch = 4;
+        pristine4.init = 4;
+        let f4 = follower(Coin::K, 4, Extra::Backup { level_b: 0 });
+        let (joined4, _) = p.transition(&pristine4, &f4);
+        assert_eq!(joined4.extra, Extra::Backup { level_b: 0 });
+    }
+
+    // ---- coin machinery ----
+
+    #[test]
+    fn coin_dance_rules() {
+        let p = sym();
+        let f = |c| follower(c, 1, Extra::Quick { level_q: 0, done: true });
+        let (a, b) = p.transition(&f(Coin::J), &f(Coin::J));
+        assert_eq!((a.coin(), b.coin()), (Some(Coin::K), Some(Coin::K)));
+        let (a, b) = p.transition(&f(Coin::K), &f(Coin::K));
+        assert_eq!((a.coin(), b.coin()), (Some(Coin::J), Some(Coin::J)));
+        let (a, b) = p.transition(&f(Coin::J), &f(Coin::K));
+        assert_eq!((a.coin(), b.coin()), (Some(Coin::F0), Some(Coin::F1)));
+        let (a, b) = p.transition(&f(Coin::K), &f(Coin::J));
+        assert_eq!((a.coin(), b.coin()), (Some(Coin::F1), Some(Coin::F0)));
+        // F0/F1 are absorbing.
+        let (a, b) = p.transition(&f(Coin::F0), &f(Coin::F1));
+        assert_eq!((a.coin(), b.coin()), (Some(Coin::F0), Some(Coin::F1)));
+        let (a, b) = p.transition(&f(Coin::F0), &f(Coin::J));
+        assert_eq!((a.coin(), b.coin()), (Some(Coin::F0), Some(Coin::J)));
+    }
+
+    #[test]
+    fn leader_toggles_charging_followers() {
+        let p = sym();
+        let l = leader(1, Extra::Quick { level_q: 0, done: true });
+        let fj = follower(Coin::J, 1, Extra::Quick { level_q: 0, done: true });
+        let (_, nf) = p.transition(&l, &fj);
+        assert_eq!(nf.coin(), Some(Coin::K), "J toggles to K");
+        let fk = follower(Coin::K, 1, Extra::Quick { level_q: 0, done: true });
+        let (nf, _) = p.transition(&fk, &l);
+        assert_eq!(nf.coin(), Some(Coin::J), "K toggles to J");
+        // Usable coins are never disturbed.
+        let f0 = follower(Coin::F0, 1, Extra::Quick { level_q: 0, done: true });
+        let (_, nf) = p.transition(&l, &f0);
+        assert_eq!(nf.coin(), Some(Coin::F0));
+    }
+
+    #[test]
+    fn four_agent_population_still_elects() {
+        // Regression for the lockstep-charging deadlock: with exactly two
+        // followers the J/K dance alone never mints F0/F1; the leader-driven
+        // toggle must unblock the election.
+        for seed in 0..5 {
+            let p = SymPll::for_population(4).unwrap();
+            let mut sim =
+                Simulation::new(p, 4, UniformScheduler::seed_from_u64(1000 + seed)).unwrap();
+            let outcome = sim.run_until_single_leader(50_000_000);
+            assert!(outcome.converged, "seed {seed} deadlocked");
+        }
+    }
+
+    #[test]
+    fn qe_flip_reads_follower_coin_not_role() {
+        let p = sym();
+        let l = leader(1, Extra::Quick { level_q: 2, done: false });
+        // F0 = head regardless of initiator/responder position.
+        let f0 = follower(Coin::F0, 1, Extra::Quick { level_q: 0, done: true });
+        let (nl, _) = p.transition(&l, &f0);
+        assert_eq!(nl.extra, Extra::Quick { level_q: 3, done: false });
+        let (_, nl) = p.transition(&f0, &l);
+        assert_eq!(nl.extra, Extra::Quick { level_q: 3, done: false });
+        // F1 = tail.
+        let f1 = follower(Coin::F1, 1, Extra::Quick { level_q: 0, done: true });
+        let (nl, _) = p.transition(&l, &f1);
+        assert_eq!(nl.extra, Extra::Quick { level_q: 2, done: true });
+        // J/K = no usable coin: nothing happens.
+        let fj = follower(Coin::J, 1, Extra::Quick { level_q: 0, done: true });
+        let (nl, _) = p.transition(&l, &fj);
+        assert_eq!(nl.extra, Extra::Quick { level_q: 2, done: false });
+    }
+
+    #[test]
+    fn tournament_bits_follow_coins() {
+        let p = sym();
+        let l = leader(2, Extra::Rand { rand: 0b1, index: 1 });
+        let f0 = follower(Coin::F0, 2, Extra::Rand { rand: 0, index: 0 });
+        let (nl, _) = p.transition(&l, &f0);
+        assert_eq!(nl.extra, Extra::Rand { rand: 0b10, index: 2 });
+        let f1 = follower(Coin::F1, 2, Extra::Rand { rand: 0, index: 0 });
+        let (nl, _) = p.transition(&l, &f1);
+        assert_eq!(nl.extra, Extra::Rand { rand: 0b11, index: 2 });
+    }
+
+    #[test]
+    fn backup_parity_refresh_and_flip() {
+        let p = sym();
+        // Engineer a tick via color adoption while meeting an F0 follower.
+        let mut l = leader(4, Extra::Backup { level_b: 0 });
+        l.color = 0;
+        let mut f0 = follower(Coin::F0, 4, Extra::Backup { level_b: 0 });
+        f0.color = 1;
+        let (nl, _) = p.transition(&l, &f0);
+        assert_eq!(nl.level_b_test(), 1, "head on tick increments levelB");
+        assert_eq!(nl.role, RoleVar::Leader { parity: false });
+        // F1 partner: no increment, parity set to one.
+        let mut f1 = follower(Coin::F1, 4, Extra::Backup { level_b: 0 });
+        f1.color = 1;
+        let (nl, _) = p.transition(&l, &f1);
+        assert_eq!(nl.level_b_test(), 0);
+        assert_eq!(nl.role, RoleVar::Leader { parity: true });
+    }
+
+    impl SymPllState {
+        fn level_b_test(&self) -> u32 {
+            match self.extra {
+                Extra::Backup { level_b } => level_b,
+                _ => panic!("not a backup state"),
+            }
+        }
+    }
+
+    #[test]
+    fn equal_parity_leaders_toggle_together() {
+        let p = sym();
+        let l = leader(4, Extra::Backup { level_b: 3 });
+        let (a, b) = p.transition(&l, &l);
+        assert_eq!(a, b, "symmetric outcome on equal states");
+        assert_eq!(a.role, RoleVar::Leader { parity: true });
+    }
+
+    #[test]
+    fn unequal_parity_leaders_resolve() {
+        let p = sym();
+        let l0 = leader(4, Extra::Backup { level_b: 3 });
+        let mut l1 = l0;
+        l1.role = RoleVar::Leader { parity: true };
+        let (a, b) = p.transition(&l0, &l1);
+        assert!(a.is_leader());
+        assert!(!b.is_leader(), "parity-one leader demoted");
+        assert_eq!(b.coin(), Some(Coin::J), "demoted leader charges a coin");
+        // And in the opposite order:
+        let (a, b) = p.transition(&l1, &l0);
+        assert!(!a.is_leader());
+        assert!(b.is_leader());
+    }
+
+    #[test]
+    fn level_b_epidemic_demotes_smaller() {
+        let p = sym();
+        let lo = leader(4, Extra::Backup { level_b: 1 });
+        let hi = leader(4, Extra::Backup { level_b: 5 });
+        let (a, b) = p.transition(&lo, &hi);
+        assert!(!a.is_leader());
+        assert_eq!(a.level_b_test(), 5);
+        assert!(b.is_leader());
+    }
+
+    // ---- global properties ----
+
+    #[test]
+    fn rejects_two_agent_population() {
+        assert!(matches!(
+            SymPll::for_population(2),
+            Err(PllError::PopulationTooSmall { n: 2 })
+        ));
+    }
+
+    #[test]
+    fn stabilizes_for_small_populations() {
+        for n in [3usize, 4, 5, 16, 128] {
+            let p = SymPll::for_population(n).unwrap();
+            let mut sim =
+                Simulation::new(p, n, UniformScheduler::seed_from_u64(n as u64 + 77)).unwrap();
+            let outcome = sim.run_until_single_leader(500_000_000);
+            assert!(outcome.converged, "n={n} did not converge");
+            sim.run(20_000);
+            assert_eq!(sim.leader_count(), 1, "n={n} lost its unique leader");
+        }
+    }
+
+    #[test]
+    fn f0_f1_counts_always_equal() {
+        let n = 200;
+        let p = SymPll::for_population(n).unwrap();
+        let mut sim = Simulation::new(p, n, UniformScheduler::seed_from_u64(13)).unwrap();
+        for _ in 0..50_000 {
+            sim.step();
+            let f0 = sim
+                .states()
+                .iter()
+                .filter(|s| s.coin() == Some(Coin::F0))
+                .count();
+            let f1 = sim
+                .states()
+                .iter()
+                .filter(|s| s.coin() == Some(Coin::F1))
+                .count();
+            assert_eq!(f0, f1, "coin pools diverged at step {}", sim.steps());
+        }
+    }
+
+    #[test]
+    fn leader_count_monotone_positive() {
+        let n = 100;
+        let p = SymPll::for_population(n).unwrap();
+        let mut sim = Simulation::new(p, n, UniformScheduler::seed_from_u64(5)).unwrap();
+        let mut last = sim.leader_count();
+        for _ in 0..100_000 {
+            sim.step();
+            let now = sim.leader_count();
+            assert!(now <= last && now >= 1, "{last} -> {now}");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn symmetry_property_on_reachable_states() {
+        // Collect states from a real run and check T(p,p) = (p',p') on all.
+        let n = 150;
+        let p = SymPll::for_population(n).unwrap();
+        let mut sim = Simulation::new(p, n, UniformScheduler::seed_from_u64(21)).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..30_000 {
+            sim.step();
+            for s in sim.states() {
+                seen.insert(*s);
+            }
+        }
+        assert!(seen.len() > 50, "sanity: explored {} states", seen.len());
+        assert_eq!(check_symmetry(&p, seen.into_iter()), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use pp_engine::{check_symmetry, Protocol};
+    use proptest::prelude::*;
+
+    fn arb_extra() -> impl Strategy<Value = Extra> {
+        prop_oneof![
+            Just(Extra::None),
+            (0u32..820).prop_map(|count| Extra::Timer { count }),
+            ((0u32..100), any::<bool>()).prop_map(|(level_q, done)| Extra::Quick { level_q, done }),
+            ((0u32..16), (0u32..5)).prop_map(|(rand, index)| Extra::Rand { rand, index }),
+            (0u32..100).prop_map(|level_b| Extra::Backup { level_b }),
+        ]
+    }
+
+    fn arb_role() -> impl Strategy<Value = RoleVar> {
+        prop_oneof![
+            any::<bool>().prop_map(|parity| RoleVar::Leader { parity }),
+            prop_oneof![Just(Coin::J), Just(Coin::K), Just(Coin::F0), Just(Coin::F1)]
+                .prop_map(|coin| RoleVar::Follower { coin }),
+        ]
+    }
+
+    fn arb_state() -> impl Strategy<Value = SymPllState> {
+        (
+            arb_role(),
+            prop_oneof![
+                Just(SymStatus::X),
+                Just(SymStatus::Y),
+                Just(SymStatus::A),
+                Just(SymStatus::B)
+            ],
+            1u8..=4,
+            1u8..=4,
+            0u8..=2,
+            arb_extra(),
+        )
+            .prop_map(|(role, status, epoch, init, color, extra)| SymPllState {
+                role,
+                status,
+                epoch,
+                init,
+                color,
+                extra,
+            })
+    }
+
+    proptest! {
+        /// The defining property of Section 4, checked over the *entire*
+        /// state domain (not just reachable states): equal inputs yield
+        /// equal outputs.
+        #[test]
+        fn transition_is_symmetric_on_equal_states(s in arb_state()) {
+            let p = SymPll::new(crate::PllParams::new(10).unwrap());
+            prop_assert!(check_symmetry(&p, [s]).is_none());
+        }
+
+        /// Followers are never promoted, regardless of the interaction.
+        #[test]
+        fn no_follower_promotion(a in arb_state(), b in arb_state()) {
+            let p = SymPll::new(crate::PllParams::new(10).unwrap());
+            let (na, nb) = p.transition(&a, &b);
+            if !a.is_leader() {
+                prop_assert!(!na.is_leader());
+            }
+            if !b.is_leader() {
+                prop_assert!(!nb.is_leader());
+            }
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! The exact count-based simulation engine.
+//!
+//! Agents in the population-protocol model are anonymous and the interaction
+//! graph is complete, so the dynamics depend on the configuration only
+//! through its *multiset of states*. This engine exploits that: it interns
+//! states, keeps one integer count per state, and samples each ordered
+//! interaction directly from the counts:
+//!
+//! * initiator state `s` with probability `c_s / n`,
+//! * responder state `t` with probability `c_t / (n−1)` after temporarily
+//!   removing the initiator from the urn.
+//!
+//! This is *exactly* the uniformly random scheduler Γ — no approximation —
+//! while using `O(#states)` memory instead of `O(n)` and, as a by-product,
+//! counting how many distinct states an execution ever visits (the "number
+//! of states" column of the paper's Table 1).
+
+use crate::{EngineError, LeaderElection, Protocol, Role, RunOutcome};
+use pp_rand::{FenwickSampler, Rng64, Xoshiro256PlusPlus};
+use std::collections::HashMap;
+
+/// Exact count-based engine; see the module-level documentation above.
+///
+/// # Example
+///
+/// ```
+/// use pp_engine::{CountSimulation, Protocol, Role, LeaderElection};
+/// use pp_rand::Xoshiro256PlusPlus;
+///
+/// struct Frat;
+/// impl Protocol for Frat {
+///     type State = bool;
+///     type Output = Role;
+///     fn initial_state(&self) -> bool { true }
+///     fn transition(&self, a: &bool, b: &bool) -> (bool, bool) {
+///         if *a && *b { (true, false) } else { (*a, *b) }
+///     }
+///     fn output(&self, s: &bool) -> Role {
+///         if *s { Role::Leader } else { Role::Follower }
+///     }
+/// }
+/// impl LeaderElection for Frat { fn monotone_leaders(&self) -> bool { true } }
+///
+/// let rng = Xoshiro256PlusPlus::seed_from_u64(7);
+/// let mut sim = CountSimulation::new(Frat, 1_000_000, rng).unwrap();
+/// sim.run(100);
+/// assert_eq!(sim.population(), 1_000_000);
+/// assert!(sim.distinct_states_seen() <= 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountSimulation<P: Protocol, R = Xoshiro256PlusPlus> {
+    protocol: P,
+    rng: R,
+    ids: HashMap<P::State, u32>,
+    states: Vec<P::State>,
+    outputs: Vec<P::Output>,
+    sampler: FenwickSampler,
+    n: u64,
+    steps: u64,
+}
+
+impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
+    /// Creates a count simulation of `n` agents in the initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::PopulationTooSmall`] when `n < 2`.
+    pub fn new(protocol: P, n: usize, rng: R) -> Result<Self, EngineError> {
+        if n < 2 {
+            return Err(EngineError::PopulationTooSmall { n });
+        }
+        let mut sim = Self {
+            protocol,
+            rng,
+            ids: HashMap::new(),
+            states: Vec::new(),
+            outputs: Vec::new(),
+            sampler: FenwickSampler::new(0),
+            n: n as u64,
+            steps: 0,
+        };
+        let init = sim.protocol.initial_state();
+        let id = sim.intern(init);
+        sim.sampler
+            .add(id as usize, n as i64)
+            .expect("slot was just created");
+        Ok(sim)
+    }
+
+    /// Creates a count simulation from explicit state counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::PopulationTooSmall`] when counts sum to < 2.
+    pub fn from_counts(
+        protocol: P,
+        counts: impl IntoIterator<Item = (P::State, u64)>,
+        rng: R,
+    ) -> Result<Self, EngineError> {
+        let mut sim = Self {
+            protocol,
+            rng,
+            ids: HashMap::new(),
+            states: Vec::new(),
+            outputs: Vec::new(),
+            sampler: FenwickSampler::new(0),
+            n: 0,
+            steps: 0,
+        };
+        for (state, count) in counts {
+            if count == 0 {
+                continue;
+            }
+            let id = sim.intern(state);
+            sim.sampler
+                .add(id as usize, count as i64)
+                .expect("slot exists");
+            sim.n += count;
+        }
+        if sim.n < 2 {
+            return Err(EngineError::PopulationTooSmall { n: sim.n as usize });
+        }
+        Ok(sim)
+    }
+
+    fn intern(&mut self, state: P::State) -> u32 {
+        if let Some(&id) = self.ids.get(&state) {
+            return id;
+        }
+        let id = self.states.len() as u32;
+        self.outputs.push(self.protocol.output(&state));
+        self.states.push(state.clone());
+        self.ids.insert(state, id);
+        let slot = self.sampler.push_slot();
+        debug_assert_eq!(slot, id as usize);
+        id
+    }
+
+    /// The population size `n`.
+    pub fn population(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Interactions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The execution clock in parallel time (steps / n).
+    pub fn parallel_time(&self) -> f64 {
+        crate::parallel_time(self.steps, self.n as usize)
+    }
+
+    /// The protocol driving this simulation.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Number of **distinct states the execution has ever visited** —
+    /// the empirical "states used" measure reported in Table 1 experiments.
+    pub fn distinct_states_seen(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of distinct states currently occupied by at least one agent.
+    pub fn support_size(&self) -> usize {
+        (0..self.states.len())
+            .filter(|&i| self.sampler.weight(i).unwrap_or(0) > 0)
+            .count()
+    }
+
+    /// The number of agents currently in `state`.
+    pub fn count_of(&self, state: &P::State) -> u64 {
+        self.ids
+            .get(state)
+            .and_then(|&id| self.sampler.weight(id as usize).ok())
+            .unwrap_or(0)
+    }
+
+    /// A snapshot of all (state, count) pairs with positive count.
+    pub fn state_counts(&self) -> HashMap<P::State, u64> {
+        let mut out = HashMap::new();
+        for (i, s) in self.states.iter().enumerate() {
+            let w = self.sampler.weight(i).unwrap_or(0);
+            if w > 0 {
+                out.insert(s.clone(), w);
+            }
+        }
+        out
+    }
+
+    /// Executes one interaction; returns `true` if any state count changed.
+    pub fn step(&mut self) -> bool {
+        // Initiator ∝ counts.
+        let s = self
+            .sampler
+            .sample(&mut self.rng)
+            .expect("population is non-empty");
+        // Responder from the remaining n-1 agents.
+        self.sampler.add(s, -1).expect("slot exists");
+        let t = self
+            .sampler
+            .sample(&mut self.rng)
+            .expect("population has >= 2 agents");
+        self.sampler.add(s, 1).expect("slot exists");
+
+        let (na, nb) = self
+            .protocol
+            .transition(&self.states[s], &self.states[t]);
+        self.steps += 1;
+
+        let a_id = self.intern(na) as usize;
+        let b_id = self.intern(nb) as usize;
+        let mut changed = false;
+        if a_id != s {
+            self.sampler.add(s, -1).expect("slot exists");
+            self.sampler.add(a_id, 1).expect("slot exists");
+            changed = true;
+        }
+        if b_id != t {
+            self.sampler.add(t, -1).expect("slot exists");
+            self.sampler.add(b_id, 1).expect("slot exists");
+            changed = true;
+        }
+        changed
+    }
+
+    /// Executes exactly `steps` interactions.
+    pub fn run(&mut self, steps: u64) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+}
+
+impl<P: LeaderElection, R: Rng64> CountSimulation<P, R> {
+    /// Counts the current leaders.
+    pub fn leader_count(&self) -> u64 {
+        (0..self.states.len())
+            .filter(|&i| self.outputs[i] == Role::Leader)
+            .map(|i| self.sampler.weight(i).unwrap_or(0))
+            .sum()
+    }
+
+    /// Runs until exactly one leader remains (see
+    /// [`Simulation::run_until_single_leader`](crate::Simulation::run_until_single_leader)
+    /// for the stabilization-time caveat).
+    pub fn run_until_single_leader(&mut self, max_steps: u64) -> RunOutcome {
+        let mut leaders = self.leader_count() as i64;
+        if leaders == 1 {
+            return RunOutcome {
+                steps: self.steps,
+                converged: true,
+            };
+        }
+        while self.steps < max_steps {
+            // Inline step() but tracking role flow.
+            let s = self
+                .sampler
+                .sample(&mut self.rng)
+                .expect("population is non-empty");
+            self.sampler.add(s, -1).expect("slot exists");
+            let t = self
+                .sampler
+                .sample(&mut self.rng)
+                .expect("population has >= 2 agents");
+            self.sampler.add(s, 1).expect("slot exists");
+            let before = i64::from(self.outputs[s] == Role::Leader)
+                + i64::from(self.outputs[t] == Role::Leader);
+            let (na, nb) = self
+                .protocol
+                .transition(&self.states[s], &self.states[t]);
+            self.steps += 1;
+            let a_id = self.intern(na) as usize;
+            let b_id = self.intern(nb) as usize;
+            if a_id != s {
+                self.sampler.add(s, -1).expect("slot exists");
+                self.sampler.add(a_id, 1).expect("slot exists");
+            }
+            if b_id != t {
+                self.sampler.add(t, -1).expect("slot exists");
+                self.sampler.add(b_id, 1).expect("slot exists");
+            }
+            let after = i64::from(self.outputs[a_id] == Role::Leader)
+                + i64::from(self.outputs[b_id] == Role::Leader);
+            leaders += after - before;
+            if leaders == 1 {
+                return RunOutcome {
+                    steps: self.steps,
+                    converged: true,
+                };
+            }
+        }
+        RunOutcome {
+            steps: self.steps,
+            converged: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Simulation, UniformScheduler};
+    use pp_rand::SeedSequence;
+
+    #[derive(Debug, Clone, Copy)]
+    struct Frat;
+
+    impl Protocol for Frat {
+        type State = bool;
+        type Output = Role;
+        fn initial_state(&self) -> bool {
+            true
+        }
+        fn transition(&self, a: &bool, b: &bool) -> (bool, bool) {
+            if *a && *b {
+                (true, false)
+            } else {
+                (*a, *b)
+            }
+        }
+        fn output(&self, s: &bool) -> Role {
+            if *s {
+                Role::Leader
+            } else {
+                Role::Follower
+            }
+        }
+    }
+
+    impl LeaderElection for Frat {
+        fn monotone_leaders(&self) -> bool {
+            true
+        }
+    }
+
+    fn rng(seed: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn population_is_conserved() {
+        let mut sim = CountSimulation::new(Frat, 100, rng(1)).unwrap();
+        for _ in 0..1000 {
+            sim.step();
+            let total: u64 = sim.state_counts().values().sum();
+            assert_eq!(total, 100);
+        }
+    }
+
+    #[test]
+    fn leader_count_decreases_to_one() {
+        let mut sim = CountSimulation::new(Frat, 500, rng(2)).unwrap();
+        let outcome = sim.run_until_single_leader(100_000_000);
+        assert!(outcome.converged);
+        assert_eq!(sim.leader_count(), 1);
+        assert_eq!(sim.distinct_states_seen(), 2);
+        assert_eq!(sim.support_size(), 2);
+    }
+
+    #[test]
+    fn rejects_tiny_population() {
+        assert!(CountSimulation::new(Frat, 1, rng(0)).is_err());
+        assert!(CountSimulation::from_counts(Frat, [(true, 1)], rng(0)).is_err());
+    }
+
+    #[test]
+    fn from_counts_sets_up_configuration() {
+        let sim = CountSimulation::from_counts(Frat, [(true, 3), (false, 7)], rng(3)).unwrap();
+        assert_eq!(sim.population(), 10);
+        assert_eq!(sim.leader_count(), 3);
+        assert_eq!(sim.count_of(&true), 3);
+        assert_eq!(sim.count_of(&false), 7);
+    }
+
+    #[test]
+    fn from_counts_ignores_zero_entries() {
+        let sim =
+            CountSimulation::from_counts(Frat, [(true, 2), (false, 0)], rng(4)).unwrap();
+        assert_eq!(sim.population(), 2);
+        assert_eq!(sim.distinct_states_seen(), 1);
+    }
+
+    #[test]
+    fn agrees_with_agent_engine_distributionally() {
+        // Mean convergence time of fratricide over seeds should agree between
+        // engines (both simulate the same Markov chain exactly). Theory:
+        // E[steps] = sum_{k=2..n} n(n-1)/(k(k-1)) ≈ n^2 * (1 - 1/n).
+        let n = 64;
+        let seeds = SeedSequence::new(99);
+        let runs = 40;
+        let mean = |use_count: bool| -> f64 {
+            let mut total = 0u64;
+            for i in 0..runs {
+                let seed = seeds.seed_at(i);
+                let steps = if use_count {
+                    let mut sim = CountSimulation::new(Frat, n, rng(seed)).unwrap();
+                    sim.run_until_single_leader(u64::MAX).steps
+                } else {
+                    let sched = UniformScheduler::seed_from_u64(seed);
+                    let mut sim = Simulation::new(Frat, n, sched).unwrap();
+                    sim.run_until_single_leader(u64::MAX).steps
+                };
+                total += steps;
+            }
+            total as f64 / runs as f64
+        };
+        let m_agent = mean(false);
+        let m_count = mean(true);
+        let theory: f64 = (2..=n as u64)
+            .map(|k| (n as f64) * (n as f64 - 1.0) / (k as f64 * (k as f64 - 1.0)))
+            .sum();
+        // Loose agreement (Monte-Carlo with 40 runs): within 25% of theory.
+        assert!(
+            (m_agent / theory - 1.0).abs() < 0.25,
+            "agent engine mean {m_agent} vs theory {theory}"
+        );
+        assert!(
+            (m_count / theory - 1.0).abs() < 0.25,
+            "count engine mean {m_count} vs theory {theory}"
+        );
+    }
+
+    /// A protocol with unbounded state growth to exercise interning.
+    #[derive(Debug, Clone, Copy)]
+    struct Counter;
+
+    impl Protocol for Counter {
+        type State = u32;
+        type Output = u32;
+        fn initial_state(&self) -> u32 {
+            0
+        }
+        fn transition(&self, a: &u32, b: &u32) -> (u32, u32) {
+            (a + 1, *b)
+        }
+        fn output(&self, s: &u32) -> u32 {
+            *s
+        }
+    }
+
+    #[test]
+    fn interning_tracks_distinct_states() {
+        let mut sim = CountSimulation::new(Counter, 10, rng(5)).unwrap();
+        sim.run(100);
+        assert!(sim.distinct_states_seen() > 1);
+        let total: u64 = sim.state_counts().values().sum();
+        assert_eq!(total, 10);
+        assert_eq!(sim.steps(), 100);
+    }
+
+    #[test]
+    fn parallel_time_matches_steps() {
+        let mut sim = CountSimulation::new(Frat, 50, rng(6)).unwrap();
+        sim.run(100);
+        assert!((sim.parallel_time() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,66 @@
+//! Engine error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing or driving a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The population must contain at least two agents so that a pair of
+    /// distinct agents can interact.
+    PopulationTooSmall {
+        /// The offending population size.
+        n: usize,
+    },
+    /// An agent index was outside the population.
+    AgentOutOfBounds {
+        /// Offending agent index.
+        agent: usize,
+        /// Population size.
+        n: usize,
+    },
+    /// An interaction paired an agent with itself.
+    SelfInteraction {
+        /// The agent that would interact with itself.
+        agent: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::PopulationTooSmall { n } => {
+                write!(f, "population of {n} agents is too small; need at least 2")
+            }
+            EngineError::AgentOutOfBounds { agent, n } => {
+                write!(f, "agent index {agent} out of bounds for population of {n}")
+            }
+            EngineError::SelfInteraction { agent } => {
+                write!(f, "agent {agent} cannot interact with itself")
+            }
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = EngineError::PopulationTooSmall { n: 1 };
+        assert!(e.to_string().contains("at least 2"));
+        let e = EngineError::AgentOutOfBounds { agent: 7, n: 3 };
+        assert!(e.to_string().contains('7'));
+        let e = EngineError::SelfInteraction { agent: 2 };
+        assert!(e.to_string().contains("itself"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<EngineError>();
+    }
+}

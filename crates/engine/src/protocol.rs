@@ -1,0 +1,218 @@
+//! The [`Protocol`] trait and leader-election refinements.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A population protocol `P(Q, s_init, T, Y, π_out)`.
+///
+/// * `State` is the finite state set `Q`; values must be cheap to clone
+///   (protocol states are small value types).
+/// * [`initial_state`](Protocol::initial_state) is `s_init` — every agent
+///   starts there.
+/// * [`transition`](Protocol::transition) is the joint transition function
+///   `T : Q × Q → Q × Q`, applied to `(initiator, responder)`.
+/// * [`output`](Protocol::output) is `π_out : Q → Y`.
+///
+/// Protocol *values* (the `self` receiver) carry the protocol's parameters —
+/// e.g. the size knowledge `m` of the paper — so one type can describe a
+/// whole protocol family.
+///
+/// # Example
+///
+/// See the [crate-level quickstart](crate).
+pub trait Protocol {
+    /// Agent state type `Q`.
+    type State: Clone + Eq + Hash + Debug;
+    /// Output symbol type `Y`.
+    type Output: Clone + Eq + Hash + Debug;
+
+    /// The state every agent occupies in the initial configuration.
+    fn initial_state(&self) -> Self::State;
+
+    /// The joint transition applied when `initiator` meets `responder`.
+    ///
+    /// Returns the successor states `(initiator', responder')`.
+    fn transition(
+        &self,
+        initiator: &Self::State,
+        responder: &Self::State,
+    ) -> (Self::State, Self::State);
+
+    /// The output symbol of an agent in state `state`.
+    fn output(&self, state: &Self::State) -> Self::Output;
+
+    /// A short human-readable protocol name for reports and tables.
+    fn name(&self) -> String {
+        let full = std::any::type_name::<Self>();
+        full.rsplit("::").next().unwrap_or(full).to_string()
+    }
+}
+
+impl<P: Protocol + ?Sized> Protocol for &P {
+    type State = P::State;
+    type Output = P::Output;
+
+    fn initial_state(&self) -> Self::State {
+        (**self).initial_state()
+    }
+
+    fn transition(
+        &self,
+        initiator: &Self::State,
+        responder: &Self::State,
+    ) -> (Self::State, Self::State) {
+        (**self).transition(initiator, responder)
+    }
+
+    fn output(&self, state: &Self::State) -> Self::Output {
+        (**self).output(state)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+/// The output alphabet of the leader-election problem: `Y = {L, F}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Role {
+    /// The agent currently outputs "leader" (`L`).
+    Leader,
+    /// The agent currently outputs "follower" (`F`).
+    Follower,
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Role::Leader => write!(f, "L"),
+            Role::Follower => write!(f, "F"),
+        }
+    }
+}
+
+/// A protocol solving (or attempting) leader election.
+///
+/// Implementors whose executions keep the leader count monotonically
+/// non-increasing *and never zero* should override
+/// [`monotone_leaders`](LeaderElection::monotone_leaders) to return `true`:
+/// for such protocols the first time the leader count reaches 1 is exactly
+/// the stabilization time, which the engines exploit for `O(1)`-per-step
+/// convergence detection. This holds for the paper's `P_LL` (no follower ever
+/// becomes a leader, and each module preserves at least one leader) and for
+/// the classic fratricide protocol of \[Ang+06\].
+pub trait LeaderElection: Protocol<Output = Role> {
+    /// Whether `state` outputs [`Role::Leader`].
+    fn is_leader(&self, state: &Self::State) -> bool {
+        self.output(state) == Role::Leader
+    }
+
+    /// `true` if the leader count is non-increasing and never reaches zero in
+    /// every execution (see trait docs). Defaults to `false`.
+    fn monotone_leaders(&self) -> bool {
+        false
+    }
+}
+
+impl<P: LeaderElection + ?Sized> LeaderElection for &P {
+    fn monotone_leaders(&self) -> bool {
+        (**self).monotone_leaders()
+    }
+}
+
+/// Checks the *symmetry* property of Section 4 of the paper on a set of
+/// states: for every state `p`, `T(p, p) = (p', p')` with equal components.
+///
+/// Returns the first violating state, or `None` if the property holds for
+/// every provided state. A protocol is symmetric iff this holds for all
+/// reachable states (equal-state pairs are the only place initiator/responder
+/// roles could otherwise be abused while keeping `p = q`).
+pub fn check_symmetry<P, I>(protocol: &P, states: I) -> Option<P::State>
+where
+    P: Protocol,
+    I: IntoIterator<Item = P::State>,
+{
+    for p in states {
+        let (a, b) = protocol.transition(&p, &p);
+        if a != b {
+            return Some(p);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Toggle;
+
+    impl Protocol for Toggle {
+        type State = u8;
+        type Output = u8;
+        fn initial_state(&self) -> u8 {
+            0
+        }
+        fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+            (a.wrapping_add(1), *b)
+        }
+        fn output(&self, s: &u8) -> u8 {
+            *s
+        }
+    }
+
+    #[test]
+    fn default_name_strips_module_path() {
+        assert_eq!(Toggle.name(), "Toggle");
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let by_ref: &Toggle = &Toggle;
+        assert_eq!(by_ref.initial_state(), 0);
+        assert_eq!(by_ref.transition(&1, &2), (2, 2));
+        assert_eq!(by_ref.name(), "Toggle");
+    }
+
+    #[test]
+    fn role_display() {
+        assert_eq!(Role::Leader.to_string(), "L");
+        assert_eq!(Role::Follower.to_string(), "F");
+    }
+
+    #[test]
+    fn role_orders_leader_first() {
+        assert!(Role::Leader < Role::Follower);
+    }
+
+    #[test]
+    fn check_symmetry_flags_asymmetric_rule() {
+        // Toggle changes only the initiator: asymmetric on any equal pair.
+        assert_eq!(check_symmetry(&Toggle, [7u8]), Some(7));
+    }
+
+    struct Sym;
+
+    impl Protocol for Sym {
+        type State = u8;
+        type Output = u8;
+        fn initial_state(&self) -> u8 {
+            0
+        }
+        fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+            if a == b {
+                (a + 1, b + 1)
+            } else {
+                (*a.max(b), *a.max(b))
+            }
+        }
+        fn output(&self, s: &u8) -> u8 {
+            *s
+        }
+    }
+
+    #[test]
+    fn check_symmetry_accepts_symmetric_rule() {
+        assert_eq!(check_symmetry(&Sym, 0u8..100), None);
+    }
+}

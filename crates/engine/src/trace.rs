@@ -1,0 +1,220 @@
+//! Time-series recording for simulation observables.
+
+/// A multi-series trace of simulation observables over execution steps.
+///
+/// Pairs naturally with [`Simulation::run_sampled`](crate::Simulation::run_sampled):
+/// sample the observables you care about every `k` steps and render the
+/// result as CSV for plotting.
+///
+/// # Example
+///
+/// ```
+/// use pp_engine::Trace;
+///
+/// let mut trace = Trace::new(["leaders", "infected"]);
+/// trace.record(0, &[10.0, 1.0]);
+/// trace.record(100, &[3.0, 7.0]);
+/// assert_eq!(trace.len(), 2);
+/// assert!(trace.to_csv().starts_with("step,leaders,infected\n"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    names: Vec<String>,
+    rows: Vec<(u64, Vec<f64>)>,
+}
+
+impl Trace {
+    /// Creates a trace with the given series names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is empty.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        assert!(!names.is_empty(), "a trace needs at least one series");
+        Self {
+            names,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one sample row at execution step `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not match the number of series, or if `step`
+    /// is not monotonically non-decreasing.
+    pub fn record(&mut self, step: u64, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.names.len(),
+            "expected {} values, got {}",
+            self.names.len(),
+            values.len()
+        );
+        if let Some(&(last, _)) = self.rows.last() {
+            assert!(step >= last, "steps must be non-decreasing");
+        }
+        self.rows.push((step, values.to_vec()));
+    }
+
+    /// Number of recorded rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The series names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The recorded rows.
+    pub fn rows(&self) -> &[(u64, Vec<f64>)] {
+        &self.rows
+    }
+
+    /// The last recorded value of a series, by name.
+    pub fn last_value(&self, series: &str) -> Option<f64> {
+        let idx = self.names.iter().position(|n| n == series)?;
+        self.rows.last().map(|(_, values)| values[idx])
+    }
+
+    /// Keeps every `k`-th row (plus the final row), reducing resolution for
+    /// plotting long runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn downsample(&self, k: usize) -> Trace {
+        assert!(k > 0, "downsample factor must be positive");
+        let mut out = Trace::new(self.names.clone());
+        for (i, (step, values)) in self.rows.iter().enumerate() {
+            if i % k == 0 || i + 1 == self.rows.len() {
+                out.record(*step, values);
+            }
+        }
+        out
+    }
+
+    /// Renders the trace as CSV with a `step` column first.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("step,");
+        out.push_str(&self.names.join(","));
+        out.push('\n');
+        for (step, values) in &self.rows {
+            out.push_str(&step.to_string());
+            for v in values {
+                out.push(',');
+                out.push_str(&format!("{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one series")]
+    fn empty_series_rejected() {
+        Trace::new(Vec::<String>::new());
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut t = Trace::new(["a", "b"]);
+        t.record(0, &[1.0, 2.0]);
+        t.record(10, &[3.0, 4.0]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.last_value("a"), Some(3.0));
+        assert_eq!(t.last_value("b"), Some(4.0));
+        assert_eq!(t.last_value("c"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 values")]
+    fn row_width_checked() {
+        let mut t = Trace::new(["a", "b"]);
+        t.record(0, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn steps_must_not_go_backwards() {
+        let mut t = Trace::new(["a"]);
+        t.record(10, &[1.0]);
+        t.record(5, &[2.0]);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut t = Trace::new(["x"]);
+        t.record(1, &[0.5]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "step,x\n1,0.5\n");
+    }
+
+    #[test]
+    fn downsampling_keeps_first_and_last() {
+        let mut t = Trace::new(["v"]);
+        for i in 0..10 {
+            t.record(i, &[i as f64]);
+        }
+        let d = t.downsample(4);
+        let steps: Vec<u64> = d.rows().iter().map(|(s, _)| *s).collect();
+        assert_eq!(steps, vec![0, 4, 8, 9]);
+    }
+
+    #[test]
+    fn integrates_with_run_sampled() {
+        use crate::{Protocol, Role, Simulation, UniformScheduler};
+
+        #[derive(Debug, Clone, Copy)]
+        struct Frat;
+        impl Protocol for Frat {
+            type State = bool;
+            type Output = Role;
+            fn initial_state(&self) -> bool {
+                true
+            }
+            fn transition(&self, a: &bool, b: &bool) -> (bool, bool) {
+                if *a && *b {
+                    (true, false)
+                } else {
+                    (*a, *b)
+                }
+            }
+            fn output(&self, s: &bool) -> Role {
+                if *s {
+                    Role::Leader
+                } else {
+                    Role::Follower
+                }
+            }
+        }
+
+        let mut sim = Simulation::new(Frat, 20, UniformScheduler::seed_from_u64(1)).unwrap();
+        let mut trace = Trace::new(["leaders"]);
+        sim.run_sampled(2000, 100, |step, states| {
+            let leaders = states.iter().filter(|&&l| l).count();
+            trace.record(step, &[leaders as f64]);
+        });
+        assert_eq!(trace.len(), 20);
+        // Leader counts are non-increasing in the trace.
+        let vals: Vec<f64> = trace.rows().iter().map(|(_, v)| v[0]).collect();
+        assert!(vals.windows(2).all(|w| w[1] <= w[0]));
+    }
+}

@@ -1,0 +1,152 @@
+//! The constant-space leader election of Angluin et al. \[Ang+06\].
+
+use pp_engine::{LeaderElection, Protocol, Role};
+
+/// `L × L → L × F`: when two leaders meet, the responder yields.
+///
+/// Everyone starts as a leader; the expected number of interactions to get
+/// from `k` to `k−1` leaders is `n(n−1) / (k(k−1))`, so the expected total is
+/// `Σ_{k=2}^{n} n(n−1)/(k(k−1)) = n(n−1)(1 − 1/n) ≈ n²`, i.e. `Θ(n)`
+/// parallel time — optimal for constant-space protocols by Doty &
+/// Soloveichik \[DS18\] (Table 2, row 1).
+///
+/// # Example
+///
+/// ```
+/// use pp_engine::{Simulation, UniformScheduler};
+/// use pp_protocols::Fratricide;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut sim = Simulation::new(Fratricide, 100, UniformScheduler::seed_from_u64(4))?;
+/// assert!(sim.run_until_single_leader(10_000_000).converged);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fratricide;
+
+impl Fratricide {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Closed-form expected number of interactions to stabilize from the
+    /// all-leader configuration of `n` agents.
+    pub fn expected_steps(n: usize) -> f64 {
+        let nf = n as f64;
+        (2..=n as u64)
+            .map(|k| nf * (nf - 1.0) / (k as f64 * (k as f64 - 1.0)))
+            .sum()
+    }
+}
+
+impl Protocol for Fratricide {
+    type State = bool;
+    type Output = Role;
+
+    fn initial_state(&self) -> bool {
+        true
+    }
+
+    fn transition(&self, initiator: &bool, responder: &bool) -> (bool, bool) {
+        if *initiator && *responder {
+            (true, false)
+        } else {
+            (*initiator, *responder)
+        }
+    }
+
+    fn output(&self, state: &bool) -> Role {
+        if *state {
+            Role::Leader
+        } else {
+            Role::Follower
+        }
+    }
+
+    fn name(&self) -> String {
+        "Fratricide[Ang+06]".to_string()
+    }
+}
+
+impl LeaderElection for Fratricide {
+    fn monotone_leaders(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_engine::{Simulation, UniformScheduler};
+    use pp_rand::SeedSequence;
+
+    #[test]
+    fn rules_are_exactly_fratricide() {
+        let p = Fratricide::new();
+        assert_eq!(p.transition(&true, &true), (true, false));
+        assert_eq!(p.transition(&true, &false), (true, false));
+        assert_eq!(p.transition(&false, &true), (false, true));
+        assert_eq!(p.transition(&false, &false), (false, false));
+    }
+
+    #[test]
+    fn expected_steps_closed_form() {
+        // n = 2: one meeting of the only pair: n(n-1)/2·1... k=2 term only:
+        // 2·1/(2·1) = 1.
+        assert!((Fratricide::expected_steps(2) - 1.0).abs() < 1e-12);
+        // Telescoping: sum = n(n-1)(1 - 1/n) = (n-1)^2.
+        for n in [3usize, 10, 100] {
+            let expect = ((n - 1) * (n - 1)) as f64;
+            assert!(
+                (Fratricide::expected_steps(n) - expect).abs() < 1e-6,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches_closed_form() {
+        let n = 50;
+        let seeds = SeedSequence::new(8);
+        let runs = 60;
+        let mut total = 0u64;
+        for i in 0..runs {
+            let mut sim = Simulation::new(
+                Fratricide,
+                n,
+                UniformScheduler::seed_from_u64(seeds.seed_at(i)),
+            )
+            .unwrap();
+            total += sim.run_until_single_leader(u64::MAX).steps;
+        }
+        let mean = total as f64 / runs as f64;
+        let theory = Fratricide::expected_steps(n);
+        assert!(
+            (mean / theory - 1.0).abs() < 0.2,
+            "mean {mean} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    fn linear_parallel_time_shape() {
+        // Doubling n should roughly double parallel stabilization time.
+        let seeds = SeedSequence::new(9);
+        let mean = |n: usize| {
+            let mut total = 0.0;
+            for i in 0..20 {
+                let mut sim = Simulation::new(
+                    Fratricide,
+                    n,
+                    UniformScheduler::seed_from_u64(seeds.seed_at(i + n as u64)),
+                )
+                .unwrap();
+                total += sim.run_until_single_leader(u64::MAX).parallel_time(n);
+            }
+            total / 20.0
+        };
+        let r = mean(128) / mean(64);
+        assert!(r > 1.5 && r < 2.6, "ratio {r} not linear-ish");
+    }
+}

@@ -1,0 +1,32 @@
+//! Baseline population protocols for the paper's comparison experiments.
+//!
+//! The paper's Table 1 spans a trade-off space between per-agent states and
+//! expected stabilization time. Re-implementing all seven competitor papers
+//! faithfully is out of scope (see `DESIGN.md`); instead this crate provides
+//! the two corners that frame `P_LL`, plus a reusable building block:
+//!
+//! * [`Fratricide`] — the classic constant-space protocol of \[Ang+06\]:
+//!   `L × L → L × F`. Two states, `Θ(n)` expected parallel time (optimal for
+//!   constant space by \[DS18\], the first row of Table 2).
+//! * [`BoundedLottery`] — the \[Ali+17\]-like bounded lottery the paper's
+//!   `QuickElimination()` is based on (§3.1.1), standalone: `O(log n)`
+//!   states, fast lottery phase but a `Θ(n)` tie-breaking tail — precisely
+//!   the gap `P_LL`'s remaining modules close.
+//! * [`UnboundedLottery`] — an \[MST18\]-like protocol with an *unbounded*
+//!   level lottery plus unbounded tie-break bits: `O(n)`-ish state usage,
+//!   `O(log n)` expected parallel time (the `\[MST18\]` row of Table 1).
+//! * [`MaxValue`] — one-way max propagation, the protocol form of the
+//!   one-way epidemic of \[AAE08\] (Lemma 2's subject).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bounded_lottery;
+mod fratricide;
+mod lottery;
+mod max_value;
+
+pub use bounded_lottery::{BoundedLottery, BoundedLotteryState};
+pub use fratricide::Fratricide;
+pub use lottery::{LotteryState, UnboundedLottery};
+pub use max_value::MaxValue;

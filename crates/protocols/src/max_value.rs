@@ -1,0 +1,147 @@
+//! One-way max propagation: the protocol form of the one-way epidemic.
+
+use pp_engine::Protocol;
+
+/// Max propagation: both participants adopt the larger value.
+///
+/// Starting from a configuration where one agent holds a distinguished
+/// maximum, the set of agents holding it evolves *exactly* like the one-way
+/// epidemic of \[AAE08\] (Lemma 2): an agent becomes "infected" the first time
+/// it meets an infected agent. Used by the Lemma 2 experiments to check the
+/// protocol-level and process-level epidemics agree, and by tests as the
+/// simplest non-trivial protocol.
+///
+/// # Example
+///
+/// ```
+/// use pp_engine::Protocol;
+/// use pp_protocols::MaxValue;
+///
+/// let p = MaxValue::new();
+/// assert_eq!(p.transition(&3, &7), (7, 7));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxValue;
+
+impl MaxValue {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Protocol for MaxValue {
+    type State = u32;
+    type Output = u32;
+
+    fn initial_state(&self) -> u32 {
+        0
+    }
+
+    fn transition(&self, initiator: &u32, responder: &u32) -> (u32, u32) {
+        let m = *initiator.max(responder);
+        (m, m)
+    }
+
+    fn output(&self, state: &u32) -> u32 {
+        *state
+    }
+
+    fn name(&self) -> String {
+        "MaxValue".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_engine::epidemic::Epidemic;
+    use pp_engine::{Configuration, Simulation, UniformScheduler};
+    use pp_rand::{Rng64, SeedSequence, Xoshiro256PlusPlus};
+
+    #[test]
+    fn transition_is_symmetric_and_idempotent() {
+        let p = MaxValue::new();
+        assert_eq!(p.transition(&5, &5), (5, 5));
+        assert_eq!(p.transition(&0, &9), (9, 9));
+        assert_eq!(p.transition(&9, &0), (9, 9));
+    }
+
+    #[test]
+    fn max_spreads_to_everyone() {
+        let n = 64;
+        let mut states = vec![0u32; n];
+        states[17] = 42;
+        let mut sim = Simulation::from_states(
+            MaxValue,
+            states,
+            UniformScheduler::seed_from_u64(2),
+        )
+        .unwrap();
+        let outcome = sim.run_until(64, 10_000_000, |sim| {
+            sim.states().iter().all(|&v| v == 42)
+        });
+        assert!(outcome.converged);
+    }
+
+    #[test]
+    fn spread_time_matches_epidemic_process() {
+        // The same Markov chain two ways: MaxValue protocol vs the direct
+        // Epidemic process. Mean completion steps should agree closely.
+        let n = 128;
+        let seeds = SeedSequence::new(4);
+        let runs = 30;
+
+        let mut proto_total = 0u64;
+        for i in 0..runs {
+            let mut states = vec![0u32; n];
+            states[0] = 1;
+            let mut sim = Simulation::from_states(
+                MaxValue,
+                states,
+                UniformScheduler::seed_from_u64(seeds.seed_at(i)),
+            )
+            .unwrap();
+            let o = sim.run_until(16, u64::MAX, |sim| sim.states().iter().all(|&v| v == 1));
+            proto_total += o.steps;
+        }
+
+        let mut epi_total = 0u64;
+        for i in 0..runs {
+            let mut ep = Epidemic::whole_population(n, 0).unwrap();
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(seeds.seed_at(1000 + i));
+            epi_total += ep.run_to_completion(&mut rng, u64::MAX).unwrap();
+        }
+
+        let proto = proto_total as f64 / runs as f64;
+        let epi = epi_total as f64 / runs as f64;
+        assert!(
+            (proto / epi - 1.0).abs() < 0.25,
+            "protocol {proto} vs epidemic {epi}"
+        );
+    }
+
+    #[test]
+    fn configuration_semantics() {
+        let mut c = Configuration::from_states(vec![1u32, 5, 3]).unwrap();
+        c.apply(&MaxValue, pp_engine::Interaction::new(0, 2)).unwrap();
+        assert_eq!(c.states(), &[3, 5, 3]);
+        let counts = c.state_counts();
+        assert_eq!(counts[&3], 2);
+    }
+
+    #[test]
+    fn random_initial_values_converge_to_global_max() {
+        let n = 50;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(77);
+        let states: Vec<u32> = (0..n).map(|_| rng.below(1000) as u32).collect();
+        let maximum = *states.iter().max().unwrap();
+        let mut sim =
+            Simulation::from_states(MaxValue, states, UniformScheduler::seed_from_u64(78))
+                .unwrap();
+        let o = sim.run_until(32, u64::MAX, |sim| {
+            sim.states().iter().all(|&v| v == maximum)
+        });
+        assert!(o.converged);
+    }
+}

@@ -1,0 +1,117 @@
+//! Geometric sampling with arbitrary success probability.
+
+use crate::Rng64;
+
+/// A geometric distribution sampler: the number of failures before the first
+/// success in Bernoulli(`p`) trials (support `{0, 1, 2, …}`).
+///
+/// For `p = 1/2` prefer [`Rng64::heads_run`], which is exact and branch-light.
+/// For general `p` this uses inversion: `⌊ln U / ln(1-p)⌋`, exact up to f64
+/// resolution, `O(1)` per sample.
+///
+/// # Example
+///
+/// ```
+/// use pp_rand::{Geometric, Rng64, Xoshiro256PlusPlus};
+///
+/// let geo = Geometric::new(0.25).unwrap();
+/// let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+/// let sample = geo.sample(&mut rng);
+/// assert!(sample < u64::MAX);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+    ln_q: f64,
+}
+
+impl Geometric {
+    /// Creates a sampler for success probability `p ∈ (0, 1]`.
+    ///
+    /// Returns `None` if `p` is not in `(0, 1]` or is NaN.
+    pub fn new(p: f64) -> Option<Self> {
+        if !(p > 0.0 && p <= 1.0) {
+            return None;
+        }
+        Some(Self {
+            p,
+            ln_q: (1.0 - p).ln(),
+        })
+    }
+
+    /// The success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The mean `(1-p)/p` of the distribution.
+    pub fn mean(&self) -> f64 {
+        (1.0 - self.p) / self.p
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        // Inversion; U in (0,1] to avoid ln(0).
+        let u = 1.0 - rng.unit_f64();
+        let v = (u.ln() / self.ln_q).floor();
+        if v >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            v as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256PlusPlus;
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        assert!(Geometric::new(0.0).is_none());
+        assert!(Geometric::new(-0.5).is_none());
+        assert!(Geometric::new(1.5).is_none());
+        assert!(Geometric::new(f64::NAN).is_none());
+        assert!(Geometric::new(1.0).is_some());
+    }
+
+    #[test]
+    fn p_one_always_zero() {
+        let geo = Geometric::new(1.0).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(geo.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn sample_mean_close_to_theory() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(17);
+        for p in [0.5, 0.25, 0.1] {
+            let geo = Geometric::new(p).unwrap();
+            let n = 200_000;
+            let total: u64 = (0..n).map(|_| geo.sample(&mut rng)).sum();
+            let mean = total as f64 / n as f64;
+            let expect = geo.mean();
+            let dev = (mean - expect).abs() / expect;
+            assert!(dev < 0.03, "p={p}: mean {mean} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn half_matches_heads_run_distribution() {
+        use crate::Rng64 as _;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(23);
+        let geo = Geometric::new(0.5).unwrap();
+        let n = 100_000;
+        let mean_geo: f64 =
+            (0..n).map(|_| geo.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        let mean_run: f64 =
+            (0..n).map(|_| rng.heads_run() as f64).sum::<f64>() / n as f64;
+        assert!((mean_geo - mean_run).abs() < 0.05);
+    }
+}

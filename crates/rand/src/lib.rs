@@ -1,0 +1,54 @@
+//! Deterministic pseudo-random number generation for population-protocol
+//! simulation.
+//!
+//! The uniformly random scheduler of the population-protocol model draws one
+//! ordered pair of distinct agents per step, so a simulation of `Θ(n log n)`
+//! interactions over thousands of seeds needs an RNG that is
+//!
+//! * **fast** — a handful of arithmetic operations per draw,
+//! * **deterministic** — the same seed reproduces the same execution on every
+//!   machine, and
+//! * **splittable** — independent streams for parallel experiment sweeps.
+//!
+//! This crate provides exactly that and nothing more:
+//!
+//! * [`SplitMix64`] — seeding generator and stream deriver,
+//! * [`Xoshiro256PlusPlus`] — the default simulation RNG,
+//! * [`Pcg32`] — an independent family used to cross-check statistical tests,
+//! * the [`Rng64`] trait with unbiased bounded sampling
+//!   ([`Rng64::below`], Lemire's method), fair coins, unit-interval doubles,
+//!   geometric sampling, and distinct-pair sampling for interaction schedules,
+//! * weighted samplers: [`FenwickSampler`] (dynamic weights, `O(log k)`
+//!   updates and draws) and [`AliasTable`] (static weights, `O(1)` draws),
+//! * [`SeedSequence`] — reproducible derivation of per-run seeds.
+//!
+//! # Example
+//!
+//! ```
+//! use pp_rand::{Rng64, SeedSequence, Xoshiro256PlusPlus};
+//!
+//! let mut seeds = SeedSequence::new(42);
+//! let mut rng = Xoshiro256PlusPlus::seed_from_u64(seeds.next_seed());
+//! let (u, v) = rng.distinct_pair(10);
+//! assert_ne!(u, v);
+//! assert!(u < 10 && v < 10);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod geometric;
+mod pcg;
+mod rng;
+mod seq;
+mod splitmix;
+mod weighted;
+mod xoshiro;
+
+pub use geometric::Geometric;
+pub use pcg::Pcg32;
+pub use rng::Rng64;
+pub use seq::SeedSequence;
+pub use splitmix::SplitMix64;
+pub use weighted::{AliasTable, FenwickSampler, WeightedError};
+pub use xoshiro::Xoshiro256PlusPlus;

@@ -1,0 +1,262 @@
+//! The [`Rng64`] trait: a minimal, fast 64-bit generator interface with the
+//! derived sampling operations the simulator needs.
+
+/// A deterministic generator of 64-bit words, plus derived sampling helpers.
+///
+/// Implementors only provide [`next_u64`](Rng64::next_u64); everything else
+/// has a provided, unbiased implementation. The trait is object-safe so the
+/// engine can hold `&mut dyn Rng64` where monomorphization is not worth it.
+pub trait Rng64 {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits (upper half of a 64-bit draw,
+    /// which is the higher-quality half for `xoshiro`-family generators).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a uniformly random integer in `[0, bound)` using Lemire's
+    /// multiply-shift rejection method (unbiased, usually one multiply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "Rng64::below requires a non-zero bound");
+        // Lemire (2019): "Fast Random Integer Generation in an Interval".
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            // threshold = 2^64 mod bound
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniformly random `usize` index in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Returns a fair coin flip.
+    fn coin(&mut self) -> bool {
+        // The top bit of the next word.
+        self.next_u64() >> 63 == 1
+    }
+
+    /// Returns `true` with probability `num / den` (exact rational Bernoulli).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0` or `num > den`.
+    fn ratio(&mut self, num: u64, den: u64) -> bool {
+        assert!(den > 0 && num <= den, "invalid probability {num}/{den}");
+        self.below(den) < num
+    }
+
+    /// Returns a double uniform on `[0, 1)` with 53 random mantissa bits.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Draws an ordered pair of **distinct** indices `(initiator, responder)`
+    /// uniformly from `[0, n) × [0, n)` — the uniformly random scheduler of
+    /// the population-protocol model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    fn distinct_pair(&mut self, n: usize) -> (usize, usize) {
+        assert!(n >= 2, "distinct_pair requires a population of at least 2");
+        let a = self.index(n);
+        // Sample b uniformly from the n-1 values != a without rejection.
+        let mut b = self.index(n - 1);
+        if b >= a {
+            b += 1;
+        }
+        (a, b)
+    }
+
+    /// Counts heads before the first tail in a sequence of fair coin flips —
+    /// a geometric(1/2) sample, computed from leading ones of random words.
+    ///
+    /// Matches the level distribution of the paper's lottery game
+    /// (`QuickElimination`): `Pr[result = k] = 2^{-(k+1)}`.
+    fn heads_run(&mut self) -> u32 {
+        let mut total = 0u32;
+        loop {
+            let word = self.next_u64();
+            let ones = word.leading_ones();
+            total += ones;
+            if ones < 64 {
+                return total;
+            }
+        }
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl<R: Rng64 + ?Sized> Rng64 for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256PlusPlus;
+
+    fn rng() -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(0xDEADBEEF)
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = rng();
+        for bound in [1u64, 2, 3, 7, 10, 1000, u64::MAX] {
+            for _ in 0..200 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero bound")]
+    fn below_zero_bound_panics() {
+        rng().below(0);
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = rng();
+        let bound = 10u64;
+        let mut counts = [0u32; 10];
+        let draws = 100_000;
+        for _ in 0..draws {
+            counts[r.below(bound) as usize] += 1;
+        }
+        let expect = draws as f64 / bound as f64;
+        for &c in &counts {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.05, "bucket deviates {dev:.3} from uniform");
+        }
+    }
+
+    #[test]
+    fn distinct_pair_never_equal_and_uniform_over_ordered_pairs() {
+        let mut r = rng();
+        let n = 5;
+        let mut counts = vec![0u32; n * n];
+        let draws = 200_000;
+        for _ in 0..draws {
+            let (a, b) = r.distinct_pair(n);
+            assert_ne!(a, b);
+            counts[a * n + b] += 1;
+        }
+        let pairs = (n * (n - 1)) as f64;
+        let expect = draws as f64 / pairs;
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    assert_eq!(counts[a * n + b], 0);
+                } else {
+                    let dev = (counts[a * n + b] as f64 - expect).abs() / expect;
+                    assert!(dev < 0.05, "pair ({a},{b}) deviates {dev:.3}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coin_is_roughly_fair() {
+        let mut r = rng();
+        let heads: u32 = (0..100_000).map(|_| u32::from(r.coin())).sum();
+        assert!((heads as i64 - 50_000).abs() < 1_500, "heads = {heads}");
+    }
+
+    #[test]
+    fn heads_run_matches_geometric_mean() {
+        // E[heads before first tail] = 1 for fair coins.
+        let mut r = rng();
+        let total: u64 = (0..100_000).map(|_| u64::from(r.heads_run())).sum();
+        let mean = total as f64 / 100_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn heads_run_tail_probability_halves() {
+        let mut r = rng();
+        let draws = 200_000;
+        let mut ge = [0u32; 8];
+        for _ in 0..draws {
+            let h = r.heads_run() as usize;
+            for (k, slot) in ge.iter_mut().enumerate() {
+                if h >= k {
+                    *slot += 1;
+                }
+            }
+        }
+        // Pr[run >= k] = 2^-k.
+        for (k, &c) in ge.iter().enumerate() {
+            let expect = draws as f64 * 0.5f64.powi(k as i32);
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.12, "P[run >= {k}] deviates {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_half_open_interval() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = r.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ratio_matches_probability() {
+        let mut r = rng();
+        let hits: u32 = (0..90_000).map(|_| u32::from(r.ratio(1, 3))).sum();
+        let p = hits as f64 / 90_000.0;
+        assert!((p - 1.0 / 3.0).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = rng();
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut r = rng();
+        let dyn_rng: &mut dyn Rng64 = &mut r;
+        assert!(dyn_rng.below(10) < 10);
+    }
+}

@@ -1,0 +1,467 @@
+//! Weighted index sampling: a Fenwick-tree sampler for dynamic weights and an
+//! alias table for static weights.
+
+use crate::Rng64;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from constructing or updating weighted samplers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    /// The weight collection was empty.
+    Empty,
+    /// All weights were zero, so no index can be drawn.
+    AllZero,
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Number of slots in the sampler.
+        len: usize,
+    },
+}
+
+impl fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightedError::Empty => write!(f, "weight collection is empty"),
+            WeightedError::AllZero => write!(f, "all weights are zero"),
+            WeightedError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for sampler of size {len}")
+            }
+        }
+    }
+}
+
+impl Error for WeightedError {}
+
+/// Dynamic weighted sampler over integer weights, backed by a Fenwick
+/// (binary indexed) tree.
+///
+/// Supports `O(log k)` weight updates and `O(log k)` draws, where `k` is the
+/// number of slots. This is the sampler behind the count-based simulation
+/// engine: slot = agent state, weight = number of agents in that state.
+///
+/// # Example
+///
+/// ```
+/// use pp_rand::{FenwickSampler, Rng64, Xoshiro256PlusPlus};
+///
+/// let mut s = FenwickSampler::from_weights(&[3, 0, 7]).unwrap();
+/// let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+/// let i = s.sample(&mut rng).unwrap();
+/// assert!(i == 0 || i == 2);
+/// s.add(1, 5).unwrap(); // slot 1 now has weight 5
+/// assert_eq!(s.total(), 15);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FenwickSampler {
+    /// 1-based Fenwick tree over weights.
+    tree: Vec<u64>,
+    len: usize,
+    total: u64,
+}
+
+impl FenwickSampler {
+    /// Creates a sampler with `len` zero-weight slots.
+    pub fn new(len: usize) -> Self {
+        Self {
+            tree: vec![0; len + 1],
+            len,
+            total: 0,
+        }
+    }
+
+    /// Creates a sampler from initial weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeightedError::Empty`] for an empty slice.
+    pub fn from_weights(weights: &[u64]) -> Result<Self, WeightedError> {
+        if weights.is_empty() {
+            return Err(WeightedError::Empty);
+        }
+        let mut s = Self::new(weights.len());
+        for (i, &w) in weights.iter().enumerate() {
+            if w > 0 {
+                s.add(i, w as i64).expect("index in range");
+            }
+        }
+        Ok(s)
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sampler has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Current weight of `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeightedError::IndexOutOfBounds`] if `index >= len`.
+    pub fn weight(&self, index: usize) -> Result<u64, WeightedError> {
+        if index >= self.len {
+            return Err(WeightedError::IndexOutOfBounds {
+                index,
+                len: self.len,
+            });
+        }
+        Ok(self.prefix_sum(index + 1) - self.prefix_sum(index))
+    }
+
+    /// Adds `delta` (possibly negative) to the weight of `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeightedError::IndexOutOfBounds`] if `index >= len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the update would make the weight negative.
+    pub fn add(&mut self, index: usize, delta: i64) -> Result<(), WeightedError> {
+        if index >= self.len {
+            return Err(WeightedError::IndexOutOfBounds {
+                index,
+                len: self.len,
+            });
+        }
+        debug_assert!(
+            delta >= 0 || self.weight(index).unwrap() as i64 >= -delta,
+            "weight of slot {index} would become negative"
+        );
+        self.total = (self.total as i64 + delta) as u64;
+        let mut i = index + 1;
+        while i <= self.len {
+            self.tree[i] = (self.tree[i] as i64 + delta) as u64;
+            i += i & i.wrapping_neg();
+        }
+        Ok(())
+    }
+
+    /// Grows the sampler by one zero-weight slot and returns its index.
+    pub fn push_slot(&mut self) -> usize {
+        self.len += 1;
+        self.tree.push(0);
+        // The new Fenwick node must cover the appropriate prefix range.
+        let i = self.len;
+        let lsb = i & i.wrapping_neg();
+        let covered = self.prefix_sum(i - 1) - self.prefix_sum(i - lsb);
+        self.tree[i] = covered;
+        self.len - 1
+    }
+
+    fn prefix_sum(&self, mut i: usize) -> u64 {
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Finds the smallest index whose cumulative weight exceeds `target`.
+    ///
+    /// `target` must be in `[0, total)`.
+    fn select(&self, mut target: u64) -> usize {
+        debug_assert!(target < self.total);
+        let mut pos = 0usize;
+        let mut mask = self.len.next_power_of_two();
+        while mask > 0 {
+            let next = pos + mask;
+            if next <= self.len && self.tree[next] <= target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        pos // 0-based index of the selected slot
+    }
+
+    /// Draws an index with probability proportional to its weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeightedError::AllZero`] if the total weight is zero.
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> Result<usize, WeightedError> {
+        if self.total == 0 {
+            return Err(WeightedError::AllZero);
+        }
+        Ok(self.select(rng.below(self.total)))
+    }
+}
+
+/// Static `O(1)` weighted sampler (Walker's alias method, Vose's algorithm).
+///
+/// Build once in `O(k)`, draw in `O(1)`. Used for sampling from fixed
+/// distributions such as theoretical reference laws in tests.
+///
+/// # Example
+///
+/// ```
+/// use pp_rand::{AliasTable, Rng64, Xoshiro256PlusPlus};
+///
+/// let t = AliasTable::new(&[0.5, 0.25, 0.25]).unwrap();
+/// let mut rng = Xoshiro256PlusPlus::seed_from_u64(8);
+/// assert!(t.sample(&mut rng) < 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights (need not sum to 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeightedError::Empty`] for an empty slice and
+    /// [`WeightedError::AllZero`] when the weights sum to zero.
+    pub fn new(weights: &[f64]) -> Result<Self, WeightedError> {
+        if weights.is_empty() {
+            return Err(WeightedError::Empty);
+        }
+        let total: f64 = weights.iter().sum();
+        // NaN-safe: a NaN total must also be rejected, hence the negation.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(total > 0.0) {
+            return Err(WeightedError::AllZero);
+        }
+        let k = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * k as f64 / total).collect();
+        let mut alias = vec![0usize; k];
+        let mut small: Vec<usize> = Vec::with_capacity(k);
+        let mut large: Vec<usize> = Vec::with_capacity(k);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers: set to 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        Ok(Self { prob, alias })
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws an index with probability proportional to its weight.
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.index(self.prob.len());
+        if rng.unit_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256PlusPlus;
+
+    fn rng() -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn fenwick_matches_naive_prefix_sums() {
+        let weights = [5u64, 0, 3, 9, 1, 0, 0, 2, 11];
+        let s = FenwickSampler::from_weights(&weights).unwrap();
+        assert_eq!(s.total(), weights.iter().sum::<u64>());
+        for (i, &w) in weights.iter().enumerate() {
+            assert_eq!(s.weight(i).unwrap(), w);
+        }
+    }
+
+    #[test]
+    fn fenwick_select_boundaries() {
+        let s = FenwickSampler::from_weights(&[2, 3, 5]).unwrap();
+        // Cumulative: [0,2), [2,5), [5,10).
+        assert_eq!(s.select(0), 0);
+        assert_eq!(s.select(1), 0);
+        assert_eq!(s.select(2), 1);
+        assert_eq!(s.select(4), 1);
+        assert_eq!(s.select(5), 2);
+        assert_eq!(s.select(9), 2);
+    }
+
+    #[test]
+    fn fenwick_sampling_distribution() {
+        let weights = [1u64, 2, 3, 4];
+        let s = FenwickSampler::from_weights(&weights).unwrap();
+        let mut r = rng();
+        let mut counts = [0u32; 4];
+        let draws = 100_000;
+        for _ in 0..draws {
+            counts[s.sample(&mut r).unwrap()] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = draws as f64 * w as f64 / 10.0;
+            let dev = (counts[i] as f64 - expect).abs() / expect;
+            assert!(dev < 0.05, "slot {i} deviates {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn fenwick_dynamic_updates() {
+        let mut s = FenwickSampler::new(4);
+        assert_eq!(s.total(), 0);
+        assert!(matches!(s.sample(&mut rng()), Err(WeightedError::AllZero)));
+        s.add(2, 10).unwrap();
+        assert_eq!(s.weight(2).unwrap(), 10);
+        s.add(2, -10).unwrap();
+        assert_eq!(s.total(), 0);
+        s.add(0, 1).unwrap();
+        assert_eq!(s.sample(&mut rng()).unwrap(), 0);
+        assert!(s.add(4, 1).is_err());
+    }
+
+    #[test]
+    fn fenwick_push_slot_preserves_weights() {
+        let mut s = FenwickSampler::from_weights(&[4, 7, 1]).unwrap();
+        let idx = s.push_slot();
+        assert_eq!(idx, 3);
+        assert_eq!(s.weight(3).unwrap(), 0);
+        assert_eq!(s.weight(0).unwrap(), 4);
+        assert_eq!(s.weight(1).unwrap(), 7);
+        assert_eq!(s.weight(2).unwrap(), 1);
+        s.add(3, 9).unwrap();
+        assert_eq!(s.total(), 21);
+        // grow repeatedly and re-check integrity
+        for k in 0..20 {
+            let i = s.push_slot();
+            s.add(i, k + 1).unwrap();
+        }
+        let mut expect = vec![4u64, 7, 1, 9];
+        expect.extend((0..20).map(|k| k + 1));
+        for (i, &w) in expect.iter().enumerate() {
+            assert_eq!(s.weight(i).unwrap(), w, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn fenwick_empty_errors() {
+        assert!(matches!(
+            FenwickSampler::from_weights(&[]),
+            Err(WeightedError::Empty)
+        ));
+    }
+
+    #[test]
+    fn alias_distribution_matches_weights() {
+        let weights = [0.1, 0.0, 0.4, 0.5];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut r = rng();
+        let mut counts = [0u32; 4];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[t.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        for (i, &w) in weights.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let expect = draws as f64 * w;
+            let dev = (counts[i] as f64 - expect).abs() / expect;
+            assert!(dev < 0.05, "slot {i} deviates {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn alias_rejects_degenerate_input() {
+        assert!(matches!(AliasTable::new(&[]), Err(WeightedError::Empty)));
+        assert!(matches!(
+            AliasTable::new(&[0.0, 0.0]),
+            Err(WeightedError::AllZero)
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = WeightedError::IndexOutOfBounds { index: 9, len: 3 };
+        assert!(e.to_string().contains('9'));
+        assert!(WeightedError::Empty.to_string().contains("empty"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::Xoshiro256PlusPlus;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn fenwick_weights_roundtrip(weights in proptest::collection::vec(0u64..1000, 1..64)) {
+            let s = FenwickSampler::from_weights(&weights).unwrap();
+            prop_assert_eq!(s.total(), weights.iter().sum::<u64>());
+            for (i, &w) in weights.iter().enumerate() {
+                prop_assert_eq!(s.weight(i).unwrap(), w);
+            }
+        }
+
+        #[test]
+        fn fenwick_sample_never_returns_zero_weight_slot(
+            weights in proptest::collection::vec(0u64..5, 2..32),
+            seed in 0u64..1000,
+        ) {
+            let total: u64 = weights.iter().sum();
+            prop_assume!(total > 0);
+            let s = FenwickSampler::from_weights(&weights).unwrap();
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+            for _ in 0..64 {
+                let i = s.sample(&mut rng).unwrap();
+                prop_assert!(weights[i] > 0, "sampled zero-weight slot {}", i);
+            }
+        }
+
+        #[test]
+        fn fenwick_updates_agree_with_model(
+            ops in proptest::collection::vec((0usize..16, 0i64..50), 1..100)
+        ) {
+            let mut model = [0i64; 16];
+            let mut s = FenwickSampler::new(16);
+            for (idx, delta) in ops {
+                model[idx] += delta;
+                s.add(idx, delta).unwrap();
+            }
+            for (i, &w) in model.iter().enumerate() {
+                prop_assert_eq!(s.weight(i).unwrap() as i64, w);
+            }
+        }
+    }
+}

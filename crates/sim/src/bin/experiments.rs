@@ -1,0 +1,139 @@
+//! CLI driving the paper's experiment suite.
+//!
+//! ```text
+//! experiments list                 # show available experiment ids
+//! experiments table1               # run one experiment (publication scale)
+//! experiments all --quick          # smoke-run everything
+//! experiments theorem1 --csv DIR   # also write CSV files into DIR
+//! ```
+
+use pp_sim::{run_experiment, ExperimentOutput, EXPERIMENT_IDS};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    ids: Vec<String>,
+    quick: bool,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut ids = Vec::new();
+    let mut quick = false;
+    let mut csv_dir = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--csv" => {
+                let dir = argv
+                    .next()
+                    .ok_or_else(|| "--csv requires a directory argument".to_string())?;
+                csv_dir = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                ids.push("help".to_string());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids.push("help".to_string());
+    }
+    Ok(Args {
+        ids,
+        quick,
+        csv_dir,
+    })
+}
+
+fn print_help() {
+    println!("Usage: experiments <id>... [--quick] [--csv DIR]");
+    println!();
+    println!("Reproduces the tables and key lemmas of Sudo et al. (PODC 2019).");
+    println!();
+    println!("ids:");
+    println!("  all        run every experiment");
+    println!("  list       list experiment ids");
+    for id in EXPERIMENT_IDS {
+        println!("  {id}");
+    }
+    println!();
+    println!("flags:");
+    println!("  --quick    smoke-test scale (seconds instead of minutes)");
+    println!("  --csv DIR  also write each table as CSV into DIR");
+}
+
+fn write_csvs(output: &ExperimentOutput, dir: &PathBuf) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (i, (name, table)) in output.tables.iter().enumerate() {
+        let slug: String = name
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("{}_{i}_{slug}.csv", output.id));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(table.to_csv().as_bytes())?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut ids: Vec<String> = Vec::new();
+    for id in &args.ids {
+        match id.as_str() {
+            "help" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            "list" => {
+                for id in EXPERIMENT_IDS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(EXPERIMENT_IDS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    for id in &ids {
+        let started = std::time::Instant::now();
+        match run_experiment(id, args.quick) {
+            Ok(output) => {
+                println!("{}", output.to_markdown());
+                eprintln!(
+                    "[{}] finished in {:.1}s{}",
+                    id,
+                    started.elapsed().as_secs_f64(),
+                    if args.quick { " (quick mode)" } else { "" }
+                );
+                if let Some(dir) = &args.csv_dir {
+                    if let Err(e) = write_csvs(&output, dir) {
+                        eprintln!("error writing CSVs: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("run `experiments list` for available ids");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,100 @@
+//! **Lemma 2** — the one-way epidemic tail bound
+//! `Pr[I_{V',r,Γ}(2⌈n/n'⌉·t) ≠ V'] ≤ n·e^{−t/n}`, empirically.
+
+use super::f3;
+use crate::{parallel_map, ExperimentOutput};
+use pp_engine::epidemic::{lemma2_horizon, Epidemic};
+use pp_rand::{SeedSequence, Xoshiro256PlusPlus};
+use pp_stats::{theory, Table};
+
+/// Runs the Lemma 2 reproduction.
+pub fn run(quick: bool) -> ExperimentOutput {
+    let n: usize = if quick { 256 } else { 2048 };
+    let trials: u64 = if quick { 200 } else { 2000 };
+    // Sub-population fractions 1, 1/2, 1/4 — the lemma covers any V' ⊆ V.
+    let fractions = [1usize, 2, 4];
+    // Horizon multipliers t = c·n: the bound is n·e^{−c}, spanning
+    // "vacuous" (c < ln n) to strong (c = ln n + 4).
+    let ln_n = (n as f64).ln();
+    let cs: Vec<f64> = vec![
+        (ln_n - 1.0).max(1.0),
+        ln_n,
+        ln_n + 1.0,
+        ln_n + 2.0,
+        ln_n + 4.0,
+    ];
+
+    let seq = SeedSequence::new(0xEB1D);
+    let mut jobs = Vec::new();
+    for (fi, &frac) in fractions.iter().enumerate() {
+        for (ci, &c) in cs.iter().enumerate() {
+            for trial in 0..trials {
+                jobs.push((frac, c, seq.seed_at(((fi * 10 + ci) as u64) << 32 | trial)));
+            }
+        }
+    }
+    let outcomes = parallel_map(&jobs, |&(frac, c, seed)| {
+        let members: Vec<bool> = (0..n).map(|i| i % frac == 0).collect();
+        let n_prime = members.iter().filter(|&&m| m).count();
+        let t = (c * n as f64) as u64;
+        let horizon = lemma2_horizon(n, n_prime, t);
+        let mut ep = Epidemic::new(members, 0).expect("source is a member");
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let failed = ep.run_to_completion(&mut rng, horizon).is_err();
+        (frac, c, failed)
+    });
+
+    let mut table = Table::new([
+        "n'",
+        "t/n",
+        "horizon 2⌈n/n'⌉t (steps)",
+        "empirical P[unfinished]",
+        "Lemma 2 bound n·e^{−t/n}",
+        "bound respected",
+    ]);
+    let mut all_respected = true;
+    for &frac in &fractions {
+        let n_prime = (0..n).filter(|i| i % frac == 0).count();
+        for &c in &cs {
+            let t = (c * n as f64) as u64;
+            let fails = outcomes
+                .iter()
+                .filter(|&&(jf, jc, _)| jf == frac && jc == c)
+                .filter(|&&(_, _, failed)| failed)
+                .count();
+            let p_fail = fails as f64 / trials as f64;
+            let bound = theory::epidemic_tail_bound(n as u64, t as f64);
+            // Allow Monte-Carlo noise of ~3 standard errors on top.
+            let noise = 3.0 * (bound.max(1e-6) / trials as f64).sqrt();
+            let ok = p_fail <= bound + noise;
+            all_respected &= ok;
+            table.push_row([
+                n_prime.to_string(),
+                format!("{c:.1}"),
+                lemma2_horizon(n, n_prime, t).to_string(),
+                f3(p_fail),
+                f3(bound),
+                if ok { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+    }
+
+    let notes = vec![
+        format!("Population n = {n}, {trials} trials per cell; sub-populations are every \
+                 {{1st, 2nd, 4th}} agent."),
+        format!(
+            "All empirical tails below the closed-form bound (within Monte-Carlo noise): {}.",
+            if all_respected { "CONFIRMED" } else { "VIOLATED — investigate" }
+        ),
+        "The bound is loose by design (union bound over agents); empirical failure \
+         probabilities drop to 0 well before the bound does."
+            .to_string(),
+    ];
+
+    ExperimentOutput {
+        id: "lemma2",
+        title: "Lemma 2 — epidemic completion tail vs. closed form",
+        notes,
+        tables: vec![("tail probabilities".to_string(), table)],
+    }
+}

@@ -1,0 +1,100 @@
+//! **Lemma 4** — once every agent has a status, `|V_A| ≥ n/2`,
+//! `|V_F| ≥ n/2`, and `|V_B| ≥ 1` hold forever.
+
+use crate::{parallel_map, ExperimentOutput};
+use pp_core::{Pll, Status};
+use pp_engine::{Simulation, UniformScheduler};
+use pp_rand::SeedSequence;
+use pp_stats::Table;
+
+/// Runs the Lemma 4 invariant measurement.
+pub fn run(quick: bool) -> ExperimentOutput {
+    let ns: Vec<usize> = if quick {
+        vec![64, 256]
+    } else {
+        vec![256, 1024, 4096]
+    };
+    let seeds: u64 = if quick { 5 } else { 20 };
+    let checkpoints = 50u64;
+
+    let seq = SeedSequence::new(44);
+    let mut jobs = Vec::new();
+    for (ni, &n) in ns.iter().enumerate() {
+        for s in 0..seeds {
+            jobs.push((n, seq.seed_at(((ni as u64) << 32) | s)));
+        }
+    }
+
+    // Each job returns (n, min |V_A|/n, min |V_F|/n, min |V_B|, assignment
+    // parallel time).
+    let outcomes = parallel_map(&jobs, |&(n, seed)| {
+        let pll = Pll::for_population(n).expect("n >= 2");
+        let mut sim =
+            Simulation::new(pll, n, UniformScheduler::seed_from_u64(seed)).expect("n >= 2");
+        let assign = sim.run_until(n as u64 / 4 + 1, u64::MAX, |sim| {
+            sim.states().iter().all(|s| s.status != Status::X)
+        });
+        let assignment_time = assign.parallel_time(n);
+        let mut min_a = f64::INFINITY;
+        let mut min_f = f64::INFINITY;
+        let mut min_b = usize::MAX;
+        for _ in 0..checkpoints {
+            sim.run(n as u64 / 2 + 1);
+            let a = sim.states().iter().filter(|s| s.status == Status::A).count();
+            let b = sim.states().iter().filter(|s| s.status == Status::B).count();
+            let f = sim.states().iter().filter(|s| !s.leader).count();
+            min_a = min_a.min(a as f64 / n as f64);
+            min_f = min_f.min(f as f64 / n as f64);
+            min_b = min_b.min(b);
+        }
+        (n, min_a, min_f, min_b, assignment_time)
+    });
+
+    let mut table = Table::new([
+        "n",
+        "min |V_A|/n (bound ≥ 0.5)",
+        "min |V_F|/n (bound ≥ 0.5)",
+        "min |V_B| (bound ≥ 1)",
+        "status-assignment parallel time (mean)",
+        "holds",
+    ]);
+    let mut all_hold = true;
+    for &n in &ns {
+        let rows: Vec<_> = outcomes.iter().filter(|o| o.0 == n).collect();
+        let min_a = rows.iter().map(|o| o.1).fold(f64::INFINITY, f64::min);
+        let min_f = rows.iter().map(|o| o.2).fold(f64::INFINITY, f64::min);
+        let min_b = rows.iter().map(|o| o.3).min().unwrap_or(0);
+        let assign = rows.iter().map(|o| o.4).sum::<f64>() / rows.len() as f64;
+        let holds = min_a >= 0.5 && min_f >= 0.5 && min_b >= 1;
+        all_hold &= holds;
+        table.push_row([
+            n.to_string(),
+            format!("{min_a:.4}"),
+            format!("{min_f:.4}"),
+            min_b.to_string(),
+            format!("{assign:.1}"),
+            if holds { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+
+    let notes = vec![
+        format!(
+            "Minima taken over {seeds} seeds × {checkpoints} checkpoints per n, after every \
+             agent left status X. Lemma 4: {}.",
+            if all_hold { "CONFIRMED" } else { "VIOLATED — investigate" }
+        ),
+        "Status assignment itself completes in Θ(log n) parallel time (the last pristine \
+         agent is found by a coupon-collector argument), visible in the last column."
+            .to_string(),
+        "The same invariants are enforced per-step by unit tests in `pp-core` and \
+         exhaustively on small populations by `pp-verify` (workspace integration tests)."
+            .to_string(),
+    ];
+
+    ExperimentOutput {
+        id: "lemma4",
+        title: "Lemma 4 — population split invariants",
+        notes,
+        tables: vec![("observed minima".to_string(), table)],
+    }
+}

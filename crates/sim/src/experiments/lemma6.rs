@@ -1,0 +1,158 @@
+//! **Lemma 6** — the count-up/color synchronization machinery:
+//!
+//! * **P1**: from a fresh color start, no agent gets the *next* color within
+//!   `⌊21·n·ln n⌋` steps (w.h.p.);
+//! * **P2**: the fresh color spreads to the whole population within
+//!   `⌊4·n·ln n⌋` steps (w.h.p.);
+//! * **P3**: the next color start follows within `O(log n)` parallel time.
+
+use super::f1;
+use crate::{parallel_map, ExperimentOutput};
+use pp_core::Pll;
+use pp_engine::{Simulation, UniformScheduler};
+use pp_rand::SeedSequence;
+use pp_stats::{Summary, Table};
+
+#[derive(Debug, Default, Clone)]
+struct CycleStats {
+    /// Steps from a color's first appearance to full spread.
+    spreads: Vec<u64>,
+    /// Steps between consecutive colors' first appearances.
+    gaps: Vec<u64>,
+}
+
+/// Tracks color first-appearance and full-spread events over one run.
+fn observe_cycles(n: usize, seed: u64, cycles: usize) -> CycleStats {
+    let pll = Pll::for_population(n).expect("n >= 2");
+    let mut sim = Simulation::new(pll, n, UniformScheduler::seed_from_u64(seed)).expect("n >= 2");
+    let resolution = (n as u64 / 8).max(1);
+    let mut stats = CycleStats::default();
+
+    let mut current: u8 = 0; // color whose cycle we are in
+    let mut appeared_at: u64 = 0; // first-appearance step of `current`
+    let mut spread_recorded = false;
+    // Budget: each cycle is ~ c_max/2 parallel time; allow 4x slack.
+    let params = *Pll::for_population(n).expect("n >= 2").params();
+    let budget = (cycles as u64 + 2) * 2 * params.cmax() as u64 * n as u64;
+
+    while stats.gaps.len() < cycles && sim.steps() < budget {
+        sim.run(resolution);
+        let mut counts = [0usize; 3];
+        for s in sim.states() {
+            counts[s.color as usize] += 1;
+        }
+        let next = ((current + 1) % 3) as usize;
+        if !spread_recorded && counts[current as usize] == n {
+            stats.spreads.push(sim.steps() - appeared_at);
+            spread_recorded = true;
+        }
+        if counts[next] > 0 {
+            stats.gaps.push(sim.steps() - appeared_at);
+            if !spread_recorded {
+                // Full spread never observed before the next color: record
+                // the gap as a (pessimistic) spread too so P2 accounting
+                // notices.
+                stats.spreads.push(sim.steps() - appeared_at);
+            }
+            current = (current + 1) % 3;
+            appeared_at = sim.steps();
+            spread_recorded = false;
+        }
+    }
+    stats
+}
+
+/// Runs the Lemma 6 reproduction.
+pub fn run(quick: bool) -> ExperimentOutput {
+    let ns: Vec<usize> = if quick {
+        vec![128, 256]
+    } else {
+        vec![256, 1024, 4096]
+    };
+    let seeds: u64 = if quick { 3 } else { 10 };
+    let cycles = if quick { 4 } else { 8 };
+
+    let seq = SeedSequence::new(66);
+    let mut jobs = Vec::new();
+    for (ni, &n) in ns.iter().enumerate() {
+        for s in 0..seeds {
+            jobs.push((n, seq.seed_at(((ni as u64) << 32) | s)));
+        }
+    }
+    let outcomes = parallel_map(&jobs, |&(n, seed)| (n, observe_cycles(n, seed, cycles)));
+
+    let mut table = Table::new([
+        "n",
+        "cycles",
+        "spread (mean par.)",
+        "spread (max par.)",
+        "P2 bound 4·ln n",
+        "P2 holds (frac)",
+        "gap (mean par.)",
+        "gap (min par.)",
+        "P1 bound 21·ln n",
+        "P1 holds (frac)",
+    ]);
+    for &n in &ns {
+        let nf = n as f64;
+        let p2_bound = 4.0 * nf.ln();
+        let p1_bound = 21.0 * nf.ln();
+        let mut spreads = Summary::new();
+        let mut gaps = Summary::new();
+        let mut p2_ok = 0u64;
+        let mut p2_all = 0u64;
+        let mut p1_ok = 0u64;
+        let mut p1_all = 0u64;
+        for (_, stats) in outcomes.iter().filter(|(jn, _)| *jn == n) {
+            for &s in &stats.spreads {
+                let par = s as f64 / nf;
+                spreads.push(par);
+                p2_all += 1;
+                if par <= p2_bound {
+                    p2_ok += 1;
+                }
+            }
+            for &g in &stats.gaps {
+                let par = g as f64 / nf;
+                gaps.push(par);
+                p1_all += 1;
+                if par >= p1_bound {
+                    p1_ok += 1;
+                }
+            }
+        }
+        table.push_row([
+            n.to_string(),
+            p2_all.to_string(),
+            f1(spreads.mean()),
+            f1(spreads.max()),
+            f1(p2_bound),
+            format!("{:.3}", p2_ok as f64 / p2_all.max(1) as f64),
+            f1(gaps.mean()),
+            f1(gaps.min()),
+            f1(p1_bound),
+            format!("{:.3}", p1_ok as f64 / p1_all.max(1) as f64),
+        ]);
+    }
+
+    let notes = vec![
+        "Spread = steps from a color's first appearance to all n agents holding it \
+         (epidemic; P2 bounds it by 4·n·ln n w.h.p.). Gap = steps between consecutive \
+         colors' first appearances (P1 lower-bounds it by 21·n·ln n w.h.p.; P3 says it is \
+         O(log n) parallel time, ≈ c_max/2 = 20.5·m)."
+            .to_string(),
+        "Event detection samples every n/8 steps, so measured times carry ≤ 0.125 parallel \
+         time units of quantization."
+            .to_string(),
+        "Expected shape: spread ≪ P2 bound, gap comfortably above P1 bound and close to \
+         20.5·m parallel time — the design margin (41m vs 58·ln n in the proof) is visible."
+            .to_string(),
+    ];
+
+    ExperimentOutput {
+        id: "lemma6",
+        title: "Lemma 6 — synchronization properties P1/P2/P3",
+        notes,
+        tables: vec![("color-cycle timing".to_string(), table)],
+    }
+}

@@ -1,0 +1,78 @@
+//! **Lemma 7** — after `⌊21·n·ln n⌋` interactions, the number of surviving
+//! leaders is `i` with probability `< 2^{1−i} + ε_i`.
+
+use super::f3;
+use crate::{parallel_map, ExperimentOutput};
+use pp_core::Pll;
+use pp_engine::{Simulation, UniformScheduler};
+use pp_rand::SeedSequence;
+use pp_stats::{theory, Histogram, Table};
+
+/// Runs the Lemma 7 reproduction.
+pub fn run(quick: bool) -> ExperimentOutput {
+    let n: usize = if quick { 256 } else { 2048 };
+    let trials: u64 = if quick { 300 } else { 3000 };
+    let horizon = theory::qe_horizon(n as u64);
+
+    let seq = SeedSequence::new(77);
+    let jobs: Vec<u64> = (0..trials).map(|t| seq.seed_at(t)).collect();
+    let survivors = parallel_map(&jobs, |&seed| {
+        let pll = Pll::for_population(n).expect("n >= 2");
+        let mut sim =
+            Simulation::new(pll, n, UniformScheduler::seed_from_u64(seed)).expect("n >= 2");
+        sim.run(horizon);
+        sim.leader_count() as u64
+    });
+
+    let hist: Histogram = survivors.iter().copied().collect();
+    let mut table = Table::new([
+        "surviving leaders i",
+        "empirical P[·=i]",
+        "bound 2^{1−i} (i ≥ 2)",
+        "exact game value 1/(2^i −1)",
+        "within bound",
+    ]);
+    let mut all_ok = true;
+    let max_i = hist.max_value().unwrap_or(1).max(6);
+    for i in 1..=max_i {
+        let p = hist.probability(i);
+        let bound = theory::lottery_survivor_bound(i as u32);
+        let exact = theory::lottery_survivor_exact(i as u32);
+        // 3σ Monte-Carlo tolerance on the bound comparison.
+        let tol = 3.0 * (bound.max(1e-4) / trials as f64).sqrt();
+        let ok = i < 2 || p <= bound + tol;
+        all_ok &= ok;
+        table.push_row([
+            i.to_string(),
+            f3(p),
+            if i >= 2 { f3(bound) } else { "—".to_string() },
+            if i >= 2 { f3(exact) } else { "—".to_string() },
+            if ok { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+
+    let unique_rate = hist.probability(1);
+    let notes = vec![
+        format!(
+            "n = {n}, horizon ⌊21·n·ln n⌋ = {horizon} steps, {trials} independent runs; \
+             leaders counted at the horizon."
+        ),
+        format!(
+            "P[unique leader already] = {unique_rate:.3}; the game analysis predicts \
+             1 − Σ_{{i≥2}} 1/(2^i−1) ≈ 0.394 *for the game alone* — the measured value is \
+             higher because the maximum-level epidemic keeps eliminating ties during the \
+             window and many runs have already entered Tournament territory."
+        ),
+        format!(
+            "All i ≥ 2 probabilities below the 2^{{1−i}} bound (3σ tolerance): {}.",
+            if all_ok { "CONFIRMED" } else { "VIOLATED — investigate" }
+        ),
+    ];
+
+    ExperimentOutput {
+        id: "lemma7",
+        title: "Lemma 7 — QuickElimination survivor distribution",
+        notes,
+        tables: vec![("survivor histogram".to_string(), table)],
+    }
+}

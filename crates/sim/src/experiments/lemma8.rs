@@ -1,0 +1,88 @@
+//! **Lemma 8** — the number of leaders becomes exactly one before any agent
+//! enters the fourth epoch, with probability `1 − O(1/log n)`.
+
+use super::f3;
+use crate::{parallel_map, ExperimentOutput};
+use pp_core::Pll;
+use pp_engine::{Simulation, UniformScheduler};
+use pp_rand::SeedSequence;
+use pp_stats::{fit_against, Table};
+
+/// Runs the Lemma 8 reproduction.
+pub fn run(quick: bool) -> ExperimentOutput {
+    let ns: Vec<usize> = if quick {
+        vec![64, 128, 256]
+    } else {
+        vec![256, 512, 1024, 2048, 4096]
+    };
+    let trials: u64 = if quick { 100 } else { 1000 };
+
+    let seq = SeedSequence::new(88);
+    let mut jobs = Vec::new();
+    for (ni, &n) in ns.iter().enumerate() {
+        for t in 0..trials {
+            jobs.push((n, seq.seed_at(((ni as u64) << 32) | t)));
+        }
+    }
+    // success = unique leader reached while no agent is in epoch 4 yet.
+    let outcomes = parallel_map(&jobs, |&(n, seed)| {
+        let pll = Pll::for_population(n).expect("n >= 2");
+        let mut sim =
+            Simulation::new(pll, n, UniformScheduler::seed_from_u64(seed)).expect("n >= 2");
+        let burst = (n as u64 / 2).max(1);
+        loop {
+            let outcome = sim.run_until_single_leader(sim.steps() + burst);
+            let epoch4 = sim.states().iter().any(|s| s.epoch >= 4);
+            if outcome.converged {
+                // Conservative: if epoch 4 was entered in the same burst,
+                // count the run as a failure.
+                return (n, !epoch4);
+            }
+            if epoch4 {
+                return (n, false);
+            }
+        }
+    });
+
+    let mut table = Table::new([
+        "n",
+        "P[unique before epoch 4]",
+        "failure rate",
+        "failure × lg n (≈ const if O(1/log n))",
+    ]);
+    let mut fit_points = Vec::new();
+    for &n in &ns {
+        let rows: Vec<_> = outcomes.iter().filter(|o| o.0 == n).collect();
+        let successes = rows.iter().filter(|o| o.1).count();
+        let p = successes as f64 / rows.len() as f64;
+        let fail = 1.0 - p;
+        let lg = (n as f64).log2();
+        fit_points.push((1.0 / lg, fail));
+        table.push_row([
+            n.to_string(),
+            f3(p),
+            f3(fail),
+            f3(fail * lg),
+        ]);
+    }
+
+    // O(1/log n) failure ⟺ failure ≈ a·(1/lg n) + b with b ≈ 0.
+    let fit = fit_against(&fit_points);
+    let notes = vec![
+        format!("{trials} runs per n; epoch-4 entry checked every n/2 steps (runs where \
+                 convergence and epoch-4 entry fall in the same burst are counted as \
+                 failures, a conservative bias)."),
+        format!(
+            "Linear fit of failure rate against 1/lg n: slope {:.2}, intercept {:.3} \
+             (R² {:.3}) — an intercept near zero is the O(1/log n) signature of Lemma 8.",
+            fit.slope, fit.intercept, fit.r_squared
+        ),
+    ];
+
+    ExperimentOutput {
+        id: "lemma8",
+        title: "Lemma 8 — unique leader before the fourth epoch",
+        notes,
+        tables: vec![("success probabilities".to_string(), table)],
+    }
+}

@@ -1,0 +1,32 @@
+//! One module per reproduced paper artifact; see the crate docs for the
+//! index. Every module exposes `run(quick: bool) -> ExperimentOutput`.
+
+pub mod ablation;
+pub mod attribution;
+pub mod lemma12;
+pub mod lemma2;
+pub mod lemma4;
+pub mod lemma6;
+pub mod lemma7;
+pub mod lemma8;
+pub mod scheduler;
+pub mod symmetric;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod theorem1;
+
+/// Formats a float with three significant decimals for table cells.
+pub(crate) fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with one decimal for table cells.
+pub(crate) fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a mean ± 95% CI pair.
+pub(crate) fn mean_ci(s: &pp_stats::Summary) -> String {
+    format!("{:.1} ± {:.1}", s.mean(), s.ci95())
+}

@@ -1,0 +1,136 @@
+//! **Scheduler robustness** — what survives when the uniformly random
+//! scheduler assumption is dropped.
+//!
+//! All of the paper's *time* bounds are stated under the uniformly random
+//! scheduler Γ; *safety* (at least one leader, monotone leader count) is a
+//! property of the transition function and holds under any schedule. This
+//! experiment runs `P_LL` and the baselines under the deterministic
+//! round-robin sweep and compares against Γ.
+
+use super::f1;
+use crate::{parallel_map, ExperimentOutput};
+use pp_core::Pll;
+use pp_engine::{
+    LeaderElection, RoundRobinScheduler, Scheduler, Simulation, UniformScheduler,
+};
+use pp_protocols::{BoundedLottery, Fratricide};
+use pp_rand::SeedSequence;
+use pp_stats::{Summary, Table};
+
+fn measure<P, S, F, G>(make: F, sched: G, ns: &[usize], runs: u64, master: u64) -> Vec<Summary>
+where
+    P: LeaderElection,
+    S: Scheduler,
+    F: Fn(usize) -> P + Sync,
+    G: Fn(u64) -> S + Sync,
+{
+    let seq = SeedSequence::new(master);
+    let mut jobs = Vec::new();
+    for (ni, &n) in ns.iter().enumerate() {
+        for r in 0..runs {
+            jobs.push((n, seq.seed_at(((ni as u64) << 32) | r)));
+        }
+    }
+    let outcomes = parallel_map(&jobs, |&(n, seed)| {
+        let mut sim = Simulation::new(make(n), n, sched(seed)).expect("n >= 2");
+        let outcome = sim.run_until_single_leader(500_000_000);
+        assert!(outcome.converged, "run failed to elect under this schedule");
+        (n, outcome.parallel_time(n))
+    });
+    ns.iter()
+        .map(|&n| {
+            outcomes
+                .iter()
+                .filter(|&&(jn, _)| jn == n)
+                .map(|&(_, t)| t)
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the scheduler-robustness experiment.
+pub fn run(quick: bool) -> ExperimentOutput {
+    let ns: Vec<usize> = if quick {
+        vec![64, 256]
+    } else {
+        vec![256, 1024, 4096]
+    };
+    let runs: u64 = if quick { 5 } else { 20 };
+
+    // Uniformly random scheduler (seeded per run).
+    let pll_uniform = measure(
+        |n| Pll::for_population(n).expect("n >= 2"),
+        UniformScheduler::seed_from_u64,
+        &ns,
+        runs,
+        1,
+    );
+    let frat_uniform = measure(|_| Fratricide, UniformScheduler::seed_from_u64, &ns, runs, 2);
+    let lot_uniform = measure(
+        |n| BoundedLottery::for_population(n).expect("n >= 2"),
+        UniformScheduler::seed_from_u64,
+        &ns,
+        runs,
+        3,
+    );
+    // Deterministic round-robin sweep (seed ignored; one run per n).
+    let pll_rr = measure(
+        |n| Pll::for_population(n).expect("n >= 2"),
+        |_| RoundRobinScheduler::new(),
+        &ns,
+        1,
+        4,
+    );
+    let frat_rr = measure(|_| Fratricide, |_| RoundRobinScheduler::new(), &ns, 1, 5);
+    let lot_rr = measure(
+        |n| BoundedLottery::for_population(n).expect("n >= 2"),
+        |_| RoundRobinScheduler::new(),
+        &ns,
+        1,
+        6,
+    );
+
+    let mut table = Table::new([
+        "n",
+        "P_LL Γ",
+        "P_LL round-robin",
+        "Fratricide Γ",
+        "Fratricide round-robin",
+        "BoundedLottery Γ",
+        "BoundedLottery round-robin",
+    ]);
+    for (i, &n) in ns.iter().enumerate() {
+        table.push_row([
+            n.to_string(),
+            f1(pll_uniform[i].mean()),
+            f1(pll_rr[i].mean()),
+            f1(frat_uniform[i].mean()),
+            f1(frat_rr[i].mean()),
+            f1(lot_uniform[i].mean()),
+            f1(lot_rr[i].mean()),
+        ]);
+    }
+
+    let notes = vec![
+        "Every run under every schedule elected exactly one leader: safety (≥1 leader, \
+         monotone count) is schedule-independent — it is a property of the transition \
+         function alone."
+            .to_string(),
+        "Round-robin is *faster* for these protocols: the first sweep assigns statuses \
+         pairwise (P_LL ends it with a single surviving candidate), and deterministic \
+         alternation resolves lotteries immediately. The paper's Ω(log n) lower bounds are \
+         statements about the uniformly random scheduler, not about adversarial or \
+         deterministic ones."
+            .to_string(),
+        "Parallel-time *distributions* under Γ carry the analysis' meaning; the round-robin \
+         column is a single deterministic trajectory."
+            .to_string(),
+    ];
+
+    ExperimentOutput {
+        id: "scheduler",
+        title: "Scheduler robustness — beyond the uniformly random scheduler",
+        notes,
+        tables: vec![("parallel stabilization times".to_string(), table)],
+    }
+}

@@ -1,0 +1,120 @@
+//! **Section 4** — the symmetric variant: correctness, overhead, and the
+//! exactly-fair coin machinery (`#F0 = #F1` at all times).
+
+use super::{f3, mean_ci};
+use crate::{parallel_map, stabilization_sweep, ExperimentOutput};
+use pp_core::{Coin, Pll, SymPll};
+use pp_engine::{Simulation, UniformScheduler};
+use pp_rand::SeedSequence;
+use pp_stats::Table;
+
+/// Runs the Section 4 reproduction.
+pub fn run(quick: bool) -> ExperimentOutput {
+    let ns: Vec<usize> = if quick {
+        vec![64, 128, 256]
+    } else {
+        vec![256, 512, 1024, 2048, 4096]
+    };
+    let seeds = if quick { 5 } else { 20 };
+
+    let asym = stabilization_sweep(
+        |n| Pll::for_population(n).expect("n >= 2"),
+        &ns,
+        seeds,
+        41,
+        u64::MAX,
+    );
+    let sym = stabilization_sweep(
+        |n| SymPll::for_population(n).expect("n >= 3"),
+        &ns,
+        seeds,
+        42,
+        u64::MAX,
+    );
+
+    let mut timing = Table::new([
+        "n",
+        "asymmetric P_LL (par. time)",
+        "symmetric P_LL (par. time)",
+        "overhead ×",
+    ]);
+    for (a, s) in asym.iter().zip(&sym) {
+        timing.push_row([
+            a.n.to_string(),
+            mean_ci(&a.times),
+            mean_ci(&s.times),
+            format!("{:.2}", s.times.mean() / a.times.mean()),
+        ]);
+    }
+
+    // Fairness: the #F0 = #F1 invariant and the head-rate of usable coins,
+    // sampled along real runs.
+    let fairness_ns: Vec<usize> = if quick { vec![128] } else { vec![512, 2048] };
+    let seq = SeedSequence::new(400);
+    let jobs: Vec<(usize, u64)> = fairness_ns
+        .iter()
+        .flat_map(|&n| (0..seeds).map(move |s| (n, seq.seed_at((n as u64) << 32 | s))))
+        .collect();
+    let fairness = parallel_map(&jobs, |&(n, seed)| {
+        let p = SymPll::for_population(n).expect("n >= 3");
+        let mut sim =
+            Simulation::new(p, n, UniformScheduler::seed_from_u64(seed)).expect("n >= 2");
+        let mut max_imbalance = 0i64;
+        let mut usable_frac_sum = 0.0;
+        let checkpoints = 60;
+        for _ in 0..checkpoints {
+            sim.run((n as u64 / 2).max(1));
+            let f0 = sim
+                .states()
+                .iter()
+                .filter(|s| s.coin() == Some(Coin::F0))
+                .count() as i64;
+            let f1 = sim
+                .states()
+                .iter()
+                .filter(|s| s.coin() == Some(Coin::F1))
+                .count() as i64;
+            let followers = sim.states().iter().filter(|s| !s.is_leader()).count();
+            max_imbalance = max_imbalance.max((f0 - f1).abs());
+            usable_frac_sum += (f0 + f1) as f64 / followers.max(1) as f64;
+        }
+        (n, max_imbalance, usable_frac_sum / checkpoints as f64)
+    });
+
+    let mut coins = Table::new([
+        "n",
+        "max |#F0 − #F1| over run (invariant: 0)",
+        "usable-coin fraction of followers (mean)",
+    ]);
+    for &n in &fairness_ns {
+        let rows: Vec<_> = fairness.iter().filter(|r| r.0 == n).collect();
+        let worst = rows.iter().map(|r| r.1).max().unwrap_or(0);
+        let usable = rows.iter().map(|r| r.2).sum::<f64>() / rows.len() as f64;
+        coins.push_row([n.to_string(), worst.to_string(), f3(usable)]);
+    }
+
+    let notes = vec![
+        "The symmetric variant pays a constant-factor overhead: leaders can only flip when \
+         they meet a follower holding a usable coin (F0/F1), and the charging dance (J/K) \
+         consumes follower meetings."
+            .to_string(),
+        "max |#F0 − #F1| = 0 in every sampled configuration: usable coins are minted in \
+         balanced pairs and never destroyed, so each observed coin is exactly Bernoulli(½) \
+         — the paper's 'totally independent and fair coin flips'. The same invariant is \
+         checked per-step in `pp-core` tests and exhaustively in `pp-verify`."
+            .to_string(),
+        "Symmetry itself (T(p,p) = (p',p')) is property-tested over the full state domain in \
+         `pp-core::symmetric`."
+            .to_string(),
+    ];
+
+    ExperimentOutput {
+        id: "symmetric",
+        title: "Section 4 — symmetric P_LL and exactly fair coins",
+        notes,
+        tables: vec![
+            ("stabilization overhead".to_string(), timing),
+            ("coin fairness".to_string(), coins),
+        ],
+    }
+}

@@ -1,0 +1,193 @@
+//! **Table 1** — leader-election protocols: states per agent vs. expected
+//! stabilization time.
+//!
+//! The paper's Table 1 is an asymptotic comparison across eight papers. We
+//! reproduce its *shape* with the three implemented corners of the
+//! trade-off space (see `DESIGN.md` for the substitution rationale):
+//!
+//! | protocol | states | time (paper) |
+//! |---|---|---|
+//! | Fratricide \[Ang+06\] | `O(1)` | `O(n)` |
+//! | UnboundedLottery [MST18-like] | `O(n)` | `O(log n)` |
+//! | `P_LL` (this work) | `O(log n)` | `O(log n)` |
+//!
+//! Measured: mean parallel stabilization time (± 95% CI) and distinct states
+//! visited per execution, across a dyadic sweep of `n`; plus fitted
+//! power-law exponents that separate `Θ(n)` from `O(log n)` scaling.
+
+use super::{f1, f3, mean_ci};
+use crate::{parallel_map, stabilization_sweep, ExperimentOutput};
+use pp_core::Pll;
+use pp_engine::CountSimulation;
+use pp_protocols::{BoundedLottery, Fratricide, UnboundedLottery};
+use pp_rand::{SeedSequence, Xoshiro256PlusPlus};
+use pp_stats::{fit_power_law, Summary, Table};
+
+fn distinct_states<P, F>(make: F, ns: &[usize], seeds: u64, master: u64) -> Vec<Summary>
+where
+    P: pp_engine::LeaderElection,
+    F: Fn(usize) -> P + Sync,
+{
+    let seq = SeedSequence::new(master);
+    let mut jobs = Vec::new();
+    for (ni, &n) in ns.iter().enumerate() {
+        for s in 0..seeds {
+            jobs.push((n, seq.seed_at(((ni as u64) << 32) | s)));
+        }
+    }
+    let outcomes = parallel_map(&jobs, |&(n, seed)| {
+        let rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut sim = CountSimulation::new(make(n), n, rng).expect("n >= 2");
+        sim.run_until_single_leader(u64::MAX);
+        (n, sim.distinct_states_seen() as f64)
+    });
+    ns.iter()
+        .map(|&n| {
+            outcomes
+                .iter()
+                .filter(|&&(jn, _)| jn == n)
+                .map(|&(_, d)| d)
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the Table 1 reproduction.
+pub fn run(quick: bool) -> ExperimentOutput {
+    let ns: Vec<usize> = if quick {
+        vec![64, 128, 256]
+    } else {
+        vec![256, 512, 1024, 2048, 4096, 8192]
+    };
+    let seeds = if quick { 5 } else { 30 };
+    let state_seeds = if quick { 2 } else { 5 };
+
+    let frat = stabilization_sweep(|_| Fratricide, &ns, seeds, 1, u64::MAX);
+    let blottery = stabilization_sweep(
+        |n| BoundedLottery::for_population(n).expect("n >= 2"),
+        &ns,
+        seeds,
+        4,
+        u64::MAX,
+    );
+    let lottery = stabilization_sweep(|_| UnboundedLottery, &ns, seeds, 2, u64::MAX);
+    let pll = stabilization_sweep(
+        |n| Pll::for_population(n).expect("n >= 2"),
+        &ns,
+        seeds,
+        3,
+        u64::MAX,
+    );
+
+    let frat_states = distinct_states(|_| Fratricide, &ns, state_seeds, 10);
+    let blottery_states = distinct_states(
+        |n| BoundedLottery::for_population(n).expect("n >= 2"),
+        &ns,
+        state_seeds,
+        13,
+    );
+    let lottery_states = distinct_states(|_| UnboundedLottery, &ns, state_seeds, 11);
+    let pll_states = distinct_states(
+        |n| Pll::for_population(n).expect("n >= 2"),
+        &ns,
+        state_seeds,
+        12,
+    );
+
+    let mut main = Table::new([
+        "n",
+        "Fratricide time",
+        "BLottery time",
+        "ULottery time",
+        "P_LL time",
+        "Frat states",
+        "BLottery states",
+        "ULottery states",
+        "P_LL states",
+    ]);
+    for (i, &n) in ns.iter().enumerate() {
+        main.push_row([
+            n.to_string(),
+            mean_ci(&frat[i].times),
+            mean_ci(&blottery[i].times),
+            mean_ci(&lottery[i].times),
+            mean_ci(&pll[i].times),
+            f1(frat_states[i].mean()),
+            f1(blottery_states[i].mean()),
+            f1(lottery_states[i].mean()),
+            f1(pll_states[i].mean()),
+        ]);
+    }
+
+    // Scaling fits: exponent of T(n) ~ n^e.
+    let exponent = |points: &[crate::SweepPoint]| -> f64 {
+        let pts: Vec<(f64, f64)> = points
+            .iter()
+            .map(|p| (p.n as f64, p.times.mean()))
+            .collect();
+        fit_power_law(&pts).slope
+    };
+    let sexponent = |summaries: &[Summary]| -> f64 {
+        let pts: Vec<(f64, f64)> = ns
+            .iter()
+            .zip(summaries)
+            .map(|(&n, s)| (n as f64, s.mean().max(1.0)))
+            .collect();
+        fit_power_law(&pts).slope
+    };
+
+    let mut fits = Table::new(["protocol", "paper states", "paper time", "time exponent", "states exponent"]);
+    fits.push_row([
+        "Fratricide [Ang+06]".to_string(),
+        "O(1)".to_string(),
+        "O(n)".to_string(),
+        f3(exponent(&frat)),
+        f3(sexponent(&frat_states)),
+    ]);
+    fits.push_row([
+        "BoundedLottery [Ali+17-like]".to_string(),
+        "O(log n)".to_string(),
+        "lottery O(log n) + Θ(n) tie tail".to_string(),
+        f3(exponent(&blottery)),
+        f3(sexponent(&blottery_states)),
+    ]);
+    fits.push_row([
+        "UnboundedLottery [MST18-like]".to_string(),
+        "O(n)".to_string(),
+        "O(log n)".to_string(),
+        f3(exponent(&lottery)),
+        f3(sexponent(&lottery_states)),
+    ]);
+    fits.push_row([
+        "P_LL (this work)".to_string(),
+        "O(log n)".to_string(),
+        "O(log n)".to_string(),
+        f3(exponent(&pll)),
+        f3(sexponent(&pll_states)),
+    ]);
+
+    let notes = vec![
+        "Time exponents near 1 indicate Θ(n) scaling (paper: [Ang+06]); near 0 indicates \
+         poly-logarithmic scaling (paper: [MST18] and this work)."
+            .to_string(),
+        "States exponents: Fratricide stays at 2 states (exponent ≈ 0); the lottery's state \
+         usage grows with n; P_LL's distinct states grow ≈ linearly in m = ⌈lg n⌉."
+            .to_string(),
+        format!(
+            "Crossover shape: at n = {}, P_LL is ~{:.0}× faster than Fratricide, and the gap \
+             widens with n — matching Table 1's O(log n) vs O(n).",
+            ns[ns.len() - 1],
+            frat.last().unwrap().times.mean() / pll.last().unwrap().times.mean()
+        ),
+    ];
+
+    ExperimentOutput {
+        id: "table1",
+        title: "Table 1 — states vs. expected stabilization time",
+        notes,
+        tables: vec![
+            ("measured sweep".to_string(), main),
+            ("scaling fits vs paper claims".to_string(), fits),
+        ],
+    }
+}

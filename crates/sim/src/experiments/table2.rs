@@ -1,0 +1,93 @@
+//! **Table 2** — lower bounds for leader election, checked for consistency.
+//!
+//! The paper's Table 2 lists three lower bounds. Two are checkable against
+//! our implementations (the third, `Ω(n/polylog n)` for `< ½·lg lg n`
+//! states \[Ali+17\], sits between the two corners we implement):
+//!
+//! * **\[DS18\]**: constant-state protocols need `Ω(n)` expected parallel
+//!   time. Consistency: Fratricide's measured `time/n` ratio stays bounded
+//!   away from 0 as `n` grows (it is `Θ(n)`).
+//! * **\[SM19\]**: `Ω(log n)` expected parallel time for *any* number of
+//!   states. Consistency: `P_LL`'s measured `time/lg n` ratio stays bounded
+//!   below as well as above — it cannot beat the logarithmic floor, and the
+//!   coupon-collector floor `≈ ½·ln n` (every agent must interact at all)
+//!   is visibly respected.
+
+use super::f3;
+use crate::{stabilization_sweep, ExperimentOutput};
+use pp_core::Pll;
+use pp_protocols::Fratricide;
+use pp_stats::{theory, Table};
+
+/// Runs the Table 2 consistency checks.
+pub fn run(quick: bool) -> ExperimentOutput {
+    let ns: Vec<usize> = if quick {
+        vec![64, 128, 256]
+    } else {
+        vec![256, 512, 1024, 2048, 4096, 8192]
+    };
+    let seeds = if quick { 5 } else { 30 };
+
+    let frat = stabilization_sweep(|_| Fratricide, &ns, seeds, 21, u64::MAX);
+    let pll = stabilization_sweep(
+        |n| Pll::for_population(n).expect("n >= 2"),
+        &ns,
+        seeds,
+        22,
+        u64::MAX,
+    );
+
+    let mut table = Table::new([
+        "n",
+        "Frat time/n  [DS18: Ω(n) ⇒ flat > 0]",
+        "P_LL time/lg n  [SM19: Ω(log n) ⇒ flat > 0]",
+        "coupon floor ≈ ½·ln n (parallel)",
+        "P_LL time / floor",
+    ]);
+    for (i, &n) in ns.iter().enumerate() {
+        let frat_ratio = frat[i].times.mean() / n as f64;
+        let lg = (n as f64).log2();
+        let pll_ratio = pll[i].times.mean() / lg;
+        // Every agent must participate in >= 1 interaction before the output
+        // can be correct for all agents; by coupon collector over "who has
+        // interacted", that needs ~ (n/2)·H_n… interactions ≈ ½·ln n
+        // parallel time.
+        let floor = 0.5 * theory::harmonic(n as u64);
+        table.push_row([
+            n.to_string(),
+            f3(frat_ratio),
+            f3(pll_ratio),
+            f3(floor),
+            f3(pll[i].times.mean() / floor),
+        ]);
+    }
+
+    let first_ratio = frat[0].times.mean() / ns[0] as f64;
+    let last_ratio = frat.last().unwrap().times.mean() / *ns.last().unwrap() as f64;
+    let first_pll = pll[0].times.mean() / (ns[0] as f64).log2();
+    let last_pll = pll.last().unwrap().times.mean() / (*ns.last().unwrap() as f64).log2();
+
+    let notes = vec![
+        format!(
+            "Fratricide time/n moves {:.3} → {:.3} across the sweep: bounded and non-vanishing, \
+             consistent with the Ω(n) bound of [DS18] for O(1)-state protocols.",
+            first_ratio, last_ratio
+        ),
+        format!(
+            "P_LL time/lg n moves {:.3} → {:.3}: a bounded constant, i.e. Θ(log n) — it meets \
+             the [SM19] Ω(log n) floor up to a constant and never dips below the coupon floor.",
+            first_pll, last_pll
+        ),
+        "The [Ali+17] bound (Ω(n/polylog n) below ½ lg lg n states) is not directly \
+         exercised: no implemented protocol sits in that state regime; Fratricide (2 states) \
+         already illustrates the sub-log-log wall."
+            .to_string(),
+    ];
+
+    ExperimentOutput {
+        id: "table2",
+        title: "Table 2 — lower-bound consistency",
+        notes,
+        tables: vec![("ratios vs bounds".to_string(), table)],
+    }
+}

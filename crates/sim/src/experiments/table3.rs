@@ -1,0 +1,103 @@
+//! **Table 3** — the variables of `P_LL`, regenerated programmatically,
+//! plus the Lemma 3 state count (`O(log n)` states per agent).
+
+use super::f1;
+use crate::{parallel_map, ExperimentOutput};
+use pp_core::{inventory, Pll, PllParams};
+use pp_engine::CountSimulation;
+use pp_rand::Xoshiro256PlusPlus;
+use pp_stats::Table;
+
+/// Runs the Table 3 reproduction.
+pub fn run(quick: bool) -> ExperimentOutput {
+    // The variable inventory for the canonical parameters at n = 1024.
+    let params = PllParams::for_population(1024).expect("n >= 2");
+    let mut vars = Table::new(["group", "variable", "domain", "initial value"]);
+    for row in inventory::table3(&params) {
+        vars.push_row([
+            row.group.to_string(),
+            row.name.to_string(),
+            row.domain.clone(),
+            row.initial.to_string(),
+        ]);
+    }
+
+    // Lemma 3: the per-agent state count grows linearly in m = Θ(log n).
+    let ms: Vec<u32> = if quick {
+        vec![8, 16, 32]
+    } else {
+        vec![8, 16, 32, 64, 128]
+    };
+    let n_measure = if quick { 256 } else { 1024 };
+    let seeds: Vec<u64> = (0..if quick { 2u64 } else { 4 }).collect();
+
+    let jobs: Vec<(u32, u64)> = ms
+        .iter()
+        .flat_map(|&m| seeds.iter().map(move |&s| (m, s)))
+        .collect();
+    let measured = parallel_map(&jobs, |&(m, seed)| {
+        let pll = Pll::new(PllParams::new(m).expect("m >= 1"));
+        let rng = Xoshiro256PlusPlus::seed_from_u64(900 + seed);
+        let mut sim = CountSimulation::new(pll, n_measure, rng).expect("n >= 2");
+        sim.run_until_single_leader(u64::MAX);
+        // Keep running one full synchronization cycle so later epochs'
+        // states are visited too.
+        sim.run((41 * m as u64) * n_measure as u64);
+        (m, sim.distinct_states_seen() as f64)
+    });
+
+    let mut growth = Table::new([
+        "m",
+        "l_max=5m",
+        "c_max=41m",
+        "Φ",
+        "state bound (Lemma 3)",
+        "distinct states reached (mean)",
+        "bound / m",
+    ]);
+    for &m in &ms {
+        let p = PllParams::new(m).expect("m >= 1");
+        let bound = inventory::state_bound(&p);
+        let mean_reached = {
+            let vals: Vec<f64> = measured
+                .iter()
+                .filter(|&&(jm, _)| jm == m)
+                .map(|&(_, d)| d)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        growth.push_row([
+            m.to_string(),
+            p.lmax().to_string(),
+            p.cmax().to_string(),
+            p.phi().to_string(),
+            bound.to_string(),
+            f1(mean_reached),
+            f1(bound as f64 / m as f64),
+        ]);
+    }
+
+    let notes = vec![
+        "The `tick` variable is transient (reset at line 7 of Algorithm 1) and is modeled as \
+         a local of the transition function; it is listed for fidelity but does not contribute \
+         to the persistent state count."
+            .to_string(),
+        "`bound / m` is essentially constant: the per-agent state space is Θ(m) = Θ(log n), \
+         which is Lemma 3. The dominant term is the V_B timer group (c_max = 41m values)."
+            .to_string(),
+        "`distinct states reached` counts states actually visited by an execution (all agents \
+         pooled); it sits well below the bound because most (common, additional) combinations \
+         never co-occur."
+            .to_string(),
+    ];
+
+    ExperimentOutput {
+        id: "table3",
+        title: "Table 3 — variables of P_LL and the Lemma 3 state count",
+        notes,
+        tables: vec![
+            ("variable inventory (m = 10, n = 1024)".to_string(), vars),
+            ("state-space growth in m".to_string(), growth),
+        ],
+    }
+}

@@ -1,0 +1,161 @@
+//! Parallel execution of embarrassingly parallel experiment jobs.
+
+use pp_engine::{LeaderElection, Simulation, UniformScheduler};
+use pp_rand::SeedSequence;
+use pp_stats::Summary;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every job on all available cores, preserving job order.
+///
+/// Results are deterministic: ordering does not depend on thread scheduling,
+/// only on the job list (each job carries its own seed).
+///
+/// # Example
+///
+/// ```
+/// use pp_sim::parallel_map;
+///
+/// let squares = parallel_map(&[1u64, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, R, F>(jobs: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(jobs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let r = f(&jobs[i]);
+                *results[i].lock().expect("worker never panics holding lock") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("no poisoned locks")
+                .expect("every job ran")
+        })
+        .collect()
+}
+
+/// One measured point of a stabilization-time sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Population size.
+    pub n: usize,
+    /// Parallel stabilization times across seeds.
+    pub times: Summary,
+    /// Number of runs that failed to converge within the step budget
+    /// (should be zero for every protocol in this workspace).
+    pub unconverged: u64,
+}
+
+/// Measures mean parallel stabilization time of a leader-election protocol
+/// across population sizes, `seeds` runs per size, in parallel.
+///
+/// `make` builds the protocol for a given `n`; each run gets a distinct
+/// deterministic seed derived from `master_seed`.
+pub fn stabilization_sweep<P, F>(
+    make: F,
+    ns: &[usize],
+    seeds: u64,
+    master_seed: u64,
+    max_steps: u64,
+) -> Vec<SweepPoint>
+where
+    P: LeaderElection,
+    F: Fn(usize) -> P + Sync,
+{
+    let mut jobs: Vec<(usize, u64)> = Vec::new();
+    let seq = SeedSequence::new(master_seed);
+    for (ni, &n) in ns.iter().enumerate() {
+        for s in 0..seeds {
+            jobs.push((n, seq.seed_at((ni as u64) << 32 | s)));
+        }
+    }
+    let outcomes = parallel_map(&jobs, |&(n, seed)| {
+        let protocol = make(n);
+        let scheduler = UniformScheduler::seed_from_u64(seed);
+        let mut sim = Simulation::new(protocol, n, scheduler)
+            .expect("population sizes are >= 2 by construction");
+        let outcome = sim.run_until_single_leader(max_steps);
+        (n, outcome.converged, outcome.parallel_time(n))
+    });
+    ns.iter()
+        .map(|&n| {
+            let mut times = Summary::new();
+            let mut unconverged = 0;
+            for &(jn, converged, t) in outcomes.iter().filter(|&&(jn, _, _)| jn == n) {
+                debug_assert_eq!(jn, n);
+                if converged {
+                    times.push(t);
+                } else {
+                    unconverged += 1;
+                }
+            }
+            SweepPoint {
+                n,
+                times,
+                unconverged,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_protocols::Fratricide;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let jobs: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(&jobs, |&x| x + 1);
+        assert_eq!(out, (1..=1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let out: Vec<u64> = parallel_map(&[], |&x: &u64| x);
+        assert!(out.is_empty());
+        let out = parallel_map(&[7u64], |&x| x * 2);
+        assert_eq!(out, vec![14]);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_converges() {
+        let ns = [16usize, 32];
+        let a = stabilization_sweep(|_| Fratricide, &ns, 5, 42, u64::MAX);
+        let b = stabilization_sweep(|_| Fratricide, &ns, 5, 42, u64::MAX);
+        assert_eq!(a.len(), 2);
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.n, pb.n);
+            assert_eq!(pa.unconverged, 0);
+            assert_eq!(pa.times.count(), 5);
+            assert!((pa.times.mean() - pb.times.mean()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sweep_counts_unconverged_runs() {
+        // A 1-step budget cannot elect among 16 leaders.
+        let points = stabilization_sweep(|_| Fratricide, &[16], 4, 1, 1);
+        assert_eq!(points[0].unconverged, 4);
+        assert_eq!(points[0].times.count(), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Integer histograms for empirical distributions.
+
+/// A histogram over non-negative integer outcomes (e.g. surviving-leader
+/// counts in the Lemma 7 experiment).
+///
+/// # Example
+///
+/// ```
+/// use pp_stats::Histogram;
+///
+/// let h: Histogram = [1u64, 1, 2, 3, 1].into_iter().collect();
+/// assert_eq!(h.total(), 5);
+/// assert_eq!(h.count(1), 3);
+/// assert!((h.probability(1) - 0.6).abs() < 1e-12);
+/// assert!((h.tail_probability(2) - 0.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: u64) {
+        let idx = value as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observations equal to `value`.
+    pub fn count(&self, value: u64) -> u64 {
+        self.counts.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// Largest observed value (`None` when empty).
+    pub fn max_value(&self) -> Option<u64> {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|idx| idx as u64)
+    }
+
+    /// Empirical probability `P[X = value]` (0 when empty).
+    pub fn probability(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+
+    /// Empirical tail probability `P[X ≥ value]` (0 when empty).
+    pub fn tail_probability(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let from = value as usize;
+        let tail: u64 = self.counts.iter().skip(from).sum();
+        tail as f64 / self.total as f64
+    }
+
+    /// Empirical mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as u64 * c)
+            .sum();
+        weighted as f64 / self.total as f64
+    }
+
+    /// Iterates over `(value, count)` pairs with positive counts.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v as u64, c))
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut h = Histogram::new();
+        for v in iter {
+            h.record(v);
+        }
+        h
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.count(3), 0);
+        assert_eq!(h.probability(1), 0.0);
+        assert_eq!(h.tail_probability(0), 0.0);
+        assert_eq!(h.max_value(), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn counting_and_probabilities() {
+        let h: Histogram = [0u64, 1, 1, 4].into_iter().collect();
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.max_value(), Some(4));
+        assert!((h.probability(4) - 0.25).abs() < 1e-12);
+        assert!((h.tail_probability(1) - 0.75).abs() < 1e-12);
+        assert!((h.tail_probability(5) - 0.0).abs() < 1e-12);
+        assert!((h.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_probabilities_are_monotone() {
+        let h: Histogram = (0..100u64).map(|x| x % 7).collect();
+        let mut last = 1.0 + 1e-12;
+        for v in 0..10 {
+            let t = h.tail_probability(v);
+            assert!(t <= last);
+            last = t;
+        }
+        assert!((h.tail_probability(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_skips_zeros() {
+        let h: Histogram = [0u64, 5].into_iter().collect();
+        let items: Vec<_> = h.iter().collect();
+        assert_eq!(items, vec![(0, 1), (5, 1)]);
+    }
+}

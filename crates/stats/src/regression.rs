@@ -1,0 +1,169 @@
+//! Least-squares fits for scaling-shape estimation.
+
+/// The result of a simple least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 = perfect fit).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits `y ≈ slope·x + intercept` by ordinary least squares.
+///
+/// # Panics
+///
+/// Panics when fewer than two points are supplied or when all `x` are equal.
+pub fn fit_against(points: &[(f64, f64)]) -> LinearFit {
+    assert!(points.len() >= 2, "need at least two points to fit a line");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let mx = sx / n;
+    let my = sy / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx).powi(2)).sum();
+    assert!(sxx > 0.0, "x values must not all be equal");
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - my).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Fits `y ≈ a·lg(n) + b` over `(n, y)` points — the shape test for the
+/// paper's `O(log n)` claims. A good fit (high `R²`, stable slope) with a
+/// near-zero power-law exponent (see [`fit_power_law`]) is the empirical
+/// signature of logarithmic scaling.
+///
+/// # Panics
+///
+/// Panics when fewer than two points are supplied, on non-positive `n`, or
+/// when all `n` are equal.
+pub fn fit_log2(points: &[(f64, f64)]) -> LinearFit {
+    let transformed: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(n, y)| {
+            assert!(n > 0.0, "population sizes must be positive");
+            (n.log2(), y)
+        })
+        .collect();
+    fit_against(&transformed)
+}
+
+/// Fits `y ≈ c·n^e` by least squares on `lg y` vs `lg n`, returning
+/// `(exponent, lg c, R²)` as a [`LinearFit`] where `slope` is the exponent.
+///
+/// The exponent separates scaling regimes at a glance: ≈1 linear (Table 1's
+/// \[Ang+06\]), ≈0 poly-logarithmic (`P_LL`).
+///
+/// # Panics
+///
+/// Panics when fewer than two points are supplied or on non-positive values.
+pub fn fit_power_law(points: &[(f64, f64)]) -> LinearFit {
+    let transformed: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(n, y)| {
+            assert!(n > 0.0 && y > 0.0, "power-law fit needs positive data");
+            (n.log2(), y.log2())
+        })
+        .collect();
+    fit_against(&transformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let pts: Vec<(f64, f64)> = (1..=10).map(|x| (x as f64, 3.0 * x as f64 - 2.0)).collect();
+        let fit = fit_against(&pts);
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(20.0) - 58.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_has_reasonable_r2() {
+        let pts: Vec<(f64, f64)> = (1..=50)
+            .map(|x| {
+                let x = x as f64;
+                // Deterministic "noise".
+                (x, 2.0 * x + 1.0 + ((x * 7.3).sin()))
+            })
+            .collect();
+        let fit = fit_against(&pts);
+        assert!((fit.slope - 2.0).abs() < 0.05);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn log2_fit_recovers_logarithmic_scaling() {
+        // y = 12·lg n + 5.
+        let pts: Vec<(f64, f64)> = (4..=16)
+            .map(|k| {
+                let n = (1u64 << k) as f64;
+                (n, 12.0 * n.log2() + 5.0)
+            })
+            .collect();
+        let fit = fit_log2(&pts);
+        assert!((fit.slope - 12.0).abs() < 1e-9);
+        assert!((fit.intercept - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_law_fit_recovers_exponent() {
+        // y = 0.5 · n^1.0 (linear).
+        let linear: Vec<(f64, f64)> = (4..=14)
+            .map(|k| {
+                let n = (1u64 << k) as f64;
+                (n, 0.5 * n)
+            })
+            .collect();
+        assert!((fit_power_law(&linear).slope - 1.0).abs() < 1e-9);
+        // y = 7·lg n: exponent tends to 0 over a dyadic range.
+        let loggy: Vec<(f64, f64)> = (4..=14)
+            .map(|k| {
+                let n = (1u64 << k) as f64;
+                (n, 7.0 * n.log2())
+            })
+            .collect();
+        let e = fit_power_law(&loggy).slope;
+        assert!(e < 0.35, "log data should look sub-power-law, got {e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn too_few_points_panics() {
+        fit_against(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be equal")]
+    fn degenerate_x_panics() {
+        fit_against(&[(2.0, 1.0), (2.0, 5.0)]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Streaming sample summaries.
+
+/// A streaming summary of a sample: count, mean, variance (Welford's
+/// algorithm), extrema, and quantiles.
+///
+/// # Example
+///
+/// ```
+/// use pp_stats::Summary;
+///
+/// let s: Summary = (1..=100).map(|x| x as f64).collect();
+/// assert_eq!(s.count(), 100);
+/// assert!((s.mean() - 50.5).abs() < 1e-12);
+/// assert!((s.median() - 50.5).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    values: Vec<f64>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            values: Vec::new(),
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN observations.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "summary cannot ingest NaN");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.values.push(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty summary).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval for
+    /// the mean.
+    pub fn ci95(&self) -> f64 {
+        1.96 * self.std_err()
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation of order
+    /// statistics; 0 for an empty summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN by construction"));
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    /// The median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// The raw observations, in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_well_defined() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+        assert_eq!(s.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn mean_and_variance_match_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: Summary = xs.iter().copied().collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // naive unbiased variance = 32/7
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s: Summary = (0..5).map(|x| x as f64).collect(); // 0 1 2 3 4
+        assert_eq!(s.quantile(0.0), 0.0);
+        assert_eq!(s.quantile(1.0), 4.0);
+        assert_eq!(s.median(), 2.0);
+        assert!((s.quantile(0.25) - 1.0).abs() < 1e-12);
+        assert!((s.quantile(0.875) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        let small: Summary = (0..10).map(|x| (x % 5) as f64).collect();
+        let large: Summary = (0..1000).map(|x| (x % 5) as f64).collect();
+        assert!(large.ci95() < small.ci95());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Summary::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut s: Summary = [1.0, 2.0].into_iter().collect();
+        s.extend([3.0, 4.0]);
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn welford_agrees_with_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+            let s: Summary = xs.iter().copied().collect();
+            let n = xs.len() as f64;
+            let mean = xs.iter().sum::<f64>() / n;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+            prop_assert!((s.variance() - var).abs() < 1e-5 * (1.0 + var.abs()));
+        }
+
+        #[test]
+        fn quantiles_are_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+            let s: Summary = xs.iter().copied().collect();
+            let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+            for w in qs.windows(2) {
+                prop_assert!(s.quantile(w[0]) <= s.quantile(w[1]) + 1e-12);
+            }
+            prop_assert_eq!(s.quantile(0.0), s.min());
+            prop_assert_eq!(s.quantile(1.0), s.max());
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! Exhaustive reachability analysis over canonical configurations.
+
+use pp_engine::Protocol;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from exhaustive exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The reachable configuration space exceeded the exploration budget.
+    TooManyConfigurations {
+        /// The configured limit that was hit.
+        limit: usize,
+    },
+    /// The population must have at least two agents.
+    PopulationTooSmall {
+        /// The offending population size.
+        n: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::TooManyConfigurations { limit } => {
+                write!(f, "reachable configuration space exceeds the limit of {limit}")
+            }
+            VerifyError::PopulationTooSmall { n } => {
+                write!(f, "population of {n} agents is too small; need at least 2")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// The reachability graph of a protocol on a fixed population size.
+///
+/// Agents are anonymous and the interaction graph is complete, so a
+/// configuration is canonically a sorted multiset of states. Nodes are
+/// reachable canonical configurations; edges are the distinct one-interaction
+/// successors.
+///
+/// # Example
+///
+/// ```
+/// use pp_protocols::Fratricide;
+/// use pp_verify::ReachabilityGraph;
+///
+/// let g = ReachabilityGraph::explore(&Fratricide, 4, 10_000)?;
+/// // Fratricide on n agents reaches exactly n configurations
+/// // (k leaders for k = n, …, 1).
+/// assert_eq!(g.len(), 4);
+/// # Ok::<(), pp_verify::VerifyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReachabilityGraph<S> {
+    configs: Vec<Vec<S>>,
+    successors: Vec<Vec<usize>>,
+    initial: usize,
+    complete: bool,
+}
+
+impl<S: Clone + Ord + std::hash::Hash + std::fmt::Debug> ReachabilityGraph<S> {
+    /// Explores every configuration reachable from the uniform initial
+    /// configuration of `protocol` with `n` agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::PopulationTooSmall`] when `n < 2`, and
+    /// [`VerifyError::TooManyConfigurations`] if more than `limit`
+    /// configurations are reachable (use
+    /// [`explore_bounded`](ReachabilityGraph::explore_bounded) to keep the
+    /// partial graph instead).
+    pub fn explore<P>(protocol: &P, n: usize, limit: usize) -> Result<Self, VerifyError>
+    where
+        P: Protocol<State = S>,
+    {
+        let g = Self::explore_bounded(protocol, n, limit)?;
+        if !g.complete {
+            return Err(VerifyError::TooManyConfigurations { limit });
+        }
+        Ok(g)
+    }
+
+    /// Like [`explore`](ReachabilityGraph::explore), but on hitting the limit
+    /// returns the partial graph (check [`is_complete`](ReachabilityGraph::is_complete)).
+    /// Invariant violations found in a partial graph are still real
+    /// violations; absence of violations is then only a bounded guarantee.
+    pub fn explore_bounded<P>(protocol: &P, n: usize, limit: usize) -> Result<Self, VerifyError>
+    where
+        P: Protocol<State = S>,
+    {
+        if n < 2 {
+            return Err(VerifyError::PopulationTooSmall { n });
+        }
+        let mut configs: Vec<Vec<S>> = Vec::new();
+        let mut index: HashMap<Vec<S>, usize> = HashMap::new();
+        let mut successors: Vec<Vec<usize>> = Vec::new();
+        let mut complete = true;
+
+        let initial = vec![protocol.initial_state(); n];
+        configs.push(initial.clone());
+        index.insert(initial, 0);
+        successors.push(Vec::new());
+
+        // Breadth-first order: bounded exploration then covers every
+        // configuration within some interaction distance of the initial one,
+        // which is the meaningful prefix to check invariants on.
+        let mut frontier = std::collections::VecDeque::from([0usize]);
+        while let Some(id) = frontier.pop_front() {
+            let config = configs[id].clone();
+            let mut succ: Vec<usize> = Vec::new();
+            // Ordered pairs of *positions* (i, j), i ≠ j, deduplicated by the
+            // resulting canonical configuration. Iterating positions rather
+            // than distinct values keeps multiplicity handling trivial; the
+            // dedup keeps the branching factor at the number of distinct
+            // outcomes.
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let (a, b) = protocol.transition(&config[i], &config[j]);
+                    let mut next = config.clone();
+                    next[i] = a;
+                    next[j] = b;
+                    next.sort_unstable();
+                    let next_id = match index.get(&next) {
+                        Some(&id) => id,
+                        None => {
+                            if configs.len() >= limit {
+                                complete = false;
+                                continue;
+                            }
+                            let new_id = configs.len();
+                            configs.push(next.clone());
+                            index.insert(next, new_id);
+                            successors.push(Vec::new());
+                            frontier.push_back(new_id);
+                            new_id
+                        }
+                    };
+                    if !succ.contains(&next_id) {
+                        succ.push(next_id);
+                    }
+                }
+            }
+            succ.sort_unstable();
+            successors[id] = succ;
+        }
+
+        Ok(Self {
+            configs,
+            successors,
+            initial: 0,
+            complete,
+        })
+    }
+
+    /// Number of reachable configurations found.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether no configurations were found (never true: the initial
+    /// configuration is always present).
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Whether the whole reachable space was explored (`false` = the limit
+    /// was hit and the graph is a reachable *subset*).
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// The canonical initial configuration's id.
+    pub fn initial_id(&self) -> usize {
+        self.initial
+    }
+
+    /// The canonical configuration with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn config(&self, id: usize) -> &[S] {
+        &self.configs[id]
+    }
+
+    /// Iterates over all reachable canonical configurations.
+    pub fn iter(&self) -> impl Iterator<Item = &[S]> {
+        self.configs.iter().map(|c| c.as_slice())
+    }
+
+    /// The distinct successor ids of configuration `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn successors(&self, id: usize) -> &[usize] {
+        &self.successors[id]
+    }
+
+    /// Checks `invariant` on every explored configuration; returns the first
+    /// violating configuration, if any.
+    pub fn check_invariant<F>(&self, mut invariant: F) -> Option<&[S]>
+    where
+        F: FnMut(&[S]) -> bool,
+    {
+        self.configs
+            .iter()
+            .find(|c| !invariant(c))
+            .map(|c| c.as_slice())
+    }
+
+    /// The set of *stable* configurations under `property`: configurations
+    /// from which every reachable configuration (including themselves)
+    /// satisfies `property`. Computed as a greatest fixpoint.
+    ///
+    /// For leader election with `property` = "exactly one leader", this is
+    /// the safe set `S_P` of the paper's Section 2.
+    pub fn stable_set<F>(&self, mut property: F) -> Vec<bool>
+    where
+        F: FnMut(&[S]) -> bool,
+    {
+        let mut stable: Vec<bool> = self.configs.iter().map(|c| property(c)).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for id in 0..self.configs.len() {
+                if stable[id] && self.successors[id].iter().any(|&s| !stable[s]) {
+                    stable[id] = false;
+                    changed = true;
+                }
+            }
+        }
+        stable
+    }
+
+    /// Whether every explored configuration can reach some configuration in
+    /// `targets` (a membership mask). With `targets` closed under reachability
+    /// (e.g. a [`stable_set`](ReachabilityGraph::stable_set)), this is
+    /// exactly "the protocol converges with probability 1" on a finite
+    /// chain under any uniformly random scheduler.
+    pub fn all_reach(&self, targets: &[bool]) -> bool {
+        assert_eq!(targets.len(), self.configs.len(), "mask length mismatch");
+        // Backward reachability from targets.
+        let mut predecessors: Vec<Vec<usize>> = vec![Vec::new(); self.configs.len()];
+        for (id, succ) in self.successors.iter().enumerate() {
+            for &t in succ {
+                predecessors[t].push(id);
+            }
+        }
+        let mut can_reach = targets.to_vec();
+        let mut frontier: Vec<usize> =
+            (0..self.configs.len()).filter(|&i| targets[i]).collect();
+        while let Some(id) = frontier.pop() {
+            for &p in &predecessors[id] {
+                if !can_reach[p] {
+                    can_reach[p] = true;
+                    frontier.push(p);
+                }
+            }
+        }
+        can_reach.iter().all(|&r| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_engine::Protocol;
+
+    #[derive(Debug, Clone, Copy)]
+    struct Frat;
+
+    impl Protocol for Frat {
+        type State = bool;
+        type Output = bool;
+        fn initial_state(&self) -> bool {
+            true
+        }
+        fn transition(&self, a: &bool, b: &bool) -> (bool, bool) {
+            if *a && *b {
+                (true, false)
+            } else {
+                (*a, *b)
+            }
+        }
+        fn output(&self, s: &bool) -> bool {
+            *s
+        }
+    }
+
+    fn leaders(c: &[bool]) -> usize {
+        c.iter().filter(|&&l| l).count()
+    }
+
+    #[test]
+    fn fratricide_reaches_exactly_n_configurations() {
+        for n in 2..=7 {
+            let g = ReachabilityGraph::explore(&Frat, n, 1000).unwrap();
+            assert_eq!(g.len(), n, "k leaders for k = n..1");
+            assert!(g.is_complete());
+        }
+    }
+
+    #[test]
+    fn fratricide_invariant_leader_positive() {
+        let g = ReachabilityGraph::explore(&Frat, 6, 1000).unwrap();
+        assert!(g.check_invariant(|c| leaders(c) >= 1).is_none());
+        // A deliberately false invariant is reported with a witness.
+        let violation = g.check_invariant(|c| leaders(c) >= 2);
+        assert!(violation.is_some());
+        assert_eq!(leaders(violation.unwrap()), 1);
+    }
+
+    #[test]
+    fn fratricide_stable_set_is_single_leader() {
+        let g = ReachabilityGraph::explore(&Frat, 5, 1000).unwrap();
+        let stable = g.stable_set(|c| leaders(c) == 1);
+        let stable_count = stable.iter().filter(|&&s| s).count();
+        assert_eq!(stable_count, 1, "exactly the 1-leader configuration");
+        assert!(g.all_reach(&stable), "every configuration can stabilize");
+    }
+
+    #[test]
+    fn initial_configuration_is_all_initial_states() {
+        let g = ReachabilityGraph::explore(&Frat, 4, 1000).unwrap();
+        assert_eq!(g.config(g.initial_id()), &[true; 4]);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn bounded_exploration_reports_incompleteness() {
+        #[derive(Debug, Clone, Copy)]
+        struct Counter;
+        impl Protocol for Counter {
+            type State = u64;
+            type Output = u64;
+            fn initial_state(&self) -> u64 {
+                0
+            }
+            fn transition(&self, a: &u64, b: &u64) -> (u64, u64) {
+                (a + 1, *b)
+            }
+            fn output(&self, s: &u64) -> u64 {
+                *s
+            }
+        }
+        assert!(matches!(
+            ReachabilityGraph::explore(&Counter, 3, 50),
+            Err(VerifyError::TooManyConfigurations { limit: 50 })
+        ));
+        let g = ReachabilityGraph::explore_bounded(&Counter, 3, 50).unwrap();
+        assert!(!g.is_complete());
+        assert_eq!(g.len(), 50);
+    }
+
+    #[test]
+    fn rejects_tiny_population() {
+        assert!(matches!(
+            ReachabilityGraph::explore(&Frat, 1, 100),
+            Err(VerifyError::PopulationTooSmall { n: 1 })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(VerifyError::TooManyConfigurations { limit: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(VerifyError::PopulationTooSmall { n: 1 }
+            .to_string()
+            .contains("at least 2"));
+    }
+
+    /// Max-propagation: successors and stability behave as expected.
+    #[derive(Debug, Clone, Copy)]
+    struct Max;
+    impl Protocol for Max {
+        type State = u8;
+        type Output = u8;
+        fn initial_state(&self) -> u8 {
+            0
+        }
+        fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+            let m = *a.max(b);
+            (m, m)
+        }
+        fn output(&self, s: &u8) -> u8 {
+            *s
+        }
+    }
+
+    #[test]
+    fn silent_protocol_has_single_reachable_configuration() {
+        // From all-zero, Max never changes anything.
+        let g = ReachabilityGraph::explore(&Max, 4, 100).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.successors(0), &[0]);
+    }
+}

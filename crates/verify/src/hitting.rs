@@ -1,0 +1,332 @@
+//! Exact expected hitting times on the configuration Markov chain.
+//!
+//! Under the uniformly random scheduler, a population protocol on `n` agents
+//! is a finite Markov chain over canonical configurations: each ordered
+//! position pair fires with probability `1/(n(n−1))`. For small `n` the
+//! chain can be built explicitly and the *exact* expected number of steps to
+//! reach a target set solved numerically — ground truth against which
+//! Monte-Carlo estimates and closed forms are validated.
+
+use crate::VerifyError;
+use pp_engine::Protocol;
+use std::collections::HashMap;
+
+/// The configuration Markov chain of a protocol on `n` agents, with exact
+/// transition probabilities.
+///
+/// # Example
+///
+/// Fratricide's expected stabilization steps have the closed form
+/// `Σ_{k=2}^{n} n(n−1)/(k(k−1)) = (n−1)²`:
+///
+/// ```
+/// use pp_engine::Role;
+/// use pp_protocols::Fratricide;
+/// use pp_verify::MarkovChain;
+///
+/// let chain = MarkovChain::build(&Fratricide, 5, 10_000)?;
+/// let expected = chain.expected_steps_to(|c| {
+///     c.iter().filter(|&&leader| leader).count() == 1
+/// })?;
+/// assert!((expected - 16.0).abs() < 1e-6); // (5-1)^2
+/// # Ok::<(), pp_verify::VerifyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MarkovChain<S> {
+    configs: Vec<Vec<S>>,
+    /// Per-config sparse transition row: (successor id, probability),
+    /// including the self-loop.
+    transitions: Vec<Vec<(usize, f64)>>,
+}
+
+impl<S: Clone + Ord + std::hash::Hash + std::fmt::Debug> MarkovChain<S> {
+    /// Builds the chain reachable from the uniform initial configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::PopulationTooSmall`] when `n < 2` and
+    /// [`VerifyError::TooManyConfigurations`] when more than `limit`
+    /// configurations are reachable (the chain must be complete for hitting
+    /// times to be exact).
+    pub fn build<P>(protocol: &P, n: usize, limit: usize) -> Result<Self, VerifyError>
+    where
+        P: Protocol<State = S>,
+    {
+        if n < 2 {
+            return Err(VerifyError::PopulationTooSmall { n });
+        }
+        let mut configs: Vec<Vec<S>> = Vec::new();
+        let mut index: HashMap<Vec<S>, usize> = HashMap::new();
+        let mut transitions: Vec<Vec<(usize, f64)>> = Vec::new();
+
+        let initial = vec![protocol.initial_state(); n];
+        configs.push(initial.clone());
+        index.insert(initial, 0);
+        transitions.push(Vec::new());
+
+        let pair_prob = 1.0 / (n as f64 * (n as f64 - 1.0));
+        let mut frontier = std::collections::VecDeque::from([0usize]);
+        while let Some(id) = frontier.pop_front() {
+            let config = configs[id].clone();
+            let mut row: HashMap<usize, f64> = HashMap::new();
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let (a, b) = protocol.transition(&config[i], &config[j]);
+                    let mut next = config.clone();
+                    next[i] = a;
+                    next[j] = b;
+                    next.sort_unstable();
+                    let next_id = match index.get(&next) {
+                        Some(&id) => id,
+                        None => {
+                            if configs.len() >= limit {
+                                return Err(VerifyError::TooManyConfigurations { limit });
+                            }
+                            let new_id = configs.len();
+                            configs.push(next.clone());
+                            index.insert(next, new_id);
+                            transitions.push(Vec::new());
+                            frontier.push_back(new_id);
+                            new_id
+                        }
+                    };
+                    *row.entry(next_id).or_insert(0.0) += pair_prob;
+                }
+            }
+            let mut row: Vec<(usize, f64)> = row.into_iter().collect();
+            row.sort_unstable_by_key(|&(id, _)| id);
+            transitions[id] = row;
+        }
+
+        Ok(Self {
+            configs,
+            transitions,
+        })
+    }
+
+    /// Number of reachable configurations.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the chain is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// The canonical configuration with the given id (0 = initial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn config(&self, id: usize) -> &[S] {
+        &self.configs[id]
+    }
+
+    /// The exact expected number of steps from the initial configuration to
+    /// the first configuration satisfying `target`, solved by Gauss–Seidel
+    /// iteration on the first-step equations
+    /// `E[x] = 1 + Σ_y P(x→y)·E[y]` with `E ≡ 0` on the target set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::TooManyConfigurations`] (reused as a
+    /// no-convergence signal) if some reachable configuration cannot reach
+    /// the target set, in which case the expectation is infinite.
+    pub fn expected_steps_to<F>(&self, mut target: F) -> Result<f64, VerifyError>
+    where
+        F: FnMut(&[S]) -> bool,
+    {
+        let n = self.configs.len();
+        let is_target: Vec<bool> = self.configs.iter().map(|c| target(c)).collect();
+
+        // Infinite expectation check: every config must reach the target.
+        let mut can_reach = is_target.clone();
+        let mut predecessors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (id, row) in self.transitions.iter().enumerate() {
+            for &(t, _) in row {
+                if t != id {
+                    predecessors[t].push(id);
+                }
+            }
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&i| is_target[i]).collect();
+        if stack.is_empty() {
+            return Err(VerifyError::TooManyConfigurations { limit: 0 });
+        }
+        while let Some(id) = stack.pop() {
+            for &p in &predecessors[id] {
+                if !can_reach[p] {
+                    can_reach[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        if can_reach.iter().any(|&r| !r) {
+            return Err(VerifyError::TooManyConfigurations { limit: 0 });
+        }
+
+        // Gauss–Seidel with self-loop elimination:
+        // E[x] = (1 + Σ_{y≠x} p_xy E[y]) / (1 − p_xx).
+        let mut e = vec![0.0f64; n];
+        let mut delta = f64::INFINITY;
+        let mut iterations = 0u32;
+        while delta > 1e-12 && iterations < 1_000_000 {
+            delta = 0.0;
+            for x in (0..n).rev() {
+                if is_target[x] {
+                    continue;
+                }
+                let mut acc = 1.0;
+                let mut self_p = 0.0;
+                for &(y, p) in &self.transitions[x] {
+                    if y == x {
+                        self_p = p;
+                    } else {
+                        acc += p * e[y];
+                    }
+                }
+                let new = acc / (1.0 - self_p);
+                delta = delta.max((new - e[x]).abs());
+                e[x] = new;
+            }
+            iterations += 1;
+        }
+        Ok(e[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_engine::Protocol;
+
+    #[derive(Debug, Clone, Copy)]
+    struct Frat;
+
+    impl Protocol for Frat {
+        type State = bool;
+        type Output = bool;
+        fn initial_state(&self) -> bool {
+            true
+        }
+        fn transition(&self, a: &bool, b: &bool) -> (bool, bool) {
+            if *a && *b {
+                (true, false)
+            } else {
+                (*a, *b)
+            }
+        }
+        fn output(&self, s: &bool) -> bool {
+            *s
+        }
+    }
+
+    fn single_leader(c: &[bool]) -> bool {
+        c.iter().filter(|&&l| l).count() == 1
+    }
+
+    #[test]
+    fn fratricide_matches_closed_form() {
+        // E[steps] = (n-1)^2 exactly.
+        for n in 2..=8 {
+            let chain = MarkovChain::build(&Frat, n, 10_000).unwrap();
+            assert_eq!(chain.len(), n);
+            let e = chain.expected_steps_to(single_leader).unwrap();
+            let expect = ((n - 1) * (n - 1)) as f64;
+            assert!(
+                (e - expect).abs() < 1e-6,
+                "n={n}: exact {e} vs closed form {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn target_already_satisfied_gives_zero() {
+        let chain = MarkovChain::build(&Frat, 4, 10_000).unwrap();
+        let e = chain.expected_steps_to(|_| true).unwrap();
+        assert_eq!(e, 0.0);
+    }
+
+    #[test]
+    fn unreachable_target_is_an_error() {
+        let chain = MarkovChain::build(&Frat, 3, 10_000).unwrap();
+        // Zero leaders is unreachable for fratricide.
+        assert!(chain
+            .expected_steps_to(|c| c.iter().all(|&l| !l))
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_tiny_population_and_small_limit() {
+        assert!(matches!(
+            MarkovChain::build(&Frat, 1, 100),
+            Err(VerifyError::PopulationTooSmall { n: 1 })
+        ));
+        assert!(matches!(
+            MarkovChain::build(&Frat, 6, 3),
+            Err(VerifyError::TooManyConfigurations { limit: 3 })
+        ));
+    }
+
+    #[test]
+    fn exact_time_agrees_with_monte_carlo() {
+        use pp_engine::{LeaderElection, Role, Simulation, UniformScheduler};
+        use pp_rand::SeedSequence;
+
+        #[derive(Debug, Clone, Copy)]
+        struct FratLe;
+        impl Protocol for FratLe {
+            type State = bool;
+            type Output = Role;
+            fn initial_state(&self) -> bool {
+                true
+            }
+            fn transition(&self, a: &bool, b: &bool) -> (bool, bool) {
+                if *a && *b {
+                    (true, false)
+                } else {
+                    (*a, *b)
+                }
+            }
+            fn output(&self, s: &bool) -> Role {
+                if *s {
+                    Role::Leader
+                } else {
+                    Role::Follower
+                }
+            }
+        }
+        impl LeaderElection for FratLe {
+            fn monotone_leaders(&self) -> bool {
+                true
+            }
+        }
+
+        let n = 6;
+        let chain = MarkovChain::build(&FratLe, n, 10_000).unwrap();
+        let exact = chain
+            .expected_steps_to(|c| c.iter().filter(|&&l| l).count() == 1)
+            .unwrap();
+        let seeds = SeedSequence::new(3);
+        let runs = 2000;
+        let mut total = 0u64;
+        for i in 0..runs {
+            let mut sim = Simulation::new(
+                FratLe,
+                n,
+                UniformScheduler::seed_from_u64(seeds.seed_at(i)),
+            )
+            .unwrap();
+            total += sim.run_until_single_leader(u64::MAX).steps;
+        }
+        let mc = total as f64 / runs as f64;
+        assert!(
+            (mc / exact - 1.0).abs() < 0.1,
+            "Monte Carlo {mc} vs exact {exact}"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Exhaustive verification of population protocols on small populations.
+//!
+//! Random simulation can estimate probabilities; it cannot prove safety. For
+//! small `n`, however, the population-protocol model is a finite Markov
+//! chain over *multisets* of states (agents are anonymous, the interaction
+//! graph is complete), and its entire reachable space can be enumerated.
+//! This crate does exactly that:
+//!
+//! * [`ReachabilityGraph`] — BFS over canonical (sorted) configurations,
+//!   with invariant checking, greatest-fixpoint *stable sets*, and backward
+//!   reachability.
+//! * [`verify_leader_election`] — the paper's Section 2 definitions, checked
+//!   exhaustively: never leaderless, monotone leader count, non-empty safe
+//!   set `S_P`, and "every reachable configuration can reach `S_P`" (which on
+//!   a finite chain is exactly stabilization with probability 1).
+//!
+//! The integration tests of the workspace run these checks against the
+//! paper's `P_LL` (bounded exploration: its timer variables make the space
+//! large) and against its symmetric coin machinery, where exhaustiveness
+//! proves the `#F0 = #F1` fairness invariant over *all* reachable
+//! configurations, not just sampled runs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod election;
+mod explorer;
+mod hitting;
+
+pub use election::{verify_leader_election, ElectionReport};
+pub use explorer::{ReachabilityGraph, VerifyError};
+pub use hitting::MarkovChain;

@@ -1,0 +1,54 @@
+//! Election race: the Table 1 trade-off live — constant-space fratricide
+//! (`Θ(n)` time), the unbounded lottery (`O(log n)` time, `O(n)` states),
+//! and `P_LL` (`O(log n)` time, `O(log n)` states) across population sizes.
+//!
+//! ```text
+//! cargo run --release --example election_race
+//! ```
+
+use population_protocols::core::Pll;
+use population_protocols::engine::{LeaderElection, Simulation, UniformScheduler};
+use population_protocols::protocols::{Fratricide, UnboundedLottery};
+use population_protocols::rand::SeedSequence;
+use population_protocols::stats::{Summary, Table};
+
+fn race<P: LeaderElection>(make: impl Fn() -> P, n: usize, seeds: u64, master: u64) -> Summary {
+    let seq = SeedSequence::new(master);
+    (0..seeds)
+        .map(|i| {
+            let mut sim = Simulation::new(
+                make(),
+                n,
+                UniformScheduler::seed_from_u64(seq.seed_at(i)),
+            )
+            .expect("n >= 2");
+            sim.run_until_single_leader(u64::MAX).parallel_time(n)
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seeds = 10;
+    let mut table = Table::new([
+        "n",
+        "Fratricide (par. time)",
+        "UnboundedLottery (par. time)",
+        "P_LL (par. time)",
+    ]);
+    for n in [256usize, 1024, 4096] {
+        let frat = race(|| Fratricide, n, seeds, 1);
+        let lottery = race(|| UnboundedLottery, n, seeds, 2);
+        let pll = race(|| Pll::for_population(n).expect("n >= 2"), n, seeds, 3);
+        table.push_row([
+            n.to_string(),
+            format!("{:.1} ± {:.1}", frat.mean(), frat.ci95()),
+            format!("{:.1} ± {:.1}", lottery.mean(), lottery.ci95()),
+            format!("{:.1} ± {:.1}", pll.mean(), pll.ci95()),
+        ]);
+        println!("n = {n} done");
+    }
+    println!();
+    println!("{table}");
+    println!("Fratricide grows linearly in n; the other two grow with lg n (Table 1's shape).");
+    Ok(())
+}

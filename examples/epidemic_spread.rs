@@ -1,0 +1,67 @@
+//! One-way epidemics (Lemma 2): watch an infection curve, compare the
+//! completion tail against the paper's closed-form bound, and check the
+//! protocol-level view (max propagation) agrees with the process-level view.
+//!
+//! ```text
+//! cargo run --release --example epidemic_spread
+//! ```
+
+use population_protocols::engine::epidemic::{lemma2_horizon, Epidemic};
+use population_protocols::engine::{Simulation, UniformScheduler};
+use population_protocols::protocols::MaxValue;
+use population_protocols::rand::{SeedSequence, Xoshiro256PlusPlus};
+use population_protocols::stats::theory;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 10_000;
+
+    // 1. One infection curve, printed as a sparkline of deciles.
+    let mut ep = Epidemic::whole_population(n, 0)?;
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+    let curve = ep.run_with_curve(&mut rng, u64::MAX).expect("completes");
+    println!("epidemic over n = {n}: completed in {} steps", ep.steps());
+    println!("decile crossing times (parallel):");
+    for decile in 1..=10 {
+        let target = n * decile / 10;
+        let step = curve
+            .iter()
+            .find(|&&(_, count)| count >= target)
+            .map(|&(s, _)| s)
+            .expect("curve reaches n");
+        println!("  {:>3}%: {:>8.2}", decile * 10, step as f64 / n as f64);
+    }
+    println!("(logistic shape: slow start, fast middle, slow finish)");
+    println!();
+
+    // 2. Empirical tail vs the Lemma 2 bound at t = (ln n + 2)·n.
+    let t = ((n as f64).ln() + 2.0) * n as f64;
+    let horizon = lemma2_horizon(n, n, t as u64);
+    let trials = 200;
+    let seq = SeedSequence::new(99);
+    let mut failures = 0;
+    for i in 0..trials {
+        let mut ep = Epidemic::whole_population(n, 0)?;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seq.seed_at(i));
+        if ep.run_to_completion(&mut rng, horizon).is_err() {
+            failures += 1;
+        }
+    }
+    println!(
+        "Lemma 2 @ horizon {horizon}: empirical P[unfinished] = {:.4}, bound n·e^(−t/n) = {:.4}",
+        failures as f64 / trials as f64,
+        theory::epidemic_tail_bound(n as u64, t),
+    );
+    println!();
+
+    // 3. The protocol view: max propagation is the same process.
+    let mut states = vec![0u32; n];
+    states[0] = 1;
+    let mut sim = Simulation::from_states(MaxValue, states, UniformScheduler::seed_from_u64(3))?;
+    let outcome = sim.run_until(64, u64::MAX, |sim| sim.states().iter().all(|&v| v == 1));
+    println!(
+        "MaxValue protocol spread the value to everyone in {:.2} parallel time \
+         (same Markov chain as the epidemic above)",
+        outcome.parallel_time(n)
+    );
+    Ok(())
+}

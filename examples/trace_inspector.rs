@@ -1,0 +1,65 @@
+//! Trace inspector: a narrated small-population run of `P_LL`, showing the
+//! three-phase competition (QuickElimination → Tournament → BackUp), the
+//! color clock, and the leader count collapsing to one.
+//!
+//! ```text
+//! cargo run --release --example trace_inspector
+//! ```
+
+use population_protocols::core::{Pll, Status};
+use population_protocols::engine::{Simulation, UniformScheduler};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 300;
+    let pll = Pll::for_population(n)?;
+    let params = *pll.params();
+    println!(
+        "P_LL on n = {n}: m = {}, epochs change every ~{} parallel time (c_max/2)",
+        params.m(),
+        params.cmax() / 2
+    );
+    let mut sim = Simulation::new(pll, n, UniformScheduler::seed_from_u64(2024))?;
+
+    println!(
+        "{:>10} {:>6} {:>8} {:>7} {:>7} {:>8} {:>8} {:>8}",
+        "steps", "par.t", "leaders", "X", "B", "epochs", "colors", "maxLvlQ"
+    );
+    let mut last_leaders = usize::MAX;
+    let mut stabilized_at = None;
+    for _ in 0..400 {
+        sim.run((n / 2) as u64);
+        let states = sim.states();
+        let leaders = sim.leader_count();
+        let pristine = states.iter().filter(|s| s.status == Status::X).count();
+        let timers = states.iter().filter(|s| s.is_b()).count();
+        let min_epoch = states.iter().map(|s| s.epoch).min().unwrap_or(0);
+        let max_epoch = states.iter().map(|s| s.epoch).max().unwrap_or(0);
+        let mut colors: Vec<u8> = states.iter().map(|s| s.color).collect();
+        colors.sort_unstable();
+        colors.dedup();
+        let max_lq = states.iter().filter_map(|s| s.level_q()).max();
+        if leaders != last_leaders || sim.steps() % (10 * n as u64) == 0 {
+            println!(
+                "{:>10} {:>6.1} {:>8} {:>7} {:>7} {:>8} {:>8} {:>8}",
+                sim.steps(),
+                sim.parallel_time(),
+                leaders,
+                pristine,
+                timers,
+                format!("{min_epoch}-{max_epoch}"),
+                format!("{colors:?}"),
+                max_lq.map_or("—".to_string(), |l| l.to_string()),
+            );
+            last_leaders = leaders;
+        }
+        if leaders == 1 && stabilized_at.is_none() {
+            stabilized_at = Some(sim.parallel_time());
+            break;
+        }
+    }
+    match stabilized_at {
+        Some(t) => println!("\nunique leader after {t:.1} parallel time units"),
+        None => println!("\nstill racing — increase the step budget to watch the finish"),
+    }
+    Ok(())
+}

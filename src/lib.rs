@@ -1,0 +1,56 @@
+//! # population-protocols
+//!
+//! A production-quality Rust reproduction of
+//! *"Logarithmic Expected-Time Leader Election in Population Protocol Model"*
+//! (Sudo, Ooshita, Izumi, Kakugawa, Masuzawa; PODC 2019 / arXiv:1812.11309).
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`core`] — the paper's contribution: the [`core::Pll`] protocol
+//!   (O(log n) expected parallel time, O(log n) states) and its symmetric
+//!   variant [`core::SymPll`] with totally independent fair coin flips.
+//! * [`engine`] — the population-protocol model: protocols, schedulers, the
+//!   per-agent and exact count-based simulation engines, and one-way
+//!   epidemics.
+//! * [`protocols`] — baseline protocols (\[Ang+06\] fratricide, an
+//!   \[MST18\]-like unbounded lottery).
+//! * [`verify`] — exhaustive model checking for small populations.
+//! * [`stats`] — statistics, fits, and table rendering for experiments.
+//! * [`sim`] — the experiment harness that regenerates every table and key
+//!   lemma of the paper.
+//! * [`rand`] — the deterministic PRNG substrate.
+//!
+//! # Quickstart
+//!
+//! Elect a leader among 10,000 agents in expected `O(log n)` parallel time:
+//!
+//! ```
+//! use population_protocols::core::Pll;
+//! use population_protocols::engine::{Simulation, UniformScheduler};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let n = 10_000;
+//! let protocol = Pll::for_population(n)?;
+//! let scheduler = UniformScheduler::seed_from_u64(0xC0FFEE);
+//! let mut sim = Simulation::new(protocol, n, scheduler)?;
+//!
+//! let outcome = sim.run_until_single_leader(200_000_000);
+//! assert!(outcome.converged);
+//! println!(
+//!     "stabilized after {:.1} parallel time units",
+//!     outcome.parallel_time(n)
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use pp_core as core;
+pub use pp_engine as engine;
+pub use pp_protocols as protocols;
+pub use pp_rand as rand;
+pub use pp_sim as sim;
+pub use pp_stats as stats;
+pub use pp_verify as verify;

@@ -1,0 +1,32 @@
+//! Integration: every experiment of the reproduction suite runs end to end
+//! in quick mode and produces well-formed output.
+
+use population_protocols::sim::{run_experiment, EXPERIMENT_IDS};
+
+#[test]
+fn every_experiment_runs_in_quick_mode() {
+    for id in EXPERIMENT_IDS {
+        let output = run_experiment(id, true).unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert_eq!(output.id, id);
+        assert!(!output.tables.is_empty(), "{id} produced no tables");
+        for (name, table) in &output.tables {
+            assert!(!table.is_empty(), "{id}/{name} is empty");
+        }
+        let md = output.to_markdown();
+        assert!(md.contains(&format!("## `{id}`")));
+    }
+}
+
+#[test]
+fn confirmatory_experiments_report_no_violations() {
+    // These experiments embed explicit bound checks; in quick mode they must
+    // already hold (fixed seeds, tolerant thresholds).
+    for id in ["lemma2", "lemma4", "lemma7"] {
+        let output = run_experiment(id, true).expect("experiment runs");
+        let md = output.to_markdown();
+        assert!(
+            !md.contains("VIOLATED") && !md.contains("| NO |"),
+            "{id} reported a violation:\n{md}"
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Integration: the paper's quantitative claims cross-checked end to end —
+//! closed forms vs. exact chain solves vs. Monte-Carlo simulation.
+
+use population_protocols::core::{Pll, SymPll};
+use population_protocols::engine::epidemic::{lemma2_horizon, Epidemic};
+use population_protocols::engine::{Simulation, UniformScheduler};
+use population_protocols::protocols::Fratricide;
+use population_protocols::rand::{SeedSequence, Xoshiro256PlusPlus};
+use population_protocols::stats::{fit_power_law, theory, wilson95, Summary};
+use population_protocols::verify::MarkovChain;
+
+#[test]
+fn three_views_of_fratricide_agree() {
+    // Closed form, exact Markov-chain solve, and Monte Carlo must all
+    // describe the same expected stabilization time.
+    let n = 6;
+    let closed = Fratricide::expected_steps(n);
+    let chain = MarkovChain::build(&Fratricide, n, 100_000).expect("tiny space");
+    let exact = chain
+        .expected_steps_to(|c| c.iter().filter(|s| s.leader_flag()).count() == 1)
+        .expect("reachable");
+    assert!((closed - exact).abs() < 1e-6, "closed {closed} vs exact {exact}");
+
+    let seeds = SeedSequence::new(17);
+    let runs = 3000;
+    let mut total = 0u64;
+    for i in 0..runs {
+        let mut sim = Simulation::new(
+            Fratricide,
+            n,
+            UniformScheduler::seed_from_u64(seeds.seed_at(i)),
+        )
+        .expect("n >= 2");
+        total += sim.run_until_single_leader(u64::MAX).steps;
+    }
+    let mc = total as f64 / runs as f64;
+    assert!((mc / exact - 1.0).abs() < 0.06, "mc {mc} vs exact {exact}");
+}
+
+// Fratricide's state is a bare bool; give the test a readable accessor.
+trait LeaderFlag {
+    fn leader_flag(&self) -> bool;
+}
+impl LeaderFlag for bool {
+    fn leader_flag(&self) -> bool {
+        *self
+    }
+}
+
+#[test]
+fn pll_beats_fratricide_with_a_widening_gap() {
+    // The Table 1 shape as a hard assertion: the speedup factor grows with n.
+    let seeds = SeedSequence::new(23);
+    let speedup = |n: usize| -> f64 {
+        let runs = 8;
+        let mean = |pll: bool| -> f64 {
+            let mut total = 0.0;
+            for i in 0..runs {
+                let seed = seeds.seed_at((n as u64) << 8 | i | u64::from(pll) << 32);
+                let sched = UniformScheduler::seed_from_u64(seed);
+                let steps = if pll {
+                    let mut sim =
+                        Simulation::new(Pll::for_population(n).expect("n >= 2"), n, sched)
+                            .expect("n >= 2");
+                    sim.run_until_single_leader(u64::MAX).steps
+                } else {
+                    let mut sim = Simulation::new(Fratricide, n, sched).expect("n >= 2");
+                    sim.run_until_single_leader(u64::MAX).steps
+                };
+                total += steps as f64;
+            }
+            total / runs as f64
+        };
+        mean(false) / mean(true)
+    };
+    let s_small = speedup(256);
+    let s_large = speedup(1024);
+    assert!(s_large > s_small, "gap must widen: {s_small} -> {s_large}");
+    assert!(s_large > 5.0, "large-n speedup should be substantial");
+}
+
+#[test]
+fn epidemic_tail_respects_lemma2_with_wilson_ci() {
+    let n = 512;
+    let t = ((n as f64).ln() + 1.0) * n as f64;
+    let horizon = lemma2_horizon(n, n, t as u64);
+    let bound = theory::epidemic_tail_bound(n as u64, t);
+    let seeds = SeedSequence::new(29);
+    let trials = 400;
+    let mut failures = 0u64;
+    for i in 0..trials {
+        let mut ep = Epidemic::whole_population(n, 0).expect("n >= 2");
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seeds.seed_at(i));
+        if ep.run_to_completion(&mut rng, horizon).is_err() {
+            failures += 1;
+        }
+    }
+    // The lower end of the 95% interval must stay below the bound.
+    let (lo, _hi) = wilson95(failures, trials);
+    assert!(lo <= bound, "lower CI {lo} exceeds Lemma 2 bound {bound}");
+}
+
+#[test]
+fn pll_scaling_exponent_is_sublinear_end_to_end() {
+    let seeds = SeedSequence::new(31);
+    let mut points = Vec::new();
+    for &n in &[256usize, 512, 1024, 2048] {
+        let mut summary = Summary::new();
+        for i in 0..10 {
+            let mut sim = Simulation::new(
+                Pll::for_population(n).expect("n >= 2"),
+                n,
+                UniformScheduler::seed_from_u64(seeds.seed_at((n as u64) << 8 | i)),
+            )
+            .expect("n >= 2");
+            summary.push(sim.run_until_single_leader(u64::MAX).parallel_time(n));
+        }
+        points.push((n as f64, summary.mean()));
+    }
+    let exponent = fit_power_law(&points).slope;
+    assert!(
+        exponent < 0.5,
+        "P_LL time exponent {exponent} should be far below linear"
+    );
+}
+
+#[test]
+fn symmetric_pll_matches_asymmetric_scaling_shape() {
+    let seeds = SeedSequence::new(37);
+    let mean = |n: usize| -> f64 {
+        let mut total = 0.0;
+        for i in 0..8 {
+            let mut sim = Simulation::new(
+                SymPll::for_population(n).expect("n >= 3"),
+                n,
+                UniformScheduler::seed_from_u64(seeds.seed_at((n as u64) << 8 | i)),
+            )
+            .expect("n >= 2");
+            total += sim.run_until_single_leader(u64::MAX).parallel_time(n);
+        }
+        total / 8.0
+    };
+    let r = mean(1024) / mean(256);
+    // Sub-linear growth; linear would be 4.
+    assert!(r < 3.0, "symmetric growth ratio {r} too steep");
+}
+
+#[test]
+fn qe_horizon_constant_matches_theory_module() {
+    // The experiment harness and the theory module must agree on the
+    // ⌊21·n·ln n⌋ horizon the lemmas share.
+    for n in [256u64, 4096] {
+        let expect = (21.0 * n as f64 * (n as f64).ln()).floor() as u64;
+        assert_eq!(theory::qe_horizon(n), expect);
+    }
+}

@@ -1,0 +1,102 @@
+//! Integration: exhaustive verification (`pp-verify`) applied to the
+//! workspace's protocols — the paper's Section 2 definitions checked on
+//! small populations, plus bounded checks on `P_LL` itself.
+
+use population_protocols::core::{Coin, Pll, PllParams, SymPll};
+use population_protocols::engine::{Protocol, Role};
+use population_protocols::protocols::{Fratricide, UnboundedLottery};
+use population_protocols::verify::{verify_leader_election, ReachabilityGraph};
+
+#[test]
+fn fratricide_is_exhaustively_correct() {
+    for n in 2..=8 {
+        let report = verify_leader_election(&Fratricide, n, 100_000).expect("small space");
+        assert!(report.is_correct(), "n={n}: {report:?}");
+        assert!(report.complete);
+        assert!(report.monotone);
+    }
+}
+
+#[test]
+fn lottery_is_exhaustively_correct_bounded() {
+    // The lottery's state space is unbounded; a bounded check still proves
+    // the invariants on everything reachable within the budget.
+    let report = verify_leader_election(&UnboundedLottery, 3, 30_000).expect("bounded");
+    assert!(report.never_leaderless);
+    assert!(report.monotone);
+    assert!(report.safe_configs > 0);
+}
+
+#[test]
+fn pll_bounded_exhaustive_safety() {
+    // P_LL with the smallest parameters on 3 agents: bounded exploration of
+    // the reachable space. Timer counters make the space large; invariants
+    // checked on everything explored are still genuine theorems for those
+    // configurations.
+    let pll = Pll::new(PllParams::new(1).expect("m >= 1"));
+    let g = ReachabilityGraph::explore_bounded(&pll, 3, 60_000).expect("bounded exploration");
+    assert!(g.len() > 1_000, "explored {} configurations", g.len());
+    // Never leaderless.
+    let leaders = |c: &[<Pll as Protocol>::State]| {
+        c.iter().filter(|s| pll.output(s) == Role::Leader).count()
+    };
+    assert!(
+        g.check_invariant(|c| leaders(c) >= 1).is_none(),
+        "a reachable configuration lost every leader"
+    );
+    // Lemma 4 shape: at least one timer agent once anyone has a status.
+    assert!(
+        g.check_invariant(|c| {
+            let assigned = c
+                .iter()
+                .filter(|s| s.status != population_protocols::core::Status::X)
+                .count();
+            let timers = c.iter().filter(|s| s.is_b()).count();
+            assigned == 0 || timers >= 1
+        })
+        .is_none(),
+        "status assignment without a timer agent"
+    );
+}
+
+#[test]
+fn sym_pll_fairness_invariant_exhaustively_bounded() {
+    // The #F0 = #F1 invariant over every explored reachable configuration —
+    // an exhaustive (not sampled) guarantee for the symmetric coin
+    // machinery of Section 4.
+    let pll = SymPll::new(PllParams::new(1).expect("m >= 1"));
+    let g = ReachabilityGraph::explore_bounded(&pll, 3, 60_000).expect("bounded exploration");
+    assert!(g.len() > 1_000);
+    assert!(
+        g.check_invariant(|c| {
+            let f0 = c.iter().filter(|s| s.coin() == Some(Coin::F0)).count();
+            let f1 = c.iter().filter(|s| s.coin() == Some(Coin::F1)).count();
+            f0 == f1
+        })
+        .is_none(),
+        "coin pools diverged in a reachable configuration"
+    );
+    // Leaders never vanish in the symmetric variant either.
+    assert!(
+        g.check_invariant(|c| c.iter().any(|s| s.is_leader()))
+            .is_none()
+    );
+}
+
+#[test]
+fn monotone_leader_count_exhaustively_bounded_for_pll() {
+    let pll = Pll::new(PllParams::new(1).expect("m >= 1"));
+    let g = ReachabilityGraph::explore_bounded(&pll, 3, 20_000).expect("bounded exploration");
+    let leaders = |c: &[<Pll as Protocol>::State]| {
+        c.iter().filter(|s| pll.output(s) == Role::Leader).count()
+    };
+    for id in 0..g.len() {
+        let here = leaders(g.config(id));
+        for &succ in g.successors(id) {
+            assert!(
+                leaders(g.config(succ)) <= here,
+                "leader count increased along an edge"
+            );
+        }
+    }
+}
