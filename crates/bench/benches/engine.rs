@@ -23,8 +23,7 @@ fn bench_agent_engine(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("fratricide", n), &n, |b, &n| {
             let mut sim =
-                Simulation::new(Fratricide, n, UniformScheduler::seed_from_u64(1))
-                    .expect("n >= 2");
+                Simulation::new(Fratricide, n, UniformScheduler::seed_from_u64(1)).expect("n >= 2");
             b.iter(|| {
                 sim.run(1000);
                 black_box(sim.steps())

@@ -33,8 +33,8 @@ fn bench_quick_elimination_window(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 let pll = Pll::for_population(n).expect("n >= 2");
-                let mut sim = Simulation::new(pll, n, UniformScheduler::seed_from_u64(seed))
-                    .expect("n >= 2");
+                let mut sim =
+                    Simulation::new(pll, n, UniformScheduler::seed_from_u64(seed)).expect("n >= 2");
                 sim.run(horizon);
                 black_box(sim.leader_count())
             });

@@ -17,8 +17,8 @@ fn bench_stabilization(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 let pll = Pll::for_population(n).expect("n >= 2");
-                let mut sim = Simulation::new(pll, n, UniformScheduler::seed_from_u64(seed))
-                    .expect("n >= 2");
+                let mut sim =
+                    Simulation::new(pll, n, UniformScheduler::seed_from_u64(seed)).expect("n >= 2");
                 black_box(sim.run_until_single_leader(u64::MAX).steps)
             });
         });

@@ -15,8 +15,8 @@ fn bench_symmetric_stabilization(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 let p = Pll::for_population(n).expect("n >= 2");
-                let mut sim = Simulation::new(p, n, UniformScheduler::seed_from_u64(seed))
-                    .expect("n >= 2");
+                let mut sim =
+                    Simulation::new(p, n, UniformScheduler::seed_from_u64(seed)).expect("n >= 2");
                 black_box(sim.run_until_single_leader(u64::MAX).steps)
             });
         });
@@ -24,8 +24,8 @@ fn bench_symmetric_stabilization(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 let p = SymPll::for_population(n).expect("n >= 3");
-                let mut sim = Simulation::new(p, n, UniformScheduler::seed_from_u64(seed))
-                    .expect("n >= 2");
+                let mut sim =
+                    Simulation::new(p, n, UniformScheduler::seed_from_u64(seed)).expect("n >= 2");
                 black_box(sim.run_until_single_leader(u64::MAX).steps)
             });
         });

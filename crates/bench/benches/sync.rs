@@ -15,8 +15,8 @@ fn bench_color_cycle(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 let pll = Pll::for_population(n).expect("n >= 2");
-                let mut sim = Simulation::new(pll, n, UniformScheduler::seed_from_u64(seed))
-                    .expect("n >= 2");
+                let mut sim =
+                    Simulation::new(pll, n, UniformScheduler::seed_from_u64(seed)).expect("n >= 2");
                 // Run until some agent first leaves color 0 — one full
                 // count-up period.
                 let outcome = sim.run_until((n as u64 / 4).max(1), u64::MAX, |sim| {

@@ -25,7 +25,11 @@
 //!
 //! # Example
 //!
-//! ```
+//! Marked `no_run` (it still compiles) because a 5,000-agent election to
+//! stabilization takes seconds unoptimized; the umbrella crate's quickstart
+//! doctest executes this exact flow.
+//!
+//! ```no_run
 //! use pp_core::Pll;
 //! use pp_engine::{Simulation, UniformScheduler};
 //!

@@ -165,8 +165,14 @@ mod tests {
     #[test]
     fn classification_by_epoch() {
         // Not a demotion.
-        assert_eq!(classify_demotion(&qe(true, 1, true), &qe(true, 1, true)), None);
-        assert_eq!(classify_demotion(&qe(false, 1, true), &qe(false, 2, true)), None);
+        assert_eq!(
+            classify_demotion(&qe(true, 1, true), &qe(true, 1, true)),
+            None
+        );
+        assert_eq!(
+            classify_demotion(&qe(false, 1, true), &qe(false, 2, true)),
+            None
+        );
         // Status assignment.
         let x = PllState::initial();
         let joined = qe(false, 0, true);
@@ -187,7 +193,10 @@ mod tests {
         let mut t_post = t_pre;
         t_post.leader = false;
         t_post.extra = Extra::Rand { rand: 6, index: 3 };
-        assert_eq!(classify_demotion(&t_pre, &t_post), Some(Demotion::Tournament));
+        assert_eq!(
+            classify_demotion(&t_pre, &t_post),
+            Some(Demotion::Tournament)
+        );
         // BackUp level vs duel.
         assert_eq!(
             classify_demotion(&PllState::backup(true, 2), &PllState::backup(false, 9)),

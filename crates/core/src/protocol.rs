@@ -624,7 +624,13 @@ mod tests {
     fn responder_leader_sees_tail_and_stops() {
         let p = pll();
         let (_, l) = apply(&p, qe_follower(0, true), qe_leader(2, false));
-        assert_eq!(l.extra, Extra::Quick { level_q: 2, done: true });
+        assert_eq!(
+            l.extra,
+            Extra::Quick {
+                level_q: 2,
+                done: true
+            }
+        );
     }
 
     #[test]
@@ -641,7 +647,13 @@ mod tests {
     fn done_leader_stops_flipping() {
         let p = pll();
         let (l, _) = apply(&p, qe_leader(3, true), qe_follower(3, true));
-        assert_eq!(l.extra, Extra::Quick { level_q: 3, done: true });
+        assert_eq!(
+            l.extra,
+            Extra::Quick {
+                level_q: 3,
+                done: true
+            }
+        );
         assert!(l.leader, "equal levels: no demotion");
     }
 
@@ -711,10 +723,22 @@ mod tests {
         let p = pll();
         // Initiator appends 0.
         let (l, _) = apply(&p, t_leader(0b10, 2, 2), t_follower(0, 3, 2));
-        assert_eq!(l.extra, Extra::Rand { rand: 0b100, index: 3 });
+        assert_eq!(
+            l.extra,
+            Extra::Rand {
+                rand: 0b100,
+                index: 3
+            }
+        );
         // Responder appends 1.
         let (_, l) = apply(&p, t_follower(0, 3, 2), t_leader(0b10, 2, 2));
-        assert_eq!(l.extra, Extra::Rand { rand: 0b101, index: 3 });
+        assert_eq!(
+            l.extra,
+            Extra::Rand {
+                rand: 0b101,
+                index: 3
+            }
+        );
     }
 
     #[test]
@@ -849,7 +873,10 @@ mod tests {
     fn name_mentions_parameters() {
         assert_eq!(pll().name(), "P_LL(m=10)");
         assert_eq!(
-            pll().without_quick_elimination().without_tournament().name(),
+            pll()
+                .without_quick_elimination()
+                .without_tournament()
+                .name(),
             "P_LL(m=10)[-QE][-T]"
         );
     }
@@ -859,10 +886,22 @@ mod tests {
         let p = pll().without_quick_elimination();
         // The leader-follower meeting that would flip a coin does nothing.
         let (l, _) = apply(&p, qe_leader(2, false), qe_follower(0, true));
-        assert_eq!(l.extra, Extra::Quick { level_q: 2, done: false });
+        assert_eq!(
+            l.extra,
+            Extra::Quick {
+                level_q: 2,
+                done: false
+            }
+        );
         let p = pll().without_tournament();
         let (l, _) = apply(&p, t_leader(0b10, 2, 2), t_follower(0, 3, 2));
-        assert_eq!(l.extra, Extra::Rand { rand: 0b10, index: 2 });
+        assert_eq!(
+            l.extra,
+            Extra::Rand {
+                rand: 0b10,
+                index: 2
+            }
+        );
     }
 
     #[test]
@@ -924,8 +963,8 @@ mod proptests {
                     return None;
                 }
                 let leader = match status {
-                    Status::X => true,       // pristine agents are leaders
-                    Status::B => false,      // timer agents never lead
+                    Status::X => true,  // pristine agents are leaders
+                    Status::B => false, // timer agents never lead
                     Status::A => leader,
                 };
                 Some(PllState {

@@ -547,8 +547,7 @@ fn back_up(s: &mut [SymPllState; 2], tick: &[bool; 2], p: &PllParams) {
             s[1].demote();
         }
     }
-    if let (RoleVar::Leader { parity: p0 }, RoleVar::Leader { parity: p1 }) =
-        (s[0].role, s[1].role)
+    if let (RoleVar::Leader { parity: p0 }, RoleVar::Leader { parity: p1 }) = (s[0].role, s[1].role)
     {
         if p0 == p1 {
             s[0].role = RoleVar::Leader { parity: !p0 };
@@ -630,7 +629,13 @@ mod tests {
     #[test]
     fn pristine_meets_assigned_becomes_follower() {
         let p = sym();
-        let a_leader = leader(1, Extra::Quick { level_q: 0, done: false });
+        let a_leader = leader(
+            1,
+            Extra::Quick {
+                level_q: 0,
+                done: false,
+            },
+        );
         for status in [SymStatus::X, SymStatus::Y] {
             let mut pristine = SymPllState::initial();
             pristine.status = status;
@@ -641,7 +646,10 @@ mod tests {
             assert_eq!(joined.coin(), Some(Coin::K));
             assert_eq!(
                 joined.extra,
-                Extra::Quick { level_q: 0, done: true }
+                Extra::Quick {
+                    level_q: 0,
+                    done: true
+                }
             );
             assert!(l.is_leader());
         }
@@ -672,7 +680,16 @@ mod tests {
     #[test]
     fn coin_dance_rules() {
         let p = sym();
-        let f = |c| follower(c, 1, Extra::Quick { level_q: 0, done: true });
+        let f = |c| {
+            follower(
+                c,
+                1,
+                Extra::Quick {
+                    level_q: 0,
+                    done: true,
+                },
+            )
+        };
         let (a, b) = p.transition(&f(Coin::J), &f(Coin::J));
         assert_eq!((a.coin(), b.coin()), (Some(Coin::K), Some(Coin::K)));
         let (a, b) = p.transition(&f(Coin::K), &f(Coin::K));
@@ -691,15 +708,42 @@ mod tests {
     #[test]
     fn leader_toggles_charging_followers() {
         let p = sym();
-        let l = leader(1, Extra::Quick { level_q: 0, done: true });
-        let fj = follower(Coin::J, 1, Extra::Quick { level_q: 0, done: true });
+        let l = leader(
+            1,
+            Extra::Quick {
+                level_q: 0,
+                done: true,
+            },
+        );
+        let fj = follower(
+            Coin::J,
+            1,
+            Extra::Quick {
+                level_q: 0,
+                done: true,
+            },
+        );
         let (_, nf) = p.transition(&l, &fj);
         assert_eq!(nf.coin(), Some(Coin::K), "J toggles to K");
-        let fk = follower(Coin::K, 1, Extra::Quick { level_q: 0, done: true });
+        let fk = follower(
+            Coin::K,
+            1,
+            Extra::Quick {
+                level_q: 0,
+                done: true,
+            },
+        );
         let (nf, _) = p.transition(&fk, &l);
         assert_eq!(nf.coin(), Some(Coin::J), "K toggles to J");
         // Usable coins are never disturbed.
-        let f0 = follower(Coin::F0, 1, Extra::Quick { level_q: 0, done: true });
+        let f0 = follower(
+            Coin::F0,
+            1,
+            Extra::Quick {
+                level_q: 0,
+                done: true,
+            },
+        );
         let (_, nf) = p.transition(&l, &f0);
         assert_eq!(nf.coin(), Some(Coin::F0));
     }
@@ -721,33 +765,102 @@ mod tests {
     #[test]
     fn qe_flip_reads_follower_coin_not_role() {
         let p = sym();
-        let l = leader(1, Extra::Quick { level_q: 2, done: false });
+        let l = leader(
+            1,
+            Extra::Quick {
+                level_q: 2,
+                done: false,
+            },
+        );
         // F0 = head regardless of initiator/responder position.
-        let f0 = follower(Coin::F0, 1, Extra::Quick { level_q: 0, done: true });
+        let f0 = follower(
+            Coin::F0,
+            1,
+            Extra::Quick {
+                level_q: 0,
+                done: true,
+            },
+        );
         let (nl, _) = p.transition(&l, &f0);
-        assert_eq!(nl.extra, Extra::Quick { level_q: 3, done: false });
+        assert_eq!(
+            nl.extra,
+            Extra::Quick {
+                level_q: 3,
+                done: false
+            }
+        );
         let (_, nl) = p.transition(&f0, &l);
-        assert_eq!(nl.extra, Extra::Quick { level_q: 3, done: false });
+        assert_eq!(
+            nl.extra,
+            Extra::Quick {
+                level_q: 3,
+                done: false
+            }
+        );
         // F1 = tail.
-        let f1 = follower(Coin::F1, 1, Extra::Quick { level_q: 0, done: true });
+        let f1 = follower(
+            Coin::F1,
+            1,
+            Extra::Quick {
+                level_q: 0,
+                done: true,
+            },
+        );
         let (nl, _) = p.transition(&l, &f1);
-        assert_eq!(nl.extra, Extra::Quick { level_q: 2, done: true });
+        assert_eq!(
+            nl.extra,
+            Extra::Quick {
+                level_q: 2,
+                done: true
+            }
+        );
         // J/K = no usable coin: nothing happens.
-        let fj = follower(Coin::J, 1, Extra::Quick { level_q: 0, done: true });
+        let fj = follower(
+            Coin::J,
+            1,
+            Extra::Quick {
+                level_q: 0,
+                done: true,
+            },
+        );
         let (nl, _) = p.transition(&l, &fj);
-        assert_eq!(nl.extra, Extra::Quick { level_q: 2, done: false });
+        assert_eq!(
+            nl.extra,
+            Extra::Quick {
+                level_q: 2,
+                done: false
+            }
+        );
     }
 
     #[test]
     fn tournament_bits_follow_coins() {
         let p = sym();
-        let l = leader(2, Extra::Rand { rand: 0b1, index: 1 });
+        let l = leader(
+            2,
+            Extra::Rand {
+                rand: 0b1,
+                index: 1,
+            },
+        );
         let f0 = follower(Coin::F0, 2, Extra::Rand { rand: 0, index: 0 });
         let (nl, _) = p.transition(&l, &f0);
-        assert_eq!(nl.extra, Extra::Rand { rand: 0b10, index: 2 });
+        assert_eq!(
+            nl.extra,
+            Extra::Rand {
+                rand: 0b10,
+                index: 2
+            }
+        );
         let f1 = follower(Coin::F1, 2, Extra::Rand { rand: 0, index: 0 });
         let (nl, _) = p.transition(&l, &f1);
-        assert_eq!(nl.extra, Extra::Rand { rand: 0b11, index: 2 });
+        assert_eq!(
+            nl.extra,
+            Extra::Rand {
+                rand: 0b11,
+                index: 2
+            }
+        );
     }
 
     #[test]

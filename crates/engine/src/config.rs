@@ -262,11 +262,23 @@ mod tests {
     fn apply_checks_bounds_and_self_interaction() {
         let mut c = Configuration::initial(&Frat, 3).unwrap();
         assert!(matches!(
-            c.apply(&Frat, Interaction { initiator: 0, responder: 0 }),
+            c.apply(
+                &Frat,
+                Interaction {
+                    initiator: 0,
+                    responder: 0
+                }
+            ),
             Err(EngineError::SelfInteraction { agent: 0 })
         ));
         assert!(matches!(
-            c.apply(&Frat, Interaction { initiator: 0, responder: 9 }),
+            c.apply(
+                &Frat,
+                Interaction {
+                    initiator: 0,
+                    responder: 9
+                }
+            ),
             Err(EngineError::AgentOutOfBounds { agent: 9, n: 3 })
         ));
     }

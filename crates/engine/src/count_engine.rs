@@ -204,9 +204,7 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
             .expect("population has >= 2 agents");
         self.sampler.add(s, 1).expect("slot exists");
 
-        let (na, nb) = self
-            .protocol
-            .transition(&self.states[s], &self.states[t]);
+        let (na, nb) = self.protocol.transition(&self.states[s], &self.states[t]);
         self.steps += 1;
 
         let a_id = self.intern(na) as usize;
@@ -267,9 +265,7 @@ impl<P: LeaderElection, R: Rng64> CountSimulation<P, R> {
             self.sampler.add(s, 1).expect("slot exists");
             let before = i64::from(self.outputs[s] == Role::Leader)
                 + i64::from(self.outputs[t] == Role::Leader);
-            let (na, nb) = self
-                .protocol
-                .transition(&self.states[s], &self.states[t]);
+            let (na, nb) = self.protocol.transition(&self.states[s], &self.states[t]);
             self.steps += 1;
             let a_id = self.intern(na) as usize;
             let b_id = self.intern(nb) as usize;
@@ -376,8 +372,7 @@ mod tests {
 
     #[test]
     fn from_counts_ignores_zero_entries() {
-        let sim =
-            CountSimulation::from_counts(Frat, [(true, 2), (false, 0)], rng(4)).unwrap();
+        let sim = CountSimulation::from_counts(Frat, [(true, 2), (false, 0)], rng(4)).unwrap();
         assert_eq!(sim.population(), 2);
         assert_eq!(sim.distinct_states_seen(), 1);
     }

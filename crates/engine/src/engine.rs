@@ -116,9 +116,7 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
     pub fn step(&mut self) -> (Interaction, bool) {
         let interaction = self.scheduler.next_interaction(self.states.len());
         let (u, v) = (interaction.initiator, interaction.responder);
-        let (nu, nv) = self
-            .protocol
-            .transition(&self.states[u], &self.states[v]);
+        let (nu, nv) = self.protocol.transition(&self.states[u], &self.states[v]);
         let changed = nu != self.states[u] || nv != self.states[v];
         self.states[u] = nu;
         self.states[v] = nv;
@@ -200,11 +198,9 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
             let (u, v) = (interaction.initiator, interaction.responder);
             let before_u = self.protocol.output(&self.states[u]);
             let before_v = self.protocol.output(&self.states[v]);
-            let (nu, nv) = self
-                .protocol
-                .transition(&self.states[u], &self.states[v]);
-            let changed = self.protocol.output(&nu) != before_u
-                || self.protocol.output(&nv) != before_v;
+            let (nu, nv) = self.protocol.transition(&self.states[u], &self.states[v]);
+            let changed =
+                self.protocol.output(&nu) != before_u || self.protocol.output(&nv) != before_v;
             self.states[u] = nu;
             self.states[v] = nv;
             self.steps += 1;
@@ -253,9 +249,7 @@ impl<P: LeaderElection, S: Scheduler> Simulation<P, S> {
             let (u, v) = (interaction.initiator, interaction.responder);
             let before = i64::from(self.protocol.output(&self.states[u]) == Role::Leader)
                 + i64::from(self.protocol.output(&self.states[v]) == Role::Leader);
-            let (nu, nv) = self
-                .protocol
-                .transition(&self.states[u], &self.states[v]);
+            let (nu, nv) = self.protocol.transition(&self.states[u], &self.states[v]);
             let after = i64::from(self.protocol.output(&nu) == Role::Leader)
                 + i64::from(self.protocol.output(&nv) == Role::Leader);
             self.states[u] = nu;

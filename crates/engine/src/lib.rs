@@ -75,14 +75,16 @@ pub use count_engine::CountSimulation;
 pub use engine::{RunOutcome, Simulation};
 pub use error::EngineError;
 pub use protocol::{check_symmetry, LeaderElection, Protocol, Role};
-pub use scheduler::{Interaction, ReplayScheduler, RoundRobinScheduler, Scheduler, UniformScheduler};
+pub use scheduler::{
+    Interaction, ReplayScheduler, RoundRobinScheduler, Scheduler, UniformScheduler,
+};
 pub use trace::Trace;
 
 /// Convenient glob-import of the engine's most common items.
 pub mod prelude {
     pub use crate::{
         Configuration, CountSimulation, EngineError, Interaction, LeaderElection, Protocol,
-        ReplayScheduler, Role, RunOutcome, RoundRobinScheduler, Scheduler, Simulation,
+        ReplayScheduler, Role, RoundRobinScheduler, RunOutcome, Scheduler, Simulation,
         UniformScheduler,
     };
     pub use pp_rand::{Rng64, SeedSequence, Xoshiro256PlusPlus};

@@ -266,12 +266,8 @@ mod tests {
         let mut total = 0.0;
         for i in 0..10 {
             let p = BoundedLottery::for_population(n).expect("n >= 2");
-            let mut sim = Simulation::new(
-                p,
-                n,
-                UniformScheduler::seed_from_u64(seeds.seed_at(i)),
-            )
-            .expect("n >= 2");
+            let mut sim = Simulation::new(p, n, UniformScheduler::seed_from_u64(seeds.seed_at(i)))
+                .expect("n >= 2");
             total += sim.run_until_single_leader(u64::MAX).parallel_time(n);
         }
         let mean = total / 10.0;

@@ -232,10 +232,7 @@ mod tests {
         };
         // Common prefix (2 bits): 10 vs 10 — equal, no comparison verdict.
         assert_eq!(a.compare(&b), None);
-        let c = LotteryState {
-            bits: 0b11,
-            ..a
-        };
+        let c = LotteryState { bits: 0b11, ..a };
         assert_eq!(c.compare(&b), Some(std::cmp::Ordering::Greater));
     }
 

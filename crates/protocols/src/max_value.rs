@@ -72,15 +72,9 @@ mod tests {
         let n = 64;
         let mut states = vec![0u32; n];
         states[17] = 42;
-        let mut sim = Simulation::from_states(
-            MaxValue,
-            states,
-            UniformScheduler::seed_from_u64(2),
-        )
-        .unwrap();
-        let outcome = sim.run_until(64, 10_000_000, |sim| {
-            sim.states().iter().all(|&v| v == 42)
-        });
+        let mut sim =
+            Simulation::from_states(MaxValue, states, UniformScheduler::seed_from_u64(2)).unwrap();
+        let outcome = sim.run_until(64, 10_000_000, |sim| sim.states().iter().all(|&v| v == 42));
         assert!(outcome.converged);
     }
 
@@ -124,7 +118,8 @@ mod tests {
     #[test]
     fn configuration_semantics() {
         let mut c = Configuration::from_states(vec![1u32, 5, 3]).unwrap();
-        c.apply(&MaxValue, pp_engine::Interaction::new(0, 2)).unwrap();
+        c.apply(&MaxValue, pp_engine::Interaction::new(0, 2))
+            .unwrap();
         assert_eq!(c.states(), &[3, 5, 3]);
         let counts = c.state_counts();
         assert_eq!(counts[&3], 2);
@@ -137,8 +132,7 @@ mod tests {
         let states: Vec<u32> = (0..n).map(|_| rng.below(1000) as u32).collect();
         let maximum = *states.iter().max().unwrap();
         let mut sim =
-            Simulation::from_states(MaxValue, states, UniformScheduler::seed_from_u64(78))
-                .unwrap();
+            Simulation::from_states(MaxValue, states, UniformScheduler::seed_from_u64(78)).unwrap();
         let o = sim.run_until(32, u64::MAX, |sim| {
             sim.states().iter().all(|&v| v == maximum)
         });

@@ -108,10 +108,8 @@ mod tests {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(23);
         let geo = Geometric::new(0.5).unwrap();
         let n = 100_000;
-        let mean_geo: f64 =
-            (0..n).map(|_| geo.sample(&mut rng) as f64).sum::<f64>() / n as f64;
-        let mean_run: f64 =
-            (0..n).map(|_| rng.heads_run() as f64).sum::<f64>() / n as f64;
+        let mean_geo: f64 = (0..n).map(|_| geo.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        let mean_run: f64 = (0..n).map(|_| rng.heads_run() as f64).sum::<f64>() / n as f64;
         assert!((mean_geo - mean_run).abs() < 0.05);
     }
 }

@@ -54,9 +54,10 @@ impl SeedSequence {
     /// Derives a named sub-sequence, e.g. one per experiment, that is
     /// independent of this sequence's cursor.
     pub fn derive(&self, label: u64) -> SeedSequence {
-        SeedSequence::new(SplitMix64::mix64(self.master.wrapping_add(
-            SplitMix64::mix64(label ^ 0xA076_1D64_78BD_642F),
-        )))
+        SeedSequence::new(SplitMix64::mix64(
+            self.master
+                .wrapping_add(SplitMix64::mix64(label ^ 0xA076_1D64_78BD_642F)),
+        ))
     }
 }
 

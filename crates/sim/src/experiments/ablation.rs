@@ -61,10 +61,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
             mean_ci(&full[i].times),
             mean_ci(&no_t[i].times),
             mean_ci(&backup_only[i].times),
-            format!(
-                "{:.2}×",
-                backup_only[i].times.mean() / full[i].times.mean()
-            ),
+            format!("{:.2}×", backup_only[i].times.mean() / full[i].times.mean()),
         ]);
     }
 
@@ -101,16 +98,11 @@ pub fn run(quick: bool) -> ExperimentOutput {
 
     // (3) c_max sensitivity.
     let cmax_factors = [11u32, 21, 41, 81];
-    let mut c_table = Table::new([
-        "c_max (× m)",
-        "parallel time (mean ± CI)",
-        "vs paper's 41m",
-    ]);
+    let mut c_table = Table::new(["c_max (× m)", "parallel time (mean ± CI)", "vs paper's 41m"]);
     let mut paper_mean = 0.0;
     let mut rows = Vec::new();
     for (ci, &cf) in cmax_factors.iter().enumerate() {
-        let params = PllParams::for_population(m_n)
-            .expect("n >= 2");
+        let params = PllParams::for_population(m_n).expect("n >= 2");
         let params = params.with_cmax(cf * params.m());
         let sweep = stabilization_sweep(
             |_| Pll::new(params),

@@ -72,7 +72,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
             .collect();
         let count = rows.len() as f64;
         let mean = |f: fn(&DemotionTally) -> u64| -> String {
-            format!("{:.1}", rows.iter().map(|t| f(t) as f64).sum::<f64>() / count)
+            format!(
+                "{:.1}",
+                rows.iter().map(|t| f(t) as f64).sum::<f64>() / count
+            )
         };
         table.push_row([
             n.to_string(),

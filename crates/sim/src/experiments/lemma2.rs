@@ -80,11 +80,17 @@ pub fn run(quick: bool) -> ExperimentOutput {
     }
 
     let notes = vec![
-        format!("Population n = {n}, {trials} trials per cell; sub-populations are every \
-                 {{1st, 2nd, 4th}} agent."),
+        format!(
+            "Population n = {n}, {trials} trials per cell; sub-populations are every \
+                 {{1st, 2nd, 4th}} agent."
+        ),
         format!(
             "All empirical tails below the closed-form bound (within Monte-Carlo noise): {}.",
-            if all_respected { "CONFIRMED" } else { "VIOLATED — investigate" }
+            if all_respected {
+                "CONFIRMED"
+            } else {
+                "VIOLATED — investigate"
+            }
         ),
         "The bound is loose by design (union bound over agents); empirical failure \
          probabilities drop to 0 well before the bound does."

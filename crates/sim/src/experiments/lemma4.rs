@@ -40,8 +40,16 @@ pub fn run(quick: bool) -> ExperimentOutput {
         let mut min_b = usize::MAX;
         for _ in 0..checkpoints {
             sim.run(n as u64 / 2 + 1);
-            let a = sim.states().iter().filter(|s| s.status == Status::A).count();
-            let b = sim.states().iter().filter(|s| s.status == Status::B).count();
+            let a = sim
+                .states()
+                .iter()
+                .filter(|s| s.status == Status::A)
+                .count();
+            let b = sim
+                .states()
+                .iter()
+                .filter(|s| s.status == Status::B)
+                .count();
             let f = sim.states().iter().filter(|s| !s.leader).count();
             min_a = min_a.min(a as f64 / n as f64);
             min_f = min_f.min(f as f64 / n as f64);
@@ -81,7 +89,11 @@ pub fn run(quick: bool) -> ExperimentOutput {
         format!(
             "Minima taken over {seeds} seeds × {checkpoints} checkpoints per n, after every \
              agent left status X. Lemma 4: {}.",
-            if all_hold { "CONFIRMED" } else { "VIOLATED — investigate" }
+            if all_hold {
+                "CONFIRMED"
+            } else {
+                "VIOLATED — investigate"
+            }
         ),
         "Status assignment itself completes in Θ(log n) parallel time (the last pristine \
          agent is found by a coupon-collector argument), visible in the last column."

@@ -65,7 +65,11 @@ pub fn run(quick: bool) -> ExperimentOutput {
         ),
         format!(
             "All i ≥ 2 probabilities below the 2^{{1−i}} bound (3σ tolerance): {}.",
-            if all_ok { "CONFIRMED" } else { "VIOLATED — investigate" }
+            if all_ok {
+                "CONFIRMED"
+            } else {
+                "VIOLATED — investigate"
+            }
         ),
     ];
 

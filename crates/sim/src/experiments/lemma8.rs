@@ -58,20 +58,17 @@ pub fn run(quick: bool) -> ExperimentOutput {
         let fail = 1.0 - p;
         let lg = (n as f64).log2();
         fit_points.push((1.0 / lg, fail));
-        table.push_row([
-            n.to_string(),
-            f3(p),
-            f3(fail),
-            f3(fail * lg),
-        ]);
+        table.push_row([n.to_string(), f3(p), f3(fail), f3(fail * lg)]);
     }
 
     // O(1/log n) failure ⟺ failure ≈ a·(1/lg n) + b with b ≈ 0.
     let fit = fit_against(&fit_points);
     let notes = vec![
-        format!("{trials} runs per n; epoch-4 entry checked every n/2 steps (runs where \
+        format!(
+            "{trials} runs per n; epoch-4 entry checked every n/2 steps (runs where \
                  convergence and epoch-4 entry fall in the same burst are counted as \
-                 failures, a conservative bias)."),
+                 failures, a conservative bias)."
+        ),
         format!(
             "Linear fit of failure rate against 1/lg n: slope {:.2}, intercept {:.3} \
              (R² {:.3}) — an intercept near zero is the O(1/log n) signature of Lemma 8.",

@@ -10,9 +10,7 @@
 use super::f1;
 use crate::{parallel_map, ExperimentOutput};
 use pp_core::Pll;
-use pp_engine::{
-    LeaderElection, RoundRobinScheduler, Scheduler, Simulation, UniformScheduler,
-};
+use pp_engine::{LeaderElection, RoundRobinScheduler, Scheduler, Simulation, UniformScheduler};
 use pp_protocols::{BoundedLottery, Fratricide};
 use pp_rand::SeedSequence;
 use pp_stats::{Summary, Table};
@@ -65,7 +63,13 @@ pub fn run(quick: bool) -> ExperimentOutput {
         runs,
         1,
     );
-    let frat_uniform = measure(|_| Fratricide, UniformScheduler::seed_from_u64, &ns, runs, 2);
+    let frat_uniform = measure(
+        |_| Fratricide,
+        UniformScheduler::seed_from_u64,
+        &ns,
+        runs,
+        2,
+    );
     let lot_uniform = measure(
         |n| BoundedLottery::for_population(n).expect("n >= 2"),
         UniformScheduler::seed_from_u64,

@@ -57,8 +57,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
         .collect();
     let fairness = parallel_map(&jobs, |&(n, seed)| {
         let p = SymPll::for_population(n).expect("n >= 3");
-        let mut sim =
-            Simulation::new(p, n, UniformScheduler::seed_from_u64(seed)).expect("n >= 2");
+        let mut sim = Simulation::new(p, n, UniformScheduler::seed_from_u64(seed)).expect("n >= 2");
         let mut max_imbalance = 0i64;
         let mut usable_frac_sum = 0.0;
         let checkpoints = 60;

@@ -136,7 +136,13 @@ pub fn run(quick: bool) -> ExperimentOutput {
         fit_power_law(&pts).slope
     };
 
-    let mut fits = Table::new(["protocol", "paper states", "paper time", "time exponent", "states exponent"]);
+    let mut fits = Table::new([
+        "protocol",
+        "paper states",
+        "paper time",
+        "time exponent",
+        "states exponent",
+    ]);
     fits.push_row([
         "Fratricide [Ang+06]".to_string(),
         "O(1)".to_string(),

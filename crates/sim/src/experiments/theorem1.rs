@@ -65,7 +65,8 @@ pub fn run(quick: bool) -> ExperimentOutput {
             pow_fit.slope
         ),
         "All runs converge (unconverged = 0): stabilization is certain, not just expected — \
-         the BackUp() phase guarantees it (Theorem 1's probability-1 clause).".to_string(),
+         the BackUp() phase guarantees it (Theorem 1's probability-1 clause)."
+            .to_string(),
     ];
 
     ExperimentOutput {

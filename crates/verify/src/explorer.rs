@@ -24,7 +24,10 @@ impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VerifyError::TooManyConfigurations { limit } => {
-                write!(f, "reachable configuration space exceeds the limit of {limit}")
+                write!(
+                    f,
+                    "reachable configuration space exceeds the limit of {limit}"
+                )
             }
             VerifyError::PopulationTooSmall { n } => {
                 write!(f, "population of {n} agents is too small; need at least 2")
@@ -255,8 +258,7 @@ impl<S: Clone + Ord + std::hash::Hash + std::fmt::Debug> ReachabilityGraph<S> {
             }
         }
         let mut can_reach = targets.to_vec();
-        let mut frontier: Vec<usize> =
-            (0..self.configs.len()).filter(|&i| targets[i]).collect();
+        let mut frontier: Vec<usize> = (0..self.configs.len()).filter(|&i| targets[i]).collect();
         while let Some(id) = frontier.pop() {
             for &p in &predecessors[id] {
                 if !can_reach[p] {

@@ -255,9 +255,7 @@ mod tests {
     fn unreachable_target_is_an_error() {
         let chain = MarkovChain::build(&Frat, 3, 10_000).unwrap();
         // Zero leaders is unreachable for fratricide.
-        assert!(chain
-            .expected_steps_to(|c| c.iter().all(|&l| !l))
-            .is_err());
+        assert!(chain.expected_steps_to(|c| c.iter().all(|&l| !l)).is_err());
     }
 
     #[test]
@@ -315,12 +313,9 @@ mod tests {
         let runs = 2000;
         let mut total = 0u64;
         for i in 0..runs {
-            let mut sim = Simulation::new(
-                FratLe,
-                n,
-                UniformScheduler::seed_from_u64(seeds.seed_at(i)),
-            )
-            .unwrap();
+            let mut sim =
+                Simulation::new(FratLe, n, UniformScheduler::seed_from_u64(seeds.seed_at(i)))
+                    .unwrap();
             total += sim.run_until_single_leader(u64::MAX).steps;
         }
         let mc = total as f64 / runs as f64;

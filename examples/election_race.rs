@@ -16,12 +16,9 @@ fn race<P: LeaderElection>(make: impl Fn() -> P, n: usize, seeds: u64, master: u
     let seq = SeedSequence::new(master);
     (0..seeds)
         .map(|i| {
-            let mut sim = Simulation::new(
-                make(),
-                n,
-                UniformScheduler::seed_from_u64(seq.seed_at(i)),
-            )
-            .expect("n >= 2");
+            let mut sim =
+                Simulation::new(make(), n, UniformScheduler::seed_from_u64(seq.seed_at(i)))
+                    .expect("n >= 2");
             sim.run_until_single_leader(u64::MAX).parallel_time(n)
         })
         .collect()

@@ -16,13 +16,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sym = SymPll::for_population(n)?;
     let mut sim = Simulation::new(sym, n, UniformScheduler::seed_from_u64(4))?;
     println!("symmetric P_LL on n = {n}: sampling coin pools every n/2 interactions");
-    println!("{:>10} {:>8} {:>8} {:>8} {:>9}", "steps", "#F0", "#F1", "#J/#K", "leaders");
+    println!(
+        "{:>10} {:>8} {:>8} {:>8} {:>9}",
+        "steps", "#F0", "#F1", "#J/#K", "leaders"
+    );
     let mut checkpoints = 0;
     while sim.leader_count() > 1 {
         sim.run((n / 2) as u64);
         checkpoints += 1;
-        let f0 = sim.states().iter().filter(|s| s.coin() == Some(Coin::F0)).count();
-        let f1 = sim.states().iter().filter(|s| s.coin() == Some(Coin::F1)).count();
+        let f0 = sim
+            .states()
+            .iter()
+            .filter(|s| s.coin() == Some(Coin::F0))
+            .count();
+        let f1 = sim
+            .states()
+            .iter()
+            .filter(|s| s.coin() == Some(Coin::F1))
+            .count();
         let charging = sim
             .states()
             .iter()
@@ -41,11 +52,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let sym_time = sim.parallel_time();
-    println!("symmetric stabilized at {sym_time:.1} parallel time; invariant held at every checkpoint");
+    println!(
+        "symmetric stabilized at {sym_time:.1} parallel time; invariant held at every checkpoint"
+    );
     println!();
 
     // Asymmetric comparison on the same population size.
-    let mut asym = Simulation::new(Pll::for_population(n)?, n, UniformScheduler::seed_from_u64(4))?;
+    let mut asym = Simulation::new(
+        Pll::for_population(n)?,
+        n,
+        UniformScheduler::seed_from_u64(4),
+    )?;
     let outcome = asym.run_until_single_leader(u64::MAX);
     println!(
         "asymmetric P_LL stabilized at {:.1} parallel time → symmetric overhead ≈ {:.2}×",

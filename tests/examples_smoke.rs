@@ -1,0 +1,60 @@
+//! Smoke test: every example in `examples/` must build and run to
+//! completion. The example set is discovered from the filesystem, so adding
+//! an example automatically adds it to this test — examples cannot
+//! silently rot.
+//!
+//! Examples run in release mode (they simulate populations up to 100k
+//! agents; debug-mode runs would dominate the suite's wall clock) via the
+//! same `cargo` binary that is running this test.
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn every_example_runs_to_completion() {
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let examples_dir = manifest_dir.join("examples");
+    let mut names: Vec<String> = std::fs::read_dir(&examples_dir)
+        .expect("examples/ directory exists")
+        .filter_map(|entry| {
+            let path = entry.expect("readable dir entry").path();
+            let is_rs = path.extension().is_some_and(|e| e == "rs");
+            is_rs.then(|| {
+                path.file_stem()
+                    .expect("file has a stem")
+                    .to_string_lossy()
+                    .into_owned()
+            })
+        })
+        .collect();
+    names.sort();
+    assert!(
+        !names.is_empty(),
+        "no examples found in {}",
+        examples_dir.display()
+    );
+
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let mut failures = Vec::new();
+    for name in &names {
+        let output = Command::new(&cargo)
+            .args(["run", "--release", "--quiet", "--example", name])
+            .current_dir(manifest_dir)
+            .output()
+            .expect("cargo is runnable");
+        if !output.status.success() {
+            failures.push(format!(
+                "example `{name}` exited with {}:\n{}",
+                output.status,
+                String::from_utf8_lossy(&output.stderr)
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {} examples failed:\n{}",
+        failures.len(),
+        names.len(),
+        failures.join("\n---\n")
+    );
+}

@@ -2,9 +2,7 @@
 //! population sizes — the paper's headline behavior end to end.
 
 use population_protocols::core::{Pll, PllParams, Status, SymPll};
-use population_protocols::engine::{
-    CountSimulation, Simulation, UniformScheduler,
-};
+use population_protocols::engine::{CountSimulation, Simulation, UniformScheduler};
 use population_protocols::rand::{SeedSequence, Xoshiro256PlusPlus};
 
 #[test]
@@ -26,8 +24,7 @@ fn pll_elects_exactly_one_leader_across_sizes() {
 fn both_engines_elect_on_the_same_protocol() {
     let n = 400;
     let pll = Pll::for_population(n).expect("n >= 2");
-    let mut agent =
-        Simulation::new(pll, n, UniformScheduler::seed_from_u64(9)).expect("n >= 2");
+    let mut agent = Simulation::new(pll, n, UniformScheduler::seed_from_u64(9)).expect("n >= 2");
     assert!(agent.run_until_single_leader(u64::MAX).converged);
 
     let pll = Pll::for_population(n).expect("n >= 2");
@@ -43,12 +40,8 @@ fn oversized_size_knowledge_still_elects() {
     let n = 64;
     let params = PllParams::new(32).expect("m >= 1");
     params.check_covers(n).expect("32 >= lg 64");
-    let mut sim = Simulation::new(
-        Pll::new(params),
-        n,
-        UniformScheduler::seed_from_u64(5),
-    )
-    .expect("n >= 2");
+    let mut sim =
+        Simulation::new(Pll::new(params), n, UniformScheduler::seed_from_u64(5)).expect("n >= 2");
     assert!(sim.run_until_single_leader(u64::MAX).converged);
 }
 
@@ -59,12 +52,8 @@ fn undersized_size_knowledge_converges_via_backup() {
     let n = 512;
     let params = PllParams::new(3).expect("m >= 1");
     assert!(params.check_covers(n).is_err());
-    let mut sim = Simulation::new(
-        Pll::new(params),
-        n,
-        UniformScheduler::seed_from_u64(6),
-    )
-    .expect("n >= 2");
+    let mut sim =
+        Simulation::new(Pll::new(params), n, UniformScheduler::seed_from_u64(6)).expect("n >= 2");
     let outcome = sim.run_until_single_leader(2_000_000_000);
     assert!(outcome.converged, "undersized m failed to elect at all");
 }
@@ -102,8 +91,16 @@ fn lemma4_invariants_hold_along_a_long_run() {
     assert!(assigned.converged);
     for _ in 0..100 {
         sim.run(500);
-        let a = sim.states().iter().filter(|s| s.status == Status::A).count();
-        let b = sim.states().iter().filter(|s| s.status == Status::B).count();
+        let a = sim
+            .states()
+            .iter()
+            .filter(|s| s.status == Status::A)
+            .count();
+        let b = sim
+            .states()
+            .iter()
+            .filter(|s| s.status == Status::B)
+            .count();
         let f = sim.states().iter().filter(|s| !s.leader).count();
         assert!(a * 2 >= n, "|V_A| < n/2");
         assert!(f * 2 >= n, "|V_F| < n/2");
@@ -131,12 +128,8 @@ fn seed_sequence_drives_independent_runs() {
     let times: Vec<u64> = (0..4)
         .map(|i| {
             let pll = Pll::for_population(n).expect("n >= 2");
-            let mut sim = Simulation::new(
-                pll,
-                n,
-                UniformScheduler::seed_from_u64(seq.seed_at(i)),
-            )
-            .expect("n >= 2");
+            let mut sim = Simulation::new(pll, n, UniformScheduler::seed_from_u64(seq.seed_at(i)))
+                .expect("n >= 2");
             sim.run_until_single_leader(u64::MAX).steps
         })
         .collect();

@@ -19,7 +19,10 @@ fn three_views_of_fratricide_agree() {
     let exact = chain
         .expected_steps_to(|c| c.iter().filter(|s| s.leader_flag()).count() == 1)
         .expect("reachable");
-    assert!((closed - exact).abs() < 1e-6, "closed {closed} vs exact {exact}");
+    assert!(
+        (closed - exact).abs() < 1e-6,
+        "closed {closed} vs exact {exact}"
+    );
 
     let seeds = SeedSequence::new(17);
     let runs = 3000;

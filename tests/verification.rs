@@ -37,9 +37,8 @@ fn pll_bounded_exhaustive_safety() {
     let g = ReachabilityGraph::explore_bounded(&pll, 3, 60_000).expect("bounded exploration");
     assert!(g.len() > 1_000, "explored {} configurations", g.len());
     // Never leaderless.
-    let leaders = |c: &[<Pll as Protocol>::State]| {
-        c.iter().filter(|s| pll.output(s) == Role::Leader).count()
-    };
+    let leaders =
+        |c: &[<Pll as Protocol>::State]| c.iter().filter(|s| pll.output(s) == Role::Leader).count();
     assert!(
         g.check_invariant(|c| leaders(c) >= 1).is_none(),
         "a reachable configuration lost every leader"
@@ -77,19 +76,17 @@ fn sym_pll_fairness_invariant_exhaustively_bounded() {
         "coin pools diverged in a reachable configuration"
     );
     // Leaders never vanish in the symmetric variant either.
-    assert!(
-        g.check_invariant(|c| c.iter().any(|s| s.is_leader()))
-            .is_none()
-    );
+    assert!(g
+        .check_invariant(|c| c.iter().any(|s| s.is_leader()))
+        .is_none());
 }
 
 #[test]
 fn monotone_leader_count_exhaustively_bounded_for_pll() {
     let pll = Pll::new(PllParams::new(1).expect("m >= 1"));
     let g = ReachabilityGraph::explore_bounded(&pll, 3, 20_000).expect("bounded exploration");
-    let leaders = |c: &[<Pll as Protocol>::State]| {
-        c.iter().filter(|s| pll.output(s) == Role::Leader).count()
-    };
+    let leaders =
+        |c: &[<Pll as Protocol>::State]| c.iter().filter(|s| pll.output(s) == Role::Leader).count();
     for id in 0..g.len() {
         let here = leaders(g.config(id));
         for &succ in g.successors(id) {
