@@ -1,23 +1,41 @@
 //! Engine micro-benchmarks: interactions per second for the per-agent and
-//! count-based engines, on the paper's protocol and on a trivial baseline.
+//! count-based engines, on the paper's protocol and on the Table-1 baseline
+//! protocols.
+//!
+//! The count engine appears twice: `engine/count_steps` exercises the
+//! default compiled-pair fast path, `engine/count_steps_reference` the same
+//! workloads with the compiled cache disabled (per-step hashing, cloning,
+//! and `Protocol::transition` calls) — the before/after pair that shows what
+//! the compiled transition layer buys. All groups declare element
+//! throughput, so the JSON emitted by the criterion stand-in (see
+//! `BENCH_JSON_DIR`) reports interactions/sec directly; `BENCH_engine.json`
+//! at the repo root snapshots those numbers per PR.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pp_bench::fast_criterion;
 use pp_core::Pll;
-use pp_engine::{CountSimulation, Simulation, UniformScheduler};
-use pp_protocols::Fratricide;
+use pp_engine::{CountSimulation, LeaderElection, Simulation, UniformScheduler};
+use pp_protocols::{Fratricide, UnboundedLottery};
 use pp_rand::Xoshiro256PlusPlus;
 use std::hint::black_box;
 
+/// Interactions per benchmark iteration.
+const STEPS: u64 = 1000;
+
+/// Count-engine population sizes: the count engine is `O(#states)` memory,
+/// so it scales to populations the per-agent engine cannot touch.
+const COUNT_NS: [usize; 4] = [1 << 10, 1 << 14, 1 << 20, 1 << 24];
+
 fn bench_agent_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/agent_steps");
+    group.throughput(Throughput::Elements(STEPS));
     for &n in &[1024usize, 16384] {
         group.bench_with_input(BenchmarkId::new("pll", n), &n, |b, &n| {
             let pll = Pll::for_population(n).expect("n >= 2");
             let mut sim =
                 Simulation::new(pll, n, UniformScheduler::seed_from_u64(1)).expect("n >= 2");
             b.iter(|| {
-                sim.run(1000);
+                sim.run(STEPS);
                 black_box(sim.steps())
             });
         });
@@ -25,7 +43,47 @@ fn bench_agent_engine(c: &mut Criterion) {
             let mut sim =
                 Simulation::new(Fratricide, n, UniformScheduler::seed_from_u64(1)).expect("n >= 2");
             b.iter(|| {
-                sim.run(1000);
+                sim.run(STEPS);
+                black_box(sim.steps())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn count_sim<P: LeaderElection>(
+    protocol: P,
+    n: usize,
+    compiled: bool,
+) -> CountSimulation<P, Xoshiro256PlusPlus> {
+    let rng = Xoshiro256PlusPlus::seed_from_u64(1);
+    let mut sim = CountSimulation::new(protocol, n, rng).expect("n >= 2");
+    sim.set_compiled_cache(compiled);
+    sim
+}
+
+fn bench_count_engine_at(group_name: &str, compiled: bool, c: &mut Criterion) {
+    let mut group = c.benchmark_group(group_name);
+    group.throughput(Throughput::Elements(STEPS));
+    for &n in &COUNT_NS {
+        group.bench_with_input(BenchmarkId::new("pll", n), &n, |b, &n| {
+            let mut sim = count_sim(Pll::for_population(n).expect("n >= 2"), n, compiled);
+            b.iter(|| {
+                sim.run(STEPS);
+                black_box(sim.steps())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fratricide", n), &n, |b, &n| {
+            let mut sim = count_sim(Fratricide, n, compiled);
+            b.iter(|| {
+                sim.run(STEPS);
+                black_box(sim.steps())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("lottery", n), &n, |b, &n| {
+            let mut sim = count_sim(UnboundedLottery, n, compiled);
+            b.iter(|| {
+                sim.run(STEPS);
                 black_box(sim.steps())
             });
         });
@@ -34,24 +92,16 @@ fn bench_agent_engine(c: &mut Criterion) {
 }
 
 fn bench_count_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine/count_steps");
-    for &n in &[1024usize, 1 << 20] {
-        group.bench_with_input(BenchmarkId::new("pll", n), &n, |b, &n| {
-            let pll = Pll::for_population(n).expect("n >= 2");
-            let rng = Xoshiro256PlusPlus::seed_from_u64(1);
-            let mut sim = CountSimulation::new(pll, n, rng).expect("n >= 2");
-            b.iter(|| {
-                sim.run(1000);
-                black_box(sim.steps())
-            });
-        });
-    }
-    group.finish();
+    bench_count_engine_at("engine/count_steps", true, c);
+}
+
+fn bench_count_engine_reference(c: &mut Criterion) {
+    bench_count_engine_at("engine/count_steps_reference", false, c);
 }
 
 criterion_group! {
     name = benches;
     config = fast_criterion();
-    targets = bench_agent_engine, bench_count_engine
+    targets = bench_agent_engine, bench_count_engine, bench_count_engine_reference
 }
 criterion_main!(benches);

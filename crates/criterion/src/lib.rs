@@ -12,12 +12,44 @@
 //! timed over `sample_size` samples, where each sample runs the iteration
 //! closure enough times to fill roughly `measurement_time / sample_size` of
 //! wall clock. The median per-iteration time is reported on stdout.
+//!
+//! # Machine-readable results
+//!
+//! In addition to the stdout report, every finished benchmark is recorded
+//! and, when the driver is dropped, written out as **one JSON file per
+//! benchmark group** (`<group>.json`, with `/` replaced by `_`) into the
+//! directory named by the `BENCH_JSON_DIR` environment variable (default
+//! `target/bench-json`). Each record carries the median seconds per
+//! iteration plus, when the group declared a [`Throughput`], the derived
+//! elements/bytes per second — which is how the workspace tracks
+//! interactions/sec across PRs (see `BENCH_engine.json` at the repo root).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::fmt;
+use std::fs;
 use std::time::{Duration, Instant};
+
+/// Throughput declaration for a benchmark group; mirrors
+/// `criterion::Throughput`. The stub uses it to derive per-second rates in
+/// reports and JSON output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// One finished benchmark measurement.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    group: String,
+    name: String,
+    median_secs: f64,
+    throughput: Option<Throughput>,
+}
 
 /// Top-level benchmark driver; mirrors `criterion::Criterion`.
 pub struct Criterion {
@@ -26,6 +58,7 @@ pub struct Criterion {
     measurement_time: Duration,
     filter: Option<String>,
     list_only: bool,
+    records: Vec<BenchRecord>,
 }
 
 impl Default for Criterion {
@@ -36,6 +69,7 @@ impl Default for Criterion {
             measurement_time: Duration::from_secs(5),
             filter: None,
             list_only: false,
+            records: Vec::new(),
         }
     }
 }
@@ -62,7 +96,9 @@ impl Criterion {
 
     /// Apply command-line arguments passed by `cargo bench` (`--bench` is
     /// swallowed; a bare token or `--filter`-style positional argument
-    /// becomes a substring filter; `--list` lists benchmark names).
+    /// becomes a substring filter; `--list` lists benchmark names;
+    /// `--sample-size`, `--measurement-time`, and `--warm-up-time` override
+    /// the corresponding settings, the durations in (fractional) seconds).
     pub fn configure_from_args(mut self) -> Self {
         // Criterion flags that take a value in a separate argument; anything
         // not listed is treated as a bare switch so a following positional
@@ -98,6 +134,22 @@ impl Criterion {
                         self = self.sample_size(n);
                     }
                 }
+                "--measurement-time" => {
+                    let value = inline_value.or_else(|| args.next());
+                    if let Some(secs) = value.and_then(|v| v.parse::<f64>().ok()) {
+                        if secs > 0.0 {
+                            self = self.measurement_time(Duration::from_secs_f64(secs));
+                        }
+                    }
+                }
+                "--warm-up-time" => {
+                    let value = inline_value.or_else(|| args.next());
+                    if let Some(secs) = value.and_then(|v| v.parse::<f64>().ok()) {
+                        if secs > 0.0 {
+                            self = self.warm_up_time(Duration::from_secs_f64(secs));
+                        }
+                    }
+                }
                 f if VALUE_FLAGS.contains(&f) => {
                     if inline_value.is_none() {
                         let _ = args.next();
@@ -115,6 +167,7 @@ impl Criterion {
         BenchmarkGroup {
             criterion: self,
             name: name.into(),
+            throughput: None,
         }
     }
 
@@ -124,7 +177,7 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        self.run_one(&id.to_string(), f);
+        self.run_one("ungrouped", &id.to_string(), None, f);
         self
     }
 
@@ -132,7 +185,7 @@ impl Criterion {
     /// exists so `criterion_main!` expands identically to the real crate.
     pub fn final_summary(&self) {}
 
-    fn run_one<F>(&self, name: &str, mut f: F)
+    fn run_one<F>(&mut self, group: &str, name: &str, throughput: Option<Throughput>, mut f: F)
     where
         F: FnMut(&mut Bencher),
     {
@@ -159,8 +212,93 @@ impl Criterion {
             remaining: self.sample_size,
         };
         f(&mut bencher);
-        bencher.report(name);
+        if let Some(median_secs) = bencher.report(name, throughput) {
+            self.records.push(BenchRecord {
+                group: group.to_owned(),
+                name: name.to_owned(),
+                median_secs,
+                throughput,
+            });
+        }
     }
+
+    /// Writes one JSON file per benchmark group with the collected medians
+    /// (see the [module docs](self)); called automatically on drop.
+    fn write_json_reports(&self) {
+        if self.records.is_empty() {
+            return;
+        }
+        let dir = std::env::var("BENCH_JSON_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|_| default_json_dir());
+        if fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let mut groups: Vec<&str> = self.records.iter().map(|r| r.group.as_str()).collect();
+        groups.sort_unstable();
+        groups.dedup();
+        for group in groups {
+            let mut json = String::new();
+            json.push_str("{\n");
+            json.push_str(&format!("  \"group\": \"{}\",\n", escape(group)));
+            json.push_str("  \"benchmarks\": [\n");
+            let records: Vec<&BenchRecord> =
+                self.records.iter().filter(|r| r.group == group).collect();
+            for (i, r) in records.iter().enumerate() {
+                json.push_str("    {");
+                json.push_str(&format!("\"name\": \"{}\", ", escape(&r.name)));
+                json.push_str(&format!("\"median_seconds_per_iter\": {:e}", r.median_secs));
+                match r.throughput {
+                    Some(Throughput::Elements(n)) => {
+                        json.push_str(&format!(", \"elements_per_iter\": {n}"));
+                        json.push_str(&format!(
+                            ", \"elements_per_second\": {:e}",
+                            n as f64 / r.median_secs
+                        ));
+                    }
+                    Some(Throughput::Bytes(n)) => {
+                        json.push_str(&format!(", \"bytes_per_iter\": {n}"));
+                        json.push_str(&format!(
+                            ", \"bytes_per_second\": {:e}",
+                            n as f64 / r.median_secs
+                        ));
+                    }
+                    None => {}
+                }
+                json.push('}');
+                json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+            }
+            json.push_str("  ]\n}\n");
+            let file = dir.join(format!("{}.json", group.replace(['/', ' '], "_")));
+            let _ = fs::write(file, json);
+        }
+    }
+}
+
+/// Default JSON output directory: `<target>/bench-json`, located from the
+/// running bench executable (`<target>/<profile>/deps/<bench>`). Cargo runs
+/// bench binaries with the *package* root as the working directory, so a
+/// cwd-relative default would scatter files across member crates.
+fn default_json_dir() -> std::path::PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            exe.ancestors()
+                .find(|p| p.file_name().is_some_and(|n| n == "target"))
+                .map(|t| t.join("bench-json"))
+        })
+        .unwrap_or_else(|| std::path::PathBuf::from("target/bench-json"))
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        self.write_json_reports();
+    }
+}
+
+/// Minimal JSON string escaping for benchmark names.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 enum Mode {
@@ -213,14 +351,27 @@ impl Bencher {
         }
     }
 
-    fn report(&mut self, name: &str) {
+    fn report(&mut self, name: &str, throughput: Option<Throughput>) -> Option<f64> {
         if self.samples.is_empty() {
-            return;
+            return None;
         }
         self.samples
             .sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
         let median = self.samples[self.samples.len() / 2];
-        println!("{name:<48} time: [{}]", HumanTime(median));
+        match throughput {
+            Some(Throughput::Elements(n)) => println!(
+                "{name:<48} time: [{}] thrpt: [{}]",
+                HumanTime(median),
+                HumanRate(n as f64 / median, "elem/s")
+            ),
+            Some(Throughput::Bytes(n)) => println!(
+                "{name:<48} time: [{}] thrpt: [{}]",
+                HumanTime(median),
+                HumanRate(n as f64 / median, "B/s")
+            ),
+            None => println!("{name:<48} time: [{}]", HumanTime(median)),
+        }
+        Some(median)
     }
 }
 
@@ -241,13 +392,38 @@ impl fmt::Display for HumanTime {
     }
 }
 
+struct HumanRate(f64, &'static str);
+
+impl fmt::Display for HumanRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (r, unit) = (self.0, self.1);
+        if r >= 1e9 {
+            write!(f, "{:.4} G{unit}", r / 1e9)
+        } else if r >= 1e6 {
+            write!(f, "{:.4} M{unit}", r / 1e6)
+        } else if r >= 1e3 {
+            write!(f, "{:.4} K{unit}", r / 1e3)
+        } else {
+            write!(f, "{r:.4} {unit}")
+        }
+    }
+}
+
 /// A benchmark within a [`BenchmarkGroup`]; names are `group/benchmark`.
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput of subsequent benchmarks in
+    /// this group; mirrors `criterion::BenchmarkGroup::throughput`.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
     /// Run a benchmark in this group.
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
     where
@@ -255,7 +431,8 @@ impl BenchmarkGroup<'_> {
     {
         let id = id.into();
         let full = format!("{}/{}", self.name, id);
-        self.criterion.run_one(&full, f);
+        self.criterion
+            .run_one(&self.name, &full, self.throughput, f);
         self
     }
 
@@ -266,7 +443,8 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id);
-        self.criterion.run_one(&full, |b| f(b, input));
+        self.criterion
+            .run_one(&self.name, &full, self.throughput, |b| f(b, input));
         self
     }
 

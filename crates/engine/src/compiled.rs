@@ -1,0 +1,275 @@
+//! The compiled pair-transition cache behind the count engine's hot loop.
+//!
+//! [`Protocol::transition`](crate::Protocol::transition) is required to be a
+//! *pure, deterministic* function of the ordered state pair (see the trait's
+//! determinism contract), so its action on interned state ids can be compiled
+//! once and replayed forever: the first time the count engine sees the
+//! ordered id pair `(s, t)` it runs the real transition, interns the
+//! successor states, and stores a packed entry
+//!
+//! ```text
+//! (s, t)  →  (a, b, leader_delta, is_null)
+//! ```
+//!
+//! in a dense `stride × stride` table (`stride` = capacity for state ids,
+//! always a power of two so the lookup is a shift and an or). Every later
+//! occurrence of the pair is one 4-byte load: **zero hashing, zero state
+//! cloning, zero `transition` calls** in the steady state.
+//!
+//! # Memory trade-off
+//!
+//! The table is dense over *states seen so far*, which is what makes the
+//! lookup branch-free: `k` distinct states cost `4·k²` bytes after rounding
+//! `k` up to a power of two. For bounded-state protocols this is trivial
+//! (the paper's `P_LL` visits ≲ 128 states even at `n = 2^20` → 64 KiB).
+//! Protocols whose state space grows with the population (e.g. an unbounded
+//! lottery) would blow the quadratic table up, so the cache deactivates
+//! itself once more than [`MAX_COMPILED_STATES`] states have been interned
+//! and the engine falls back to calling `transition` per step — same
+//! semantics, same RNG stream, just slower.
+//!
+//! Entries are packed into a `u32` as
+//! `a | b << 12 | (leader_delta + 2) << 24 | is_null << 27`, with
+//! `u32::MAX` as the vacant sentinel (unreachable by any packed entry, whose
+//! bits 28.. are always zero). The 12-bit id fields are what bound
+//! [`MAX_COMPILED_STATES`] at 4096; the narrow entries keep the dense table
+//! half the size it would be with `u64`, which matters because the
+//! steady-state step's one table load is the only memory access in the hot
+//! loop that can miss L1.
+
+/// Vacant-slot sentinel: no packed entry can equal this (bits 28..32 of a
+/// packed entry are always zero).
+pub(crate) const EMPTY: u32 = u32::MAX;
+
+/// State-id width inside a packed entry; caps interned ids at `2^12`.
+const ID_BITS: u32 = 12;
+const ID_MASK: u32 = (1 << ID_BITS) - 1;
+const DELTA_SHIFT: u32 = 2 * ID_BITS;
+const NULL_BIT: u32 = DELTA_SHIFT + 3;
+
+/// The default cap on interned states before the dense cache turns itself
+/// off — the full reach of the packed 12-bit id fields. The worst-case
+/// table is `4096² · 4 B = 64 MiB`, but the table is grown lazily by
+/// doubling, so a protocol only ever pays for (the next power of two of)
+/// the states it actually visits; `P_LL` with `m = 10` sits in the low
+/// thousands, which is exactly the regime this cap is chosen to keep on
+/// the fast path.
+pub const MAX_COMPILED_STATES: usize = 4096;
+
+/// Packs a compiled transition into one word.
+///
+/// `delta` is the leader-count change of the interaction and must lie in
+/// `[-2, 2]`; `null` records `a == s && b == t` (the interaction changes no
+/// count, so the engine can skip all tree updates).
+#[inline]
+pub(crate) fn pack(a: usize, b: usize, delta: i8, null: bool) -> u32 {
+    debug_assert!(a as u32 <= ID_MASK && b as u32 <= ID_MASK);
+    debug_assert!((-2..=2).contains(&delta));
+    (a as u32)
+        | ((b as u32) << ID_BITS)
+        | (((delta + 2) as u32) << DELTA_SHIFT)
+        | (u32::from(null) << NULL_BIT)
+}
+
+/// Unpacks a compiled transition: `(a, b, leader_delta, is_null)`.
+#[inline]
+pub(crate) fn unpack(entry: u32) -> (usize, usize, i8, bool) {
+    let a = (entry & ID_MASK) as usize;
+    let b = ((entry >> ID_BITS) & ID_MASK) as usize;
+    let delta = ((entry >> DELTA_SHIFT) & 0b111) as i8 - 2;
+    let null = (entry >> NULL_BIT) & 1 == 1;
+    (a, b, delta, null)
+}
+
+/// Growable dense cache from ordered state-id pairs to compiled transitions.
+///
+/// See the [module docs](self) for the packing scheme and the memory
+/// trade-off. The cache is purely an accelerator: a deactivated or vacant
+/// cache only means the engine recomputes the transition, never that it
+/// behaves differently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairCache {
+    /// Dense `stride × stride` table; `EMPTY` marks vacant slots.
+    table: Vec<u32>,
+    /// `stride == 1 << shift`; index of `(s, t)` is `s << shift | t`.
+    shift: u32,
+    /// Maximum states before the cache deactivates itself.
+    limit: usize,
+    /// Whether the cache is still compiling pairs.
+    active: bool,
+}
+
+impl PairCache {
+    /// Creates an empty cache that deactivates beyond `limit` states.
+    pub(crate) fn new(limit: usize) -> Self {
+        Self {
+            table: Vec::new(),
+            shift: 0,
+            limit,
+            active: true,
+        }
+    }
+
+    /// Whether the cache is still compiling (it turns itself off past the
+    /// state limit, or when disabled explicitly by the engine).
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Number of compiled (filled) pair entries.
+    pub fn compiled_pairs(&self) -> usize {
+        self.table.iter().filter(|&&e| e != EMPTY).count()
+    }
+
+    /// Bytes held by the dense table.
+    pub fn table_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Deactivates the cache and releases the table.
+    pub(crate) fn deactivate(&mut self) {
+        self.active = false;
+        self.table = Vec::new();
+        self.shift = 0;
+    }
+
+    /// Reactivates an explicitly disabled cache (the state-count check is
+    /// re-applied on the next [`ensure_states`](Self::ensure_states)).
+    pub(crate) fn reactivate(&mut self) {
+        self.active = true;
+    }
+
+    /// Grows the table so ids `< states` are addressable; deactivates (and
+    /// returns `false`) once `states` exceeds the limit.
+    pub(crate) fn ensure_states(&mut self, states: usize) -> bool {
+        if !self.active {
+            return false;
+        }
+        if states > self.limit {
+            self.deactivate();
+            return false;
+        }
+        let needed = states.next_power_of_two().max(16);
+        if (1usize << self.shift) < needed {
+            self.grow(needed.trailing_zeros());
+        }
+        true
+    }
+
+    fn grow(&mut self, new_shift: u32) {
+        let old_shift = self.shift;
+        let old = std::mem::replace(&mut self.table, vec![EMPTY; 1 << (2 * new_shift)]);
+        self.shift = new_shift;
+        for (idx, &e) in old.iter().enumerate() {
+            if e != EMPTY {
+                let s = idx >> old_shift;
+                let t = idx & ((1 << old_shift) - 1);
+                self.table[(s << new_shift) | t] = e;
+            }
+        }
+    }
+
+    /// The compiled entry for `(s, t)`, or `EMPTY` when vacant or inactive.
+    ///
+    /// `s` and `t` must be below the ensured state count when active.
+    #[inline]
+    pub(crate) fn get(&self, s: usize, t: usize) -> u32 {
+        if !self.active {
+            return EMPTY;
+        }
+        debug_assert!(s < (1 << self.shift) && t < (1 << self.shift));
+        self.table[(s << self.shift) | t]
+    }
+
+    /// Stores the compiled entry for `(s, t)`; a no-op when inactive.
+    #[inline]
+    pub(crate) fn set(&mut self, s: usize, t: usize, entry: u32) {
+        if !self.active {
+            return;
+        }
+        debug_assert!(s < (1 << self.shift) && t < (1 << self.shift));
+        self.table[(s << self.shift) | t] = entry;
+    }
+
+    /// Visits every filled entry as `(s, t, &mut entry)` — used to recompute
+    /// the cached leader deltas when role tracking is primed after pairs
+    /// were already compiled.
+    pub(crate) fn for_each_filled_mut(&mut self, mut f: impl FnMut(usize, usize, &mut u32)) {
+        let shift = self.shift;
+        for (idx, e) in self.table.iter_mut().enumerate() {
+            if *e != EMPTY {
+                f(idx >> shift, idx & ((1 << shift) - 1), e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for (a, b, d, null) in [
+            (0usize, 0usize, 0i8, true),
+            (1, 2, -2, false),
+            (5, 3, 2, false),
+            ((1 << 12) - 1, 7, 1, false),
+            (7, (1 << 12) - 1, -1, true),
+        ] {
+            let e = pack(a, b, d, null);
+            assert_ne!(e, EMPTY);
+            assert_eq!(unpack(e), (a, b, d, null));
+        }
+    }
+
+    #[test]
+    fn growth_remaps_entries() {
+        let mut c = PairCache::new(MAX_COMPILED_STATES);
+        assert!(c.ensure_states(2));
+        c.set(0, 1, pack(1, 0, 0, false));
+        c.set(1, 1, pack(1, 1, 0, true));
+        // Force several growths past the initial 16-slot stride.
+        assert!(c.ensure_states(100));
+        assert_eq!(unpack(c.get(0, 1)), (1, 0, 0, false));
+        assert_eq!(unpack(c.get(1, 1)), (1, 1, 0, true));
+        assert_eq!(c.get(5, 5), EMPTY);
+        c.set(90, 17, pack(17, 90, -1, false));
+        assert!(c.ensure_states(1000));
+        assert_eq!(unpack(c.get(90, 17)), (17, 90, -1, false));
+        assert_eq!(c.compiled_pairs(), 3);
+        assert_eq!(c.table_bytes(), 1024 * 1024 * 4);
+    }
+
+    #[test]
+    fn deactivates_past_limit() {
+        let mut c = PairCache::new(8);
+        assert!(c.ensure_states(8));
+        c.set(0, 0, pack(0, 0, 0, true));
+        assert!(c.is_active());
+        assert!(!c.ensure_states(9));
+        assert!(!c.is_active());
+        assert_eq!(c.get(0, 0), EMPTY);
+        assert_eq!(c.table_bytes(), 0);
+        // Once off it stays off, even for small state counts.
+        assert!(!c.ensure_states(2));
+    }
+
+    #[test]
+    fn for_each_filled_visits_coordinates() {
+        let mut c = PairCache::new(64);
+        c.ensure_states(20);
+        c.set(3, 19, pack(3, 19, 2, false));
+        c.set(19, 3, pack(0, 0, -2, false));
+        let mut seen = Vec::new();
+        c.for_each_filled_mut(|s, t, e| {
+            seen.push((s, t));
+            let (a, b, d, null) = unpack(*e);
+            *e = pack(a, b, -d, null);
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(3, 19), (19, 3)]);
+        assert_eq!(unpack(c.get(3, 19)).2, -2);
+        assert_eq!(unpack(c.get(19, 3)).2, 2);
+    }
+}

@@ -7,17 +7,50 @@
 //! interaction directly from the counts:
 //!
 //! * initiator state `s` with probability `c_s / n`,
-//! * responder state `t` with probability `c_t / (n−1)` after temporarily
+//! * responder state `t` with probability `c_t / (n−1)` after virtually
 //!   removing the initiator from the urn.
 //!
 //! This is *exactly* the uniformly random scheduler Γ — no approximation —
 //! while using `O(#states)` memory instead of `O(n)` and, as a by-product,
 //! counting how many distinct states an execution ever visits (the "number
 //! of states" column of the paper's Table 1).
+//!
+//! # The hash-free hot loop
+//!
+//! The steady-state [`step`](CountSimulation::step) does **no hashing, no
+//! state cloning, and no [`Protocol::transition`] calls**. Three mechanisms
+//! combine for that (see [`crate::compiled`] for the first):
+//!
+//! 1. a [compiled pair-transition cache](crate::compiled): the first
+//!    encounter of an ordered state-id pair runs the real transition and
+//!    compiles it to a packed `(a, b, leader_delta, is_null)` entry in a
+//!    dense table — valid forever because `transition` is contractually
+//!    deterministic;
+//! 2. [fused pair sampling](pp_rand::FenwickSampler::sample_pair_distinct):
+//!    the ordered (initiator, responder) pair is drawn in two tree descents
+//!    with zero tree writes, replacing the `add(s, −1)` / draw /
+//!    `add(s, +1)` round-trip — run here on the branch-free
+//!    [`SumTreeSampler`](pp_rand::SumTreeSampler), which is draw-for-draw
+//!    identical to the Fenwick sampler;
+//! 3. batched convergence loops:
+//!    [`run_until_single_leader`](CountSimulation::run_until_single_leader)
+//!    reads the leader-count change of each interaction from the cached
+//!    `leader_delta`, so convergence bookkeeping is two integer ops per step
+//!    and the step-budget check is hoisted out of the inner loop.
+//!
+//! The cache can be toggled with
+//! [`set_compiled_cache`](CountSimulation::set_compiled_cache); both paths
+//! consume the identical RNG stream and produce bit-identical executions
+//! (the equivalence is enforced by tests).
 
+use crate::compiled::{self, PairCache};
 use crate::{EngineError, LeaderElection, Protocol, Role, RunOutcome};
-use pp_rand::{FenwickSampler, Rng64, Xoshiro256PlusPlus};
+use pp_rand::{Rng64, SumTreeSampler, Xoshiro256PlusPlus};
 use std::collections::HashMap;
+
+/// How many interactions run between hoisted checks (step budget, sampled
+/// debug assertions) in the batched convergence loops.
+const CONVERGENCE_BATCH: u64 = 4096;
 
 /// Exact count-based engine; see the module-level documentation above.
 ///
@@ -54,7 +87,16 @@ pub struct CountSimulation<P: Protocol, R = Xoshiro256PlusPlus> {
     ids: HashMap<P::State, u32>,
     states: Vec<P::State>,
     outputs: Vec<P::Output>,
-    sampler: FenwickSampler,
+    /// 1 for states whose output is the primed leader output, else 0.
+    /// All-zero until [`prime_role_tracking`](Self::prime_role_tracking).
+    leader_flags: Vec<i8>,
+    /// The output value counted as "leader"; `None` until role tracking is
+    /// primed (which also backfills `leader_flags` and cached deltas).
+    leader_output: Option<P::Output>,
+    /// Number of states with a positive count (`support_size` in O(1)).
+    support: usize,
+    sampler: SumTreeSampler,
+    pairs: PairCache,
     n: u64,
     steps: u64,
 }
@@ -69,21 +111,10 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
         if n < 2 {
             return Err(EngineError::PopulationTooSmall { n });
         }
-        let mut sim = Self {
-            protocol,
-            rng,
-            ids: HashMap::new(),
-            states: Vec::new(),
-            outputs: Vec::new(),
-            sampler: FenwickSampler::new(0),
-            n: n as u64,
-            steps: 0,
-        };
+        let mut sim = Self::empty(protocol, rng);
         let init = sim.protocol.initial_state();
-        let id = sim.intern(init);
-        sim.sampler
-            .add(id as usize, n as i64)
-            .expect("slot was just created");
+        let id = sim.intern(init) as usize;
+        sim.add_agents(id, n as u64);
         Ok(sim)
     }
 
@@ -97,25 +128,13 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
         counts: impl IntoIterator<Item = (P::State, u64)>,
         rng: R,
     ) -> Result<Self, EngineError> {
-        let mut sim = Self {
-            protocol,
-            rng,
-            ids: HashMap::new(),
-            states: Vec::new(),
-            outputs: Vec::new(),
-            sampler: FenwickSampler::new(0),
-            n: 0,
-            steps: 0,
-        };
+        let mut sim = Self::empty(protocol, rng);
         for (state, count) in counts {
             if count == 0 {
                 continue;
             }
-            let id = sim.intern(state);
-            sim.sampler
-                .add(id as usize, count as i64)
-                .expect("slot exists");
-            sim.n += count;
+            let id = sim.intern(state) as usize;
+            sim.add_agents(id, count);
         }
         if sim.n < 2 {
             return Err(EngineError::PopulationTooSmall { n: sim.n as usize });
@@ -123,17 +142,71 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
         Ok(sim)
     }
 
+    fn empty(protocol: P, rng: R) -> Self {
+        Self {
+            protocol,
+            rng,
+            ids: HashMap::new(),
+            states: Vec::new(),
+            outputs: Vec::new(),
+            leader_flags: Vec::new(),
+            leader_output: None,
+            support: 0,
+            sampler: SumTreeSampler::new(0),
+            pairs: PairCache::new(compiled::MAX_COMPILED_STATES),
+            n: 0,
+            steps: 0,
+        }
+    }
+
+    /// Adds `count` agents to slot `id` (construction-time only).
+    fn add_agents(&mut self, id: usize, count: u64) {
+        if count > 0 && self.sampler.weights()[id] == 0 {
+            self.support += 1;
+        }
+        self.sampler.add(id, count as i64).expect("slot exists");
+        self.n += count;
+    }
+
     fn intern(&mut self, state: P::State) -> u32 {
         if let Some(&id) = self.ids.get(&state) {
             return id;
         }
         let id = self.states.len() as u32;
-        self.outputs.push(self.protocol.output(&state));
+        let output = self.protocol.output(&state);
+        self.leader_flags
+            .push(i8::from(self.leader_output.as_ref() == Some(&output)));
+        self.outputs.push(output);
         self.states.push(state.clone());
         self.ids.insert(state, id);
         let slot = self.sampler.push_slot();
         debug_assert_eq!(slot, id as usize);
+        self.pairs.ensure_states(self.states.len());
         id
+    }
+
+    /// Enables or disables the compiled pair-transition cache.
+    ///
+    /// Both settings execute the **same** Markov chain with the **same** RNG
+    /// stream — the cache consumes no randomness — so executions are
+    /// bit-identical either way; disabling only removes the fast path (every
+    /// step then hashes, clones, and calls [`Protocol::transition`]). The
+    /// cache also disables itself automatically once the protocol has
+    /// interned more than [`compiled::MAX_COMPILED_STATES`] states, since the
+    /// dense pair table grows quadratically in the states seen.
+    pub fn set_compiled_cache(&mut self, enabled: bool) {
+        if enabled {
+            self.pairs.reactivate();
+            self.pairs.ensure_states(self.states.len());
+        } else {
+            self.pairs.deactivate();
+        }
+    }
+
+    /// The compiled pair-transition cache (inspection only): activity,
+    /// compiled-pair count, and table footprint.
+    pub fn pair_cache(&self) -> &PairCache {
+        &self.pairs
     }
 
     /// The population size `n`.
@@ -163,25 +236,25 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
     }
 
     /// Number of distinct states currently occupied by at least one agent.
+    ///
+    /// Maintained incrementally; this is `O(1)`.
     pub fn support_size(&self) -> usize {
-        (0..self.states.len())
-            .filter(|&i| self.sampler.weight(i).unwrap_or(0) > 0)
-            .count()
+        self.support
     }
 
     /// The number of agents currently in `state`.
     pub fn count_of(&self, state: &P::State) -> u64 {
         self.ids
             .get(state)
-            .and_then(|&id| self.sampler.weight(id as usize).ok())
+            .map(|&id| self.sampler.weights()[id as usize])
             .unwrap_or(0)
     }
 
     /// A snapshot of all (state, count) pairs with positive count.
     pub fn state_counts(&self) -> HashMap<P::State, u64> {
-        let mut out = HashMap::new();
+        let mut out = HashMap::with_capacity(self.support);
         for (i, s) in self.states.iter().enumerate() {
-            let w = self.sampler.weight(i).unwrap_or(0);
+            let w = self.sampler.weights()[i];
             if w > 0 {
                 out.insert(s.clone(), w);
             }
@@ -189,61 +262,293 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
         out
     }
 
-    /// Executes one interaction; returns `true` if any state count changed.
-    pub fn step(&mut self) -> bool {
-        // Initiator ∝ counts.
-        let s = self
-            .sampler
-            .sample(&mut self.rng)
-            .expect("population is non-empty");
-        // Responder from the remaining n-1 agents.
-        self.sampler.add(s, -1).expect("slot exists");
-        let t = self
-            .sampler
-            .sample(&mut self.rng)
-            .expect("population has >= 2 agents");
-        self.sampler.add(s, 1).expect("slot exists");
+    /// Moves one agent from state slot `from` to state slot `to` (free
+    /// no-op when `from == to`), folding occupancy changes into the
+    /// incremental support count.
+    ///
+    /// Interned ids are always in range, so the error arm is unreachable;
+    /// it is handled with a debug assertion plus silent no-op rather than a
+    /// panic so the hot loop has no unwind edges (panic paths would force
+    /// every cached field back to memory at each call).
+    #[inline]
+    fn move_agent(&mut self, from: usize, to: usize) {
+        let Ok(effect) = self.sampler.transfer(from, to) else {
+            debug_assert!(false, "interned slots {from}/{to} exist");
+            return;
+        };
+        self.support = self.support + usize::from(effect.populated) - usize::from(effect.emptied);
+    }
 
+    /// Compiles the transition of the ordered pair `(s, t)`: runs the real
+    /// [`Protocol::transition`], interns the successors, and (when the cache
+    /// is active — interning can deactivate it) stores the packed entry for
+    /// every later encounter.
+    ///
+    /// This is the **only** place the protocol's transition is evaluated;
+    /// when the cache is disabled it simply runs once per step.
+    ///
+    /// Marked cold and never-inlined: with the cache active this is off the
+    /// steady-state path, and keeping its hashing/interning machinery out
+    /// of the hot loop lets the register allocator keep the RNG and tree
+    /// state in registers across iterations.
+    #[cold]
+    #[inline(never)]
+    fn compile_pair(&mut self, s: usize, t: usize) -> (usize, usize, i8, bool) {
         let (na, nb) = self.protocol.transition(&self.states[s], &self.states[t]);
-        self.steps += 1;
+        let a = self.intern(na) as usize;
+        let b = self.intern(nb) as usize;
+        let delta = self.leader_flags[a] + self.leader_flags[b]
+            - self.leader_flags[s]
+            - self.leader_flags[t];
+        let null = a == s && b == t;
+        if self.pairs.is_active() {
+            // An active cache bounds ids by MAX_COMPILED_STATES, so they
+            // always fit the packed entry's id fields.
+            self.pairs.set(s, t, compiled::pack(a, b, delta, null));
+        }
+        (a, b, delta, null)
+    }
 
-        let a_id = self.intern(na) as usize;
-        let b_id = self.intern(nb) as usize;
-        let mut changed = false;
-        if a_id != s {
-            self.sampler.add(s, -1).expect("slot exists");
-            self.sampler.add(a_id, 1).expect("slot exists");
-            changed = true;
+    /// Applies the interaction of the ordered pair `(s, t)` and returns
+    /// `(changed, leader_delta)`.
+    #[inline]
+    fn apply_pair(&mut self, s: usize, t: usize) -> (bool, i8) {
+        let entry = self.pairs.get(s, t);
+        let (a, b, delta, null) = if entry == compiled::EMPTY {
+            self.compile_pair(s, t)
+        } else {
+            compiled::unpack(entry)
+        };
+        // Self-transfers fall out of the lockstep walk for free, so no
+        // branching on which side changed.
+        self.move_agent(s, a);
+        self.move_agent(t, b);
+        (!null, delta)
+    }
+
+    /// Executes one interaction; returns `true` if any state count changed.
+    ///
+    /// The population invariant (`n ≥ 2`, enforced at construction) makes
+    /// the sampling error unreachable; see [`move_agent`](Self::move_agent)
+    /// for why it is absorbed without a panic edge.
+    #[inline]
+    pub fn step(&mut self) -> bool {
+        let Ok((s, t)) = self.sampler.sample_pair_distinct(&mut self.rng) else {
+            debug_assert!(false, "population has >= 2 agents");
+            return false;
+        };
+        self.steps += 1;
+        self.apply_pair(s, t).0
+    }
+
+    /// Executes up to `max` interactions entirely on the compiled fast
+    /// path, then handles at most one cache miss, returning the number of
+    /// interactions executed (0 only if `max == 0`).
+    ///
+    /// The inner loop holds every hot field through *split borrows* and
+    /// calls nothing that takes `&mut self`: a `&mut self` callee (such as
+    /// the interning [`compile_pair`](Self::compile_pair)) could touch any
+    /// field, which would force the optimizer to spill the RNG words, step
+    /// counter, and support count back to memory on every iteration.
+    /// Keeping the miss path outside the loop is what lets them live in
+    /// registers for the whole chunk. A miss still consumes its RNG draw,
+    /// so the drawn pair is carried out of the loop and completed through
+    /// the compile path before returning.
+    fn run_chunk(&mut self, max: u64) -> u64 {
+        let mut pending = None;
+        let mut done = 0u64;
+        {
+            let Self {
+                sampler,
+                rng,
+                pairs,
+                support,
+                ..
+            } = self;
+            let mut sup = *support;
+            while done < max {
+                let Ok((s, t)) = sampler.sample_pair_distinct(rng) else {
+                    debug_assert!(false, "population has >= 2 agents");
+                    break;
+                };
+                let entry = pairs.get(s, t);
+                if entry == compiled::EMPTY {
+                    pending = Some((s, t));
+                    break;
+                }
+                let (a, b, _, _) = compiled::unpack(entry);
+                let (Ok(e1), Ok(e2)) = (sampler.transfer(s, a), sampler.transfer(t, b)) else {
+                    debug_assert!(false, "interned slots exist");
+                    break;
+                };
+                sup = sup + usize::from(e1.populated) + usize::from(e2.populated)
+                    - usize::from(e1.emptied)
+                    - usize::from(e2.emptied);
+                done += 1;
+            }
+            *support = sup;
         }
-        if b_id != t {
-            self.sampler.add(t, -1).expect("slot exists");
-            self.sampler.add(b_id, 1).expect("slot exists");
-            changed = true;
+        self.steps += done;
+        if let Some((s, t)) = pending {
+            self.steps += 1;
+            let (a, b, _, _) = self.compile_pair(s, t);
+            self.move_agent(s, a);
+            self.move_agent(t, b);
+            done += 1;
         }
-        changed
+        done
     }
 
     /// Executes exactly `steps` interactions.
     pub fn run(&mut self, steps: u64) {
-        for _ in 0..steps {
-            self.step();
+        let mut remaining = steps;
+        while remaining > 0 {
+            let did = self.run_chunk(remaining);
+            if did == 0 {
+                debug_assert!(false, "run_chunk always makes progress");
+                break;
+            }
+            remaining -= did;
+        }
+    }
+
+    /// Runs until `predicate` holds (checked every `batch` steps, starting
+    /// immediately) or `max_steps` total interactions have executed.
+    ///
+    /// The predicate is evaluated only at batch boundaries, so per-step work
+    /// stays on the hash-free fast path; choose `batch` against the
+    /// resolution the convergence condition needs (e.g. `n/4` steps for a
+    /// parallel-time-scale condition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn run_batched<F>(&mut self, batch: u64, max_steps: u64, mut predicate: F) -> RunOutcome
+    where
+        F: FnMut(&Self) -> bool,
+    {
+        assert!(batch > 0, "batch must be positive");
+        loop {
+            if predicate(self) {
+                return RunOutcome {
+                    steps: self.steps,
+                    converged: true,
+                };
+            }
+            if self.steps >= max_steps {
+                return RunOutcome {
+                    steps: self.steps,
+                    converged: false,
+                };
+            }
+            let burst = batch.min(max_steps - self.steps);
+            self.run(burst);
         }
     }
 }
 
 impl<P: LeaderElection, R: Rng64> CountSimulation<P, R> {
-    /// Counts the current leaders.
+    /// Counts the current leaders in `O(#states)`.
     pub fn leader_count(&self) -> u64 {
         (0..self.states.len())
             .filter(|&i| self.outputs[i] == Role::Leader)
-            .map(|i| self.sampler.weight(i).unwrap_or(0))
+            .map(|i| self.sampler.weights()[i])
             .sum()
+    }
+
+    /// Primes per-state leader flags (and retrofits the leader deltas of any
+    /// already-compiled pairs) so convergence loops can read each step's
+    /// leader-count change straight from the cache.
+    fn prime_role_tracking(&mut self) {
+        if self.leader_output.is_some() {
+            return;
+        }
+        self.leader_output = Some(Role::Leader);
+        for i in 0..self.states.len() {
+            self.leader_flags[i] = i8::from(self.outputs[i] == Role::Leader);
+        }
+        let flags = &self.leader_flags;
+        self.pairs.for_each_filled_mut(|s, t, entry| {
+            let (a, b, _, null) = compiled::unpack(*entry);
+            let delta = flags[a] + flags[b] - flags[s] - flags[t];
+            *entry = compiled::pack(a, b, delta, null);
+        });
+    }
+
+    /// Like [`run_chunk`](Self::run_chunk), but additionally folds each
+    /// interaction's cached `leader_delta` into `leaders`, stopping the
+    /// moment the count hits exactly 1. Returns `true` on that hit, with
+    /// [`steps`](Self::steps) exact.
+    fn leader_chunk(&mut self, max: u64, leaders: &mut i64) -> bool {
+        let mut pending = None;
+        let mut done = 0u64;
+        let mut count = *leaders;
+        let mut hit = false;
+        {
+            let Self {
+                sampler,
+                rng,
+                pairs,
+                support,
+                ..
+            } = self;
+            let mut sup = *support;
+            while done < max {
+                let Ok((s, t)) = sampler.sample_pair_distinct(rng) else {
+                    debug_assert!(false, "population has >= 2 agents");
+                    break;
+                };
+                let entry = pairs.get(s, t);
+                if entry == compiled::EMPTY {
+                    pending = Some((s, t));
+                    break;
+                }
+                let (a, b, delta, _) = compiled::unpack(entry);
+                let (Ok(e1), Ok(e2)) = (sampler.transfer(s, a), sampler.transfer(t, b)) else {
+                    debug_assert!(false, "interned slots exist");
+                    break;
+                };
+                sup = sup + usize::from(e1.populated) + usize::from(e2.populated)
+                    - usize::from(e1.emptied)
+                    - usize::from(e2.emptied);
+                done += 1;
+                if delta != 0 {
+                    count += i64::from(delta);
+                    if count == 1 {
+                        hit = true;
+                        break;
+                    }
+                }
+            }
+            *support = sup;
+        }
+        self.steps += done;
+        if let Some((s, t)) = pending {
+            if !hit {
+                self.steps += 1;
+                let (a, b, delta, _) = self.compile_pair(s, t);
+                self.move_agent(s, a);
+                self.move_agent(t, b);
+                if delta != 0 {
+                    count += i64::from(delta);
+                    hit = count == 1;
+                }
+            }
+        }
+        *leaders = count;
+        hit
     }
 
     /// Runs until exactly one leader remains (see
     /// [`Simulation::run_until_single_leader`](crate::Simulation::run_until_single_leader)
     /// for the stabilization-time caveat).
+    ///
+    /// The leader count is maintained from the cached `leader_delta` of each
+    /// compiled pair — two integer ops per step — and the step-budget check
+    /// runs once per batch, not once per step. The returned step count is
+    /// still exact: the count is checked at every step that changes it.
     pub fn run_until_single_leader(&mut self, max_steps: u64) -> RunOutcome {
+        self.prime_role_tracking();
         let mut leaders = self.leader_count() as i64;
         if leaders == 1 {
             return RunOutcome {
@@ -252,40 +557,15 @@ impl<P: LeaderElection, R: Rng64> CountSimulation<P, R> {
             };
         }
         while self.steps < max_steps {
-            // Inline step() but tracking role flow.
-            let s = self
-                .sampler
-                .sample(&mut self.rng)
-                .expect("population is non-empty");
-            self.sampler.add(s, -1).expect("slot exists");
-            let t = self
-                .sampler
-                .sample(&mut self.rng)
-                .expect("population has >= 2 agents");
-            self.sampler.add(s, 1).expect("slot exists");
-            let before = i64::from(self.outputs[s] == Role::Leader)
-                + i64::from(self.outputs[t] == Role::Leader);
-            let (na, nb) = self.protocol.transition(&self.states[s], &self.states[t]);
-            self.steps += 1;
-            let a_id = self.intern(na) as usize;
-            let b_id = self.intern(nb) as usize;
-            if a_id != s {
-                self.sampler.add(s, -1).expect("slot exists");
-                self.sampler.add(a_id, 1).expect("slot exists");
-            }
-            if b_id != t {
-                self.sampler.add(t, -1).expect("slot exists");
-                self.sampler.add(b_id, 1).expect("slot exists");
-            }
-            let after = i64::from(self.outputs[a_id] == Role::Leader)
-                + i64::from(self.outputs[b_id] == Role::Leader);
-            leaders += after - before;
-            if leaders == 1 {
+            let burst = CONVERGENCE_BATCH.min(max_steps - self.steps);
+            if self.leader_chunk(burst, &mut leaders) {
                 return RunOutcome {
                     steps: self.steps,
                     converged: true,
                 };
             }
+            // Sampled invariant check: once per batch, not per step.
+            debug_assert_eq!(leaders, self.leader_count() as i64);
         }
         RunOutcome {
             steps: self.steps,
@@ -368,6 +648,7 @@ mod tests {
         assert_eq!(sim.leader_count(), 3);
         assert_eq!(sim.count_of(&true), 3);
         assert_eq!(sim.count_of(&false), 7);
+        assert_eq!(sim.support_size(), 2);
     }
 
     #[test]
@@ -375,6 +656,7 @@ mod tests {
         let sim = CountSimulation::from_counts(Frat, [(true, 2), (false, 0)], rng(4)).unwrap();
         assert_eq!(sim.population(), 2);
         assert_eq!(sim.distinct_states_seen(), 1);
+        assert_eq!(sim.support_size(), 1);
     }
 
     #[test]
@@ -450,5 +732,93 @@ mod tests {
         let mut sim = CountSimulation::new(Frat, 50, rng(6)).unwrap();
         sim.run(100);
         assert!((sim.parallel_time() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_support_matches_snapshot() {
+        let mut sim = CountSimulation::new(Counter, 16, rng(7)).unwrap();
+        for _ in 0..500 {
+            sim.step();
+            assert_eq!(sim.support_size(), sim.state_counts().len());
+        }
+    }
+
+    #[test]
+    fn cached_and_uncached_runs_are_bit_identical() {
+        // The compiled cache consumes no randomness, so the cached and
+        // uncached engines must agree on every count at every single step.
+        for seed in 0..4 {
+            let mut cached = CountSimulation::new(Frat, 64, rng(seed)).unwrap();
+            let mut reference = CountSimulation::new(Frat, 64, rng(seed)).unwrap();
+            reference.set_compiled_cache(false);
+            assert!(cached.pair_cache().is_active());
+            assert!(!reference.pair_cache().is_active());
+            for _ in 0..2000 {
+                assert_eq!(cached.step(), reference.step());
+                assert_eq!(cached.state_counts(), reference.state_counts());
+                assert_eq!(cached.support_size(), reference.support_size());
+            }
+        }
+    }
+
+    #[test]
+    fn cached_and_uncached_convergence_steps_agree() {
+        let mut cached = CountSimulation::new(Frat, 200, rng(11)).unwrap();
+        let mut reference = CountSimulation::new(Frat, 200, rng(11)).unwrap();
+        reference.set_compiled_cache(false);
+        let a = cached.run_until_single_leader(u64::MAX);
+        let b = reference.run_until_single_leader(u64::MAX);
+        assert_eq!(a, b);
+        assert_eq!(cached.leader_count(), 1);
+    }
+
+    #[test]
+    fn cache_deactivates_on_state_explosion_and_stays_exact() {
+        // Counter interns a fresh state on (almost) every interaction, so a
+        // long run blows past MAX_COMPILED_STATES and must fall back — with
+        // no behavioral difference vs. an uncached twin.
+        // With n = 2 each step increments one of two agents, so the max
+        // value (= distinct states − 1) is at least steps/2: the state
+        // count provably exceeds the cap.
+        let mut cached = CountSimulation::new(Counter, 2, rng(12)).unwrap();
+        let mut reference = CountSimulation::new(Counter, 2, rng(12)).unwrap();
+        reference.set_compiled_cache(false);
+        let steps = (compiled::MAX_COMPILED_STATES as u64 + 64) * 2;
+        for _ in 0..steps {
+            assert_eq!(cached.step(), reference.step());
+        }
+        assert!(!cached.pair_cache().is_active());
+        assert_eq!(cached.state_counts(), reference.state_counts());
+    }
+
+    #[test]
+    fn run_batched_checks_only_at_batch_boundaries() {
+        let mut sim = CountSimulation::new(Frat, 100, rng(13)).unwrap();
+        let outcome = sim.run_batched(64, 1_000_000, |s| s.steps() >= 100);
+        assert!(outcome.converged);
+        // 100 is not a multiple of the batch: first boundary at/after 100.
+        assert_eq!(outcome.steps, 128);
+        let outcome = sim.run_batched(64, 200, |_| false);
+        assert!(!outcome.converged);
+        assert_eq!(outcome.steps, 200);
+    }
+
+    #[test]
+    fn run_batched_checks_predicate_before_running() {
+        let mut sim = CountSimulation::new(Frat, 10, rng(14)).unwrap();
+        let outcome = sim.run_batched(100, 1_000, |_| true);
+        assert!(outcome.converged);
+        assert_eq!(outcome.steps, 0);
+    }
+
+    #[test]
+    fn pair_cache_compiles_pairs_lazily() {
+        let mut sim = CountSimulation::new(Frat, 32, rng(15)).unwrap();
+        assert_eq!(sim.pair_cache().compiled_pairs(), 0);
+        sim.run(100);
+        // Fratricide over {L, F} has at most 4 ordered pairs.
+        assert!(sim.pair_cache().compiled_pairs() <= 4);
+        assert!(sim.pair_cache().compiled_pairs() >= 1);
+        assert!(sim.pair_cache().table_bytes() > 0);
     }
 }

@@ -2,6 +2,10 @@
 
 use crate::{Configuration, EngineError, Interaction, LeaderElection, Protocol, Role, Scheduler};
 
+/// How many interactions run between hoisted checks (step budget, sampled
+/// debug assertions) in the batched convergence loops.
+const CONVERGENCE_BATCH: u64 = 4096;
+
 /// The result of driving a simulation toward a convergence condition.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunOutcome {
@@ -160,6 +164,21 @@ impl<P: Protocol, S: Scheduler> Simulation<P, S> {
         }
     }
 
+    /// Alias of [`run_until`](Self::run_until) named for its batching
+    /// behavior: `predicate` is only evaluated at `batch`-step boundaries,
+    /// keeping the per-step path free of convergence bookkeeping. Mirrors
+    /// [`CountSimulation::run_batched`](crate::CountSimulation::run_batched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn run_batched<F>(&mut self, batch: u64, max_steps: u64, predicate: F) -> RunOutcome
+    where
+        F: FnMut(&Self) -> bool,
+    {
+        self.run_until(batch, max_steps, predicate)
+    }
+
     /// Runs `steps` interactions, invoking `observer` every `sample_every`
     /// steps (and once at the end) with the current step count and states.
     ///
@@ -236,6 +255,13 @@ impl<P: LeaderElection, S: Scheduler> Simulation<P, S> {
     /// the returned step count *is* the stabilization time: the leader count
     /// can never rise again and never hits zero. For non-monotone protocols
     /// this is the first hitting time of a single-leader configuration.
+    ///
+    /// The step-budget check is hoisted out of the inner loop (batches of
+    /// 4096 interactions) and the single-leader condition is only evaluated
+    /// on interactions that change the leader count; the returned step count
+    /// is still exact. The `O(n)` leader-recount invariant runs as a
+    /// *sampled* debug assertion — once per batch — so debug builds stay
+    /// `O(1)` amortized per step instead of `O(n)`.
     pub fn run_until_single_leader(&mut self, max_steps: u64) -> RunOutcome {
         let mut leaders = self.leader_count() as i64;
         if leaders == 1 {
@@ -245,24 +271,30 @@ impl<P: LeaderElection, S: Scheduler> Simulation<P, S> {
             };
         }
         while self.steps < max_steps {
-            let interaction = self.scheduler.next_interaction(self.states.len());
-            let (u, v) = (interaction.initiator, interaction.responder);
-            let before = i64::from(self.protocol.output(&self.states[u]) == Role::Leader)
-                + i64::from(self.protocol.output(&self.states[v]) == Role::Leader);
-            let (nu, nv) = self.protocol.transition(&self.states[u], &self.states[v]);
-            let after = i64::from(self.protocol.output(&nu) == Role::Leader)
-                + i64::from(self.protocol.output(&nv) == Role::Leader);
-            self.states[u] = nu;
-            self.states[v] = nv;
-            self.steps += 1;
-            leaders += after - before;
-            debug_assert_eq!(leaders, self.leader_count() as i64);
-            if leaders == 1 {
-                return RunOutcome {
-                    steps: self.steps,
-                    converged: true,
-                };
+            let burst = CONVERGENCE_BATCH.min(max_steps - self.steps);
+            for _ in 0..burst {
+                let interaction = self.scheduler.next_interaction(self.states.len());
+                let (u, v) = (interaction.initiator, interaction.responder);
+                let before = i64::from(self.protocol.output(&self.states[u]) == Role::Leader)
+                    + i64::from(self.protocol.output(&self.states[v]) == Role::Leader);
+                let (nu, nv) = self.protocol.transition(&self.states[u], &self.states[v]);
+                let after = i64::from(self.protocol.output(&nu) == Role::Leader)
+                    + i64::from(self.protocol.output(&nv) == Role::Leader);
+                self.states[u] = nu;
+                self.states[v] = nv;
+                self.steps += 1;
+                if after != before {
+                    leaders += after - before;
+                    if leaders == 1 {
+                        return RunOutcome {
+                            steps: self.steps,
+                            converged: true,
+                        };
+                    }
+                }
             }
+            // Sampled invariant check: once per batch, not per step.
+            debug_assert_eq!(leaders, self.leader_count() as i64);
         }
         RunOutcome {
             steps: self.steps,
@@ -384,6 +416,16 @@ mod tests {
         let outcome = sim.run_until(10, 1_000_000, |sim| sim.leader_count() <= 5);
         assert!(outcome.converged);
         assert!(sim.leader_count() <= 5);
+    }
+
+    #[test]
+    fn run_batched_mirrors_run_until() {
+        let mut a = Simulation::new(Frat, 20, UniformScheduler::seed_from_u64(7)).unwrap();
+        let mut b = Simulation::new(Frat, 20, UniformScheduler::seed_from_u64(7)).unwrap();
+        let oa = a.run_until(10, 1_000_000, |sim| sim.leader_count() <= 5);
+        let ob = b.run_batched(10, 1_000_000, |sim| sim.leader_count() <= 5);
+        assert_eq!(oa, ob);
+        assert_eq!(a.states(), b.states());
     }
 
     #[test]

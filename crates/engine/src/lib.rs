@@ -23,7 +23,10 @@
 //! * [`CountSimulation`] — an *exact* count-based engine that interns states
 //!   and samples interactions from per-state counts (Fenwick tree); it also
 //!   measures how many distinct states an execution actually visits, which is
-//!   the "number of states" column of the paper's Table 1.
+//!   the "number of states" column of the paper's Table 1. Its steady-state
+//!   step is hash-free: a [compiled pair-transition cache](compiled) plus
+//!   fused pair sampling make each interaction a table lookup and two tree
+//!   descents (see the [`count_engine` docs](CountSimulation)).
 //! * [`epidemic`] — the one-way epidemic process of \[AAE08\], the workhorse of
 //!   every O(log n) bound in the paper (its Lemma 2).
 //!
@@ -61,6 +64,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod compiled;
 mod config;
 mod count_engine;
 mod engine;

@@ -32,6 +32,23 @@ pub trait Protocol {
     /// The joint transition applied when `initiator` meets `responder`.
     ///
     /// Returns the successor states `(initiator', responder')`.
+    ///
+    /// # Determinism contract
+    ///
+    /// `transition` must be a **pure, deterministic function of the ordered
+    /// state pair**: equal inputs must always produce equal outputs, with no
+    /// dependence on interaction history, interleaved mutable state, or a
+    /// private randomness source. (Randomized protocols in this model derive
+    /// randomness from the *scheduler* — e.g. from initiator/responder role
+    /// assignment, as the paper's lottery does — never from the transition
+    /// function itself.)
+    ///
+    /// The engines rely on this contract: the count engine's
+    /// [compiled pair-transition cache](crate::compiled) evaluates
+    /// `transition` once per distinct ordered state pair and replays the
+    /// result forever after. A non-deterministic implementation would not
+    /// make the cache unsound in the memory-safety sense, but the execution
+    /// would silently freeze the first-seen behavior of each pair.
     fn transition(
         &self,
         initiator: &Self::State,

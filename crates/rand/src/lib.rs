@@ -19,7 +19,10 @@
 //!   ([`Rng64::below`], Lemire's method), fair coins, unit-interval doubles,
 //!   geometric sampling, and distinct-pair sampling for interaction schedules,
 //! * weighted samplers: [`FenwickSampler`] (dynamic weights, `O(log k)`
-//!   updates and draws) and [`AliasTable`] (static weights, `O(1)` draws),
+//!   updates and draws), [`SumTreeSampler`] (same queries on a complete
+//!   binary sum tree whose fixed-depth branch-free walks feed the count
+//!   engine's hot loop — draw-for-draw identical to the Fenwick sampler),
+//!   and [`AliasTable`] (static weights, `O(1)` draws),
 //! * [`SeedSequence`] — reproducible derivation of per-run seeds.
 //!
 //! # Example
@@ -42,6 +45,7 @@ mod pcg;
 mod rng;
 mod seq;
 mod splitmix;
+mod sumtree;
 mod weighted;
 mod xoshiro;
 
@@ -50,5 +54,6 @@ pub use pcg::Pcg32;
 pub use rng::Rng64;
 pub use seq::SeedSequence;
 pub use splitmix::SplitMix64;
+pub use sumtree::{SumTreeSampler, TransferEffect};
 pub use weighted::{AliasTable, FenwickSampler, WeightedError};
 pub use xoshiro::Xoshiro256PlusPlus;

@@ -1,6 +1,7 @@
 //! Weighted index sampling: a Fenwick-tree sampler for dynamic weights and an
 //! alias table for static weights.
 
+use crate::sumtree::TransferEffect;
 use crate::Rng64;
 use std::error::Error;
 use std::fmt;
@@ -19,6 +20,14 @@ pub enum WeightedError {
         /// Number of slots in the sampler.
         len: usize,
     },
+    /// The total weight was too small for the requested draw (e.g. a
+    /// distinct pair needs total ≥ 2).
+    TotalTooSmall {
+        /// Current total weight.
+        total: u64,
+        /// Minimum total required by the operation.
+        required: u64,
+    },
 }
 
 impl fmt::Display for WeightedError {
@@ -28,6 +37,9 @@ impl fmt::Display for WeightedError {
             WeightedError::AllZero => write!(f, "all weights are zero"),
             WeightedError::IndexOutOfBounds { index, len } => {
                 write!(f, "index {index} out of bounds for sampler of size {len}")
+            }
+            WeightedError::TotalTooSmall { total, required } => {
+                write!(f, "total weight {total} is below the required {required}")
             }
         }
     }
@@ -56,18 +68,27 @@ impl Error for WeightedError {}
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FenwickSampler {
-    /// 1-based Fenwick tree over weights.
+    /// 1-based Fenwick tree over weights, padded to `cap` (a power of two)
+    /// zero-weight slots so the select descent needs no bounds branching:
+    /// with `cap` a power of two, `tree[cap]` is the grand total and the
+    /// descent provably never steps past index `cap`.
     tree: Vec<u64>,
-    len: usize,
+    /// Raw per-slot weights, mirrored alongside the tree so point reads
+    /// ([`weight`](Self::weight), the pair-sampling boundary) are `O(1)`.
+    weights: Vec<u64>,
+    /// Padded capacity: `len.next_power_of_two()`, minimum 1.
+    cap: usize,
     total: u64,
 }
 
 impl FenwickSampler {
     /// Creates a sampler with `len` zero-weight slots.
     pub fn new(len: usize) -> Self {
+        let cap = len.next_power_of_two().max(1);
         Self {
-            tree: vec![0; len + 1],
-            len,
+            tree: vec![0; cap + 1],
+            weights: vec![0; len],
+            cap,
             total: 0,
         }
     }
@@ -92,12 +113,12 @@ impl FenwickSampler {
 
     /// Number of slots.
     pub fn len(&self) -> usize {
-        self.len
+        self.weights.len()
     }
 
     /// Whether the sampler has zero slots.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.weights.is_empty()
     }
 
     /// Sum of all weights.
@@ -105,19 +126,24 @@ impl FenwickSampler {
         self.total
     }
 
-    /// Current weight of `index`.
+    /// Current weight of `index`, in `O(1)`.
     ///
     /// # Errors
     ///
     /// Returns [`WeightedError::IndexOutOfBounds`] if `index >= len`.
     pub fn weight(&self, index: usize) -> Result<u64, WeightedError> {
-        if index >= self.len {
-            return Err(WeightedError::IndexOutOfBounds {
+        self.weights
+            .get(index)
+            .copied()
+            .ok_or(WeightedError::IndexOutOfBounds {
                 index,
-                len: self.len,
-            });
-        }
-        Ok(self.prefix_sum(index + 1) - self.prefix_sum(index))
+                len: self.weights.len(),
+            })
+    }
+
+    /// All per-slot weights, as a slice (`O(1)` point reads for hot loops).
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
     }
 
     /// Adds `delta` (possibly negative) to the weight of `index`.
@@ -129,63 +155,150 @@ impl FenwickSampler {
     /// # Panics
     ///
     /// Panics in debug builds if the update would make the weight negative.
+    #[inline]
     pub fn add(&mut self, index: usize, delta: i64) -> Result<(), WeightedError> {
-        if index >= self.len {
+        let Some(w) = self.weights.get_mut(index) else {
             return Err(WeightedError::IndexOutOfBounds {
                 index,
-                len: self.len,
+                len: self.weights.len(),
             });
-        }
+        };
         debug_assert!(
-            delta >= 0 || self.weight(index).unwrap() as i64 >= -delta,
+            delta >= 0 || *w as i64 >= -delta,
             "weight of slot {index} would become negative"
         );
+        *w = (*w as i64 + delta) as u64;
         self.total = (self.total as i64 + delta) as u64;
+        // Walk ancestors up to the padded capacity (not just `len`) so the
+        // padding nodes — including the `tree[cap]` grand total the
+        // branch-free select relies on — stay consistent.
         let mut i = index + 1;
-        while i <= self.len {
+        while i <= self.cap {
             self.tree[i] = (self.tree[i] as i64 + delta) as u64;
             i += i & i.wrapping_neg();
         }
         Ok(())
     }
 
-    /// Grows the sampler by one zero-weight slot and returns its index.
-    pub fn push_slot(&mut self) -> usize {
-        self.len += 1;
-        self.tree.push(0);
-        // The new Fenwick node must cover the appropriate prefix range.
-        let i = self.len;
-        let lsb = i & i.wrapping_neg();
-        let covered = self.prefix_sum(i - 1) - self.prefix_sum(i - lsb);
-        self.tree[i] = covered;
-        self.len - 1
+    /// Moves one unit of weight from slot `from` to slot `to` — the count
+    /// engine's "one agent changed state" update — cheaper than
+    /// `add(from, -1); add(to, +1)`: the total is untouched and the two
+    /// ancestor walks are fused, stopping where the chains merge (every
+    /// common ancestor would receive `-1 + 1 = 0`).
+    ///
+    /// Returns a [`TransferEffect`] describing occupancy changes at the two
+    /// endpoints (both `false` for a self-transfer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeightedError::IndexOutOfBounds`] if either slot is out of
+    /// range.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if slot `from` is empty.
+    #[inline]
+    pub fn transfer(&mut self, from: usize, to: usize) -> Result<TransferEffect, WeightedError> {
+        if from >= self.weights.len() || to >= self.weights.len() {
+            return Err(WeightedError::IndexOutOfBounds {
+                index: from.max(to),
+                len: self.weights.len(),
+            });
+        }
+        debug_assert!(self.weights[from] >= 1, "slot {from} is empty");
+        if from == to {
+            return Ok(TransferEffect {
+                emptied: false,
+                populated: false,
+            });
+        }
+        self.weights[from] -= 1;
+        self.weights[to] += 1;
+        // Both ancestor chains reach the root `cap` (a power of two), so
+        // advancing the smaller index until the chains meet visits exactly
+        // the ancestors that receive a nonzero net update.
+        let mut i = from + 1;
+        let mut j = to + 1;
+        while i != j {
+            if i < j {
+                self.tree[i] -= 1;
+                i += i & i.wrapping_neg();
+            } else {
+                self.tree[j] += 1;
+                j += j & j.wrapping_neg();
+            }
+        }
+        Ok(TransferEffect {
+            emptied: self.weights[from] == 0,
+            populated: self.weights[to] == 1,
+        })
     }
 
-    fn prefix_sum(&self, mut i: usize) -> u64 {
-        let mut sum = 0;
-        while i > 0 {
-            sum += self.tree[i];
-            i -= i & i.wrapping_neg();
+    /// Grows the sampler by one zero-weight slot and returns its index.
+    pub fn push_slot(&mut self) -> usize {
+        self.weights.push(0);
+        let len = self.weights.len();
+        if len > self.cap {
+            // Double the padded capacity and rebuild from the raw weights.
+            self.cap = len.next_power_of_two();
+            self.tree = vec![0; self.cap + 1];
+            for i in 0..len {
+                let w = self.weights[i];
+                if w > 0 {
+                    let mut j = i + 1;
+                    while j <= self.cap {
+                        self.tree[j] += w;
+                        j += j & j.wrapping_neg();
+                    }
+                }
+            }
         }
-        sum
+        // Within capacity the new slot has zero weight: every ancestor
+        // (padding included) already accounts for it.
+        len - 1
     }
 
     /// Finds the smallest index whose cumulative weight exceeds `target`.
     ///
     /// `target` must be in `[0, total)`.
+    ///
+    /// The descent is branch-free: whether to take a node is a data-random
+    /// coin, so a conditional would mispredict roughly half the time on
+    /// every level. With `cap` a power of two, `tree[cap]` holds the grand
+    /// total (never taken, as `target < total`), and by induction each
+    /// probed index stays `<= cap` — no bounds branching needed.
+    #[inline]
     fn select(&self, mut target: u64) -> usize {
         debug_assert!(target < self.total);
         let mut pos = 0usize;
-        let mut mask = self.len.next_power_of_two();
+        let mut mask = self.cap;
         while mask > 0 {
-            let next = pos + mask;
-            if next <= self.len && self.tree[next] <= target {
-                target -= self.tree[next];
-                pos = next;
-            }
+            let node = self.tree[pos + mask];
+            let take = u64::from(node <= target);
+            target -= node * take;
+            pos += mask * take as usize;
             mask >>= 1;
         }
         pos // 0-based index of the selected slot
+    }
+
+    /// [`select`](Self::select) that also returns the cumulative weight
+    /// *below* the selected slot (`F(pos)`), which the fused pair sampler
+    /// needs to place the initiator's last unit inside the urn.
+    #[inline]
+    fn select_prefix(&self, target: u64) -> (usize, u64) {
+        debug_assert!(target < self.total);
+        let mut remaining = target;
+        let mut pos = 0usize;
+        let mut mask = self.cap;
+        while mask > 0 {
+            let node = self.tree[pos + mask];
+            let take = u64::from(node <= remaining);
+            remaining -= node * take;
+            pos += mask * take as usize;
+            mask >>= 1;
+        }
+        (pos, target - remaining)
     }
 
     /// Draws an index with probability proportional to its weight.
@@ -193,11 +306,65 @@ impl FenwickSampler {
     /// # Errors
     ///
     /// Returns [`WeightedError::AllZero`] if the total weight is zero.
+    #[inline]
     pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> Result<usize, WeightedError> {
         if self.total == 0 {
             return Err(WeightedError::AllZero);
         }
         Ok(self.select(rng.below(self.total)))
+    }
+
+    /// Draws an ordered pair of slots `(i, j)` where `i` is weighted by the
+    /// current weights and `j` by the weights with one unit removed from
+    /// slot `i` — the distribution of (initiator, responder) states under
+    /// the uniformly random scheduler when the weights are agent counts.
+    ///
+    /// `i == j` is possible whenever slot `i` holds weight ≥ 2 (two distinct
+    /// agents in the same state).
+    ///
+    /// This is the fused form of the four-operation sequence
+    /// `sample(); add(i, -1); sample(); add(i, +1)`: it consumes the same
+    /// two RNG draws and returns bit-identical results, but performs no tree
+    /// writes, so the steady-state cost is exactly two `O(log k)` descents.
+    ///
+    /// The responder draw works by *renumbering the urn* instead of
+    /// modifying it: removing one unit of slot `i` deletes cumulative
+    /// position `F(i) + w(i) − 1` (the initiator's last unit), so a raw
+    /// responder target `t` maps to position `t + 1` when
+    /// `t ≥ F(i) + w(i) − 1` and is unchanged otherwise. A plain `select`
+    /// on the unmodified tree then lands on exactly the slot the
+    /// decremented urn would have produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeightedError::TotalTooSmall`] if the total weight is < 2.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pp_rand::{FenwickSampler, Xoshiro256PlusPlus};
+    ///
+    /// let s = FenwickSampler::from_weights(&[1, 0, 1]).unwrap();
+    /// let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+    /// let (i, j) = s.sample_pair_distinct(&mut rng).unwrap();
+    /// assert_ne!(i, j); // single-unit slots can never pair with themselves
+    /// ```
+    #[inline]
+    pub fn sample_pair_distinct<R: Rng64 + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<(usize, usize), WeightedError> {
+        if self.total < 2 {
+            return Err(WeightedError::TotalTooSmall {
+                total: self.total,
+                required: 2,
+            });
+        }
+        let (i, below_i) = self.select_prefix(rng.below(self.total));
+        let t = rng.below(self.total - 1);
+        let removed_unit = below_i + self.weights[i] - 1;
+        let j = self.select(t + u64::from(t >= removed_unit));
+        Ok((i, j))
     }
 }
 
@@ -373,6 +540,64 @@ mod tests {
     }
 
     #[test]
+    fn fused_pair_matches_add_roundtrip() {
+        // The fused sampler must be bit-identical (same RNG stream, same
+        // results) to the remove-draw-restore sequence it replaces.
+        let weights = [5u64, 0, 3, 9, 1, 0, 0, 2, 11];
+        let mut reference = FenwickSampler::from_weights(&weights).unwrap();
+        let fused = reference.clone();
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for _ in 0..10_000 {
+            let i = reference.sample(&mut r1).unwrap();
+            reference.add(i, -1).unwrap();
+            let j = reference.sample(&mut r1).unwrap();
+            reference.add(i, 1).unwrap();
+            assert_eq!(fused.sample_pair_distinct(&mut r2).unwrap(), (i, j));
+        }
+    }
+
+    #[test]
+    fn fused_pair_same_slot_needs_multiplicity() {
+        // A slot with weight 1 can never be both initiator and responder.
+        let s = FenwickSampler::from_weights(&[1, 1, 1]).unwrap();
+        let mut r = rng();
+        for _ in 0..1000 {
+            let (i, j) = s.sample_pair_distinct(&mut r).unwrap();
+            assert_ne!(i, j);
+        }
+        // With multiplicity the same slot can (and eventually does) repeat.
+        let s = FenwickSampler::from_weights(&[10, 1]).unwrap();
+        let mut seen_same = false;
+        for _ in 0..1000 {
+            let (i, j) = s.sample_pair_distinct(&mut r).unwrap();
+            seen_same |= i == 0 && j == 0;
+        }
+        assert!(seen_same);
+    }
+
+    #[test]
+    fn fused_pair_rejects_small_totals() {
+        let s = FenwickSampler::new(4);
+        assert!(matches!(
+            s.sample_pair_distinct(&mut rng()),
+            Err(WeightedError::TotalTooSmall {
+                total: 0,
+                required: 2
+            })
+        ));
+        let mut s = FenwickSampler::new(4);
+        s.add(1, 1).unwrap();
+        assert!(matches!(
+            s.sample_pair_distinct(&mut rng()),
+            Err(WeightedError::TotalTooSmall {
+                total: 1,
+                required: 2
+            })
+        ));
+    }
+
+    #[test]
     fn fenwick_empty_errors() {
         assert!(matches!(
             FenwickSampler::from_weights(&[]),
@@ -446,6 +671,26 @@ mod proptests {
             for _ in 0..64 {
                 let i = s.sample(&mut rng).unwrap();
                 prop_assert!(weights[i] > 0, "sampled zero-weight slot {}", i);
+            }
+        }
+
+        #[test]
+        fn fused_pair_agrees_with_roundtrip_for_random_weights(
+            weights in proptest::collection::vec(0u64..20, 2..48),
+            seed in 0u64..10_000,
+        ) {
+            let total: u64 = weights.iter().sum();
+            prop_assume!(total >= 2);
+            let mut reference = FenwickSampler::from_weights(&weights).unwrap();
+            let fused = reference.clone();
+            let mut r1 = Xoshiro256PlusPlus::seed_from_u64(seed);
+            let mut r2 = Xoshiro256PlusPlus::seed_from_u64(seed);
+            for _ in 0..64 {
+                let i = reference.sample(&mut r1).unwrap();
+                reference.add(i, -1).unwrap();
+                let j = reference.sample(&mut r1).unwrap();
+                reference.add(i, 1).unwrap();
+                prop_assert_eq!(fused.sample_pair_distinct(&mut r2).unwrap(), (i, j));
             }
         }
 

@@ -37,7 +37,7 @@
 pub mod experiments;
 mod runner;
 
-pub use runner::{parallel_map, stabilization_sweep, SweepPoint};
+pub use runner::{parallel_map, stabilization_sweep, stabilization_sweep_agents, SweepPoint};
 
 use pp_stats::Table;
 

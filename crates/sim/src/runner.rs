@@ -1,7 +1,7 @@
 //! Parallel execution of embarrassingly parallel experiment jobs.
 
-use pp_engine::{LeaderElection, Simulation, UniformScheduler};
-use pp_rand::SeedSequence;
+use pp_engine::{CountSimulation, LeaderElection, Simulation, UniformScheduler};
+use pp_rand::{SeedSequence, Xoshiro256PlusPlus};
 use pp_stats::Summary;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -70,6 +70,13 @@ pub struct SweepPoint {
 ///
 /// `make` builds the protocol for a given `n`; each run gets a distinct
 /// deterministic seed derived from `master_seed`.
+///
+/// Runs on the exact count engine
+/// ([`CountSimulation`]) — the compiled-pair fast path — which simulates the
+/// uniformly random scheduler exactly, so the measured distribution is the
+/// same law as the per-agent engine's at a fraction of the cost. Use
+/// [`stabilization_sweep_agents`] to drive the per-agent reference engine
+/// instead (e.g. to cross-validate the engines against each other).
 pub fn stabilization_sweep<P, F>(
     make: F,
     ns: &[usize],
@@ -81,6 +88,47 @@ where
     P: LeaderElection,
     F: Fn(usize) -> P + Sync,
 {
+    sweep_impl(ns, seeds, master_seed, |n, seed| {
+        let protocol = make(n);
+        let rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut sim = CountSimulation::new(protocol, n, rng)
+            .expect("population sizes are >= 2 by construction");
+        let outcome = sim.run_until_single_leader(max_steps);
+        (outcome.converged, outcome.parallel_time(n))
+    })
+}
+
+/// [`stabilization_sweep`] on the per-agent reference engine
+/// ([`Simulation`] + [`UniformScheduler`]).
+///
+/// Slower and `O(n)` memory per run, but exercises the engine whose
+/// semantics are the most direct reading of the model — useful when a sweep
+/// doubles as an engine cross-check.
+pub fn stabilization_sweep_agents<P, F>(
+    make: F,
+    ns: &[usize],
+    seeds: u64,
+    master_seed: u64,
+    max_steps: u64,
+) -> Vec<SweepPoint>
+where
+    P: LeaderElection,
+    F: Fn(usize) -> P + Sync,
+{
+    sweep_impl(ns, seeds, master_seed, |n, seed| {
+        let protocol = make(n);
+        let scheduler = UniformScheduler::seed_from_u64(seed);
+        let mut sim = Simulation::new(protocol, n, scheduler)
+            .expect("population sizes are >= 2 by construction");
+        let outcome = sim.run_until_single_leader(max_steps);
+        (outcome.converged, outcome.parallel_time(n))
+    })
+}
+
+fn sweep_impl<R>(ns: &[usize], seeds: u64, master_seed: u64, run: R) -> Vec<SweepPoint>
+where
+    R: Fn(usize, u64) -> (bool, f64) + Sync,
+{
     let mut jobs: Vec<(usize, u64)> = Vec::new();
     let seq = SeedSequence::new(master_seed);
     for (ni, &n) in ns.iter().enumerate() {
@@ -89,12 +137,8 @@ where
         }
     }
     let outcomes = parallel_map(&jobs, |&(n, seed)| {
-        let protocol = make(n);
-        let scheduler = UniformScheduler::seed_from_u64(seed);
-        let mut sim = Simulation::new(protocol, n, scheduler)
-            .expect("population sizes are >= 2 by construction");
-        let outcome = sim.run_until_single_leader(max_steps);
-        (n, outcome.converged, outcome.parallel_time(n))
+        let (converged, t) = run(n, seed);
+        (n, converged, t)
     });
     ns.iter()
         .map(|&n| {
@@ -149,6 +193,20 @@ mod tests {
             assert_eq!(pa.times.count(), 5);
             assert!((pa.times.mean() - pb.times.mean()).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn engine_sweeps_agree_distributionally() {
+        // The count-engine sweep and the agent-engine sweep sample the same
+        // Markov chain: over enough seeds their means must agree loosely
+        // (fratricide at n=32 has E[parallel time] ≈ n).
+        let ns = [32usize];
+        let fast = stabilization_sweep(|_| Fratricide, &ns, 24, 7, u64::MAX);
+        let slow = stabilization_sweep_agents(|_| Fratricide, &ns, 24, 7, u64::MAX);
+        assert_eq!(fast[0].unconverged, 0);
+        assert_eq!(slow[0].unconverged, 0);
+        let (a, b) = (fast[0].times.mean(), slow[0].times.mean());
+        assert!((a / b - 1.0).abs() < 0.5, "count {a} vs agent {b}");
     }
 
     #[test]
