@@ -2,14 +2,21 @@
 //! count-based engines, on the paper's protocol and on the Table-1 baseline
 //! protocols.
 //!
-//! The count engine appears twice: `engine/count_steps` exercises the
-//! default compiled-pair fast path, `engine/count_steps_reference` the same
-//! workloads with the compiled cache disabled (per-step hashing, cloning,
-//! and `Protocol::transition` calls) — the before/after pair that shows what
-//! the compiled transition layer buys. All groups declare element
-//! throughput, so the JSON emitted by the criterion stand-in (see
-//! `BENCH_JSON_DIR`) reports interactions/sec directly; `BENCH_engine.json`
-//! at the repo root snapshots those numbers per PR.
+//! The count engine appears three times — its three execution tiers:
+//! `engine/count_steps` is the full default path (compiled pair cache +
+//! null-skipping jump scheduler), `engine/count_steps_compiled` the compiled
+//! cache with the jump scheduler disabled, and
+//! `engine/count_steps_reference` the uncached per-step fallback (hashing,
+//! cloning, and `Protocol::transition` calls every step). The step groups
+//! run mid-election workloads where null interactions never dominate, so
+//! `count_steps` ≈ `count_steps_compiled` there; the jump scheduler's own
+//! regime is measured by `engine/election_*`, which times *entire*
+//! fratricide elections — a `Θ(n²)`-interaction workload whose null tail the
+//! scheduler telescopes into `O(n)` episodes (the compiled tier cannot
+//! finish those sizes inside any reasonable bench budget). All step groups
+//! declare element throughput, so the JSON emitted by the criterion
+//! stand-in (see `BENCH_JSON_DIR`) reports interactions/sec directly;
+//! `BENCH_engine.json` at the repo root snapshots those numbers per PR.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pp_bench::fast_criterion;
@@ -51,37 +58,52 @@ fn bench_agent_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// The count engine's three execution tiers (see the module docs).
+#[derive(Clone, Copy)]
+enum Tier {
+    /// Compiled cache + jump scheduler: the engine default.
+    Jump,
+    /// Compiled cache only.
+    Compiled,
+    /// Uncached per-step fallback.
+    Reference,
+}
+
 fn count_sim<P: LeaderElection>(
     protocol: P,
     n: usize,
-    compiled: bool,
+    tier: Tier,
 ) -> CountSimulation<P, Xoshiro256PlusPlus> {
     let rng = Xoshiro256PlusPlus::seed_from_u64(1);
     let mut sim = CountSimulation::new(protocol, n, rng).expect("n >= 2");
-    sim.set_compiled_cache(compiled);
+    match tier {
+        Tier::Jump => {}
+        Tier::Compiled => sim.set_jump_scheduler(false),
+        Tier::Reference => sim.set_compiled_cache(false),
+    }
     sim
 }
 
-fn bench_count_engine_at(group_name: &str, compiled: bool, c: &mut Criterion) {
+fn bench_count_engine_at(group_name: &str, tier: Tier, c: &mut Criterion) {
     let mut group = c.benchmark_group(group_name);
     group.throughput(Throughput::Elements(STEPS));
     for &n in &COUNT_NS {
         group.bench_with_input(BenchmarkId::new("pll", n), &n, |b, &n| {
-            let mut sim = count_sim(Pll::for_population(n).expect("n >= 2"), n, compiled);
+            let mut sim = count_sim(Pll::for_population(n).expect("n >= 2"), n, tier);
             b.iter(|| {
                 sim.run(STEPS);
                 black_box(sim.steps())
             });
         });
         group.bench_with_input(BenchmarkId::new("fratricide", n), &n, |b, &n| {
-            let mut sim = count_sim(Fratricide, n, compiled);
+            let mut sim = count_sim(Fratricide, n, tier);
             b.iter(|| {
                 sim.run(STEPS);
                 black_box(sim.steps())
             });
         });
         group.bench_with_input(BenchmarkId::new("lottery", n), &n, |b, &n| {
-            let mut sim = count_sim(UnboundedLottery, n, compiled);
+            let mut sim = count_sim(UnboundedLottery, n, tier);
             b.iter(|| {
                 sim.run(STEPS);
                 black_box(sim.steps())
@@ -92,16 +114,44 @@ fn bench_count_engine_at(group_name: &str, compiled: bool, c: &mut Criterion) {
 }
 
 fn bench_count_engine(c: &mut Criterion) {
-    bench_count_engine_at("engine/count_steps", true, c);
+    bench_count_engine_at("engine/count_steps", Tier::Jump, c);
+}
+
+fn bench_count_engine_compiled(c: &mut Criterion) {
+    bench_count_engine_at("engine/count_steps_compiled", Tier::Compiled, c);
 }
 
 fn bench_count_engine_reference(c: &mut Criterion) {
-    bench_count_engine_at("engine/count_steps_reference", false, c);
+    bench_count_engine_at("engine/count_steps_reference", Tier::Reference, c);
+}
+
+/// Whole fratricide elections on the jump scheduler: `Θ(n²)` simulated
+/// interactions per run (≈10¹² at `n = 2^20`) telescoped into `O(n)`
+/// executed episodes. No per-step tier appears alongside because none could
+/// finish one iteration inside the bench budget — that asymmetry *is* the
+/// result; wall time per election is the figure of merit.
+fn bench_election_jump(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/election_jump");
+    let mut seed = 0u64;
+    for &n in &[1usize << 16, 1 << 20] {
+        group.bench_with_input(BenchmarkId::new("fratricide", n), &n, |b, &n| {
+            b.iter(|| {
+                seed += 1;
+                let rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+                let mut sim = CountSimulation::new(Fratricide, n, rng).expect("n >= 2");
+                let out = sim.run_until_single_leader(u64::MAX);
+                assert!(out.converged);
+                black_box(out.steps)
+            });
+        });
+    }
+    group.finish();
 }
 
 criterion_group! {
     name = benches;
     config = fast_criterion();
-    targets = bench_agent_engine, bench_count_engine, bench_count_engine_reference
+    targets = bench_agent_engine, bench_count_engine, bench_count_engine_compiled,
+        bench_count_engine_reference, bench_election_jump
 }
 criterion_main!(benches);

@@ -202,6 +202,18 @@ impl PairCache {
             }
         }
     }
+
+    /// Visits every filled entry as `(s, t, entry)` — used to re-seed the
+    /// jump scheduler's null ledger from already-compiled pairs when the
+    /// scheduler is (re-)enabled mid-run.
+    pub(crate) fn for_each_filled(&self, mut f: impl FnMut(usize, usize, u32)) {
+        let shift = self.shift;
+        for (idx, &e) in self.table.iter().enumerate() {
+            if e != EMPTY {
+                f(idx >> shift, idx & ((1 << shift) - 1), e);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,10 +1,9 @@
 //! The per-agent reference simulation engine.
 
-use crate::{Configuration, EngineError, Interaction, LeaderElection, Protocol, Role, Scheduler};
-
-/// How many interactions run between hoisted checks (step budget, sampled
-/// debug assertions) in the batched convergence loops.
-const CONVERGENCE_BATCH: u64 = 4096;
+use crate::{
+    Configuration, EngineError, Interaction, LeaderElection, Protocol, Role, Scheduler,
+    CONVERGENCE_BATCH,
+};
 
 /// The result of driving a simulation toward a convergence condition.
 #[derive(Debug, Clone, Copy, PartialEq)]

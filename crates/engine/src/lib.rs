@@ -26,7 +26,10 @@
 //!   the "number of states" column of the paper's Table 1. Its steady-state
 //!   step is hash-free: a [compiled pair-transition cache](compiled) plus
 //!   fused pair sampling make each interaction a table lookup and two tree
-//!   descents (see the [`count_engine` docs](CountSimulation)).
+//!   descents (see the [`count_engine` docs](CountSimulation)); on top, a
+//!   null-skipping jump scheduler telescopes runs of null interactions into
+//!   single geometric draws wherever they dominate, making `Θ(n²)`-step
+//!   election tails at `n = 2^28`–`2^30` seconds-scale.
 //! * [`epidemic`] — the one-way epidemic process of \[AAE08\], the workhorse of
 //!   every O(log n) bound in the paper (its Lemma 2).
 //!
@@ -70,12 +73,13 @@ mod count_engine;
 mod engine;
 pub mod epidemic;
 mod error;
+mod jump;
 mod protocol;
 mod scheduler;
 mod trace;
 
 pub use config::Configuration;
-pub use count_engine::CountSimulation;
+pub use count_engine::{CountSimulation, JumpStats};
 pub use engine::{RunOutcome, Simulation};
 pub use error::EngineError;
 pub use protocol::{check_symmetry, LeaderElection, Protocol, Role};
@@ -83,6 +87,10 @@ pub use scheduler::{
     Interaction, ReplayScheduler, RoundRobinScheduler, Scheduler, UniformScheduler,
 };
 pub use trace::Trace;
+
+/// How many interactions run between hoisted checks (step budget, sampled
+/// debug assertions) in both engines' batched convergence loops.
+pub(crate) const CONVERGENCE_BATCH: u64 = 4096;
 
 /// Convenient glob-import of the engine's most common items.
 pub mod prelude {

@@ -35,7 +35,11 @@ impl Geometric {
         }
         Some(Self {
             p,
-            ln_q: (1.0 - p).ln(),
+            // ln(1 − p) via ln_1p: the naive (1.0 − p).ln() rounds to 0 for
+            // p below ~5.6e-17, which would make sample() return 0 forever —
+            // the regime the count engine's jump scheduler actually visits
+            // (success probabilities ~k²/n² at populations of 2^28 and up).
+            ln_q: (-p).ln_1p(),
         })
     }
 
@@ -99,6 +103,28 @@ mod tests {
             let expect = geo.mean();
             let dev = (mean - expect).abs() / expect;
             assert!(dev < 0.03, "p={p}: mean {mean} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn tiny_probabilities_keep_their_scale() {
+        // Regression: ln(1 − p) must not round to zero for sub-epsilon p.
+        // With p = 2.8e-17 (fratricide's two-leader stage at n = 2^28) the
+        // mean is ~3.6e16; any draw above 2^40 already rules the collapsed
+        // sampler (which returns 0 forever) out.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        for p in [1e-12, 2.8e-17, 1e-18] {
+            let geo = Geometric::new(p).unwrap();
+            // A draw lands below 1/(1000·p) with probability ~0.1% — and the
+            // collapsed sampler would sit at 0 every time.
+            let floor = (0.001 / p) as u64;
+            for _ in 0..8 {
+                let sample = geo.sample(&mut rng);
+                assert!(
+                    sample > floor,
+                    "p = {p}: sample {sample} far below the 1/p scale"
+                );
+            }
         }
     }
 

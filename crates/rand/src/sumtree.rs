@@ -238,9 +238,10 @@ impl SumTreeSampler {
     #[inline(always)]
     fn grandchild_step(nodes: &[u64], k: usize, r: u64) -> (usize, u64) {
         let base = 4 * k;
-        let g0 = nodes[base];
-        let g1 = nodes[base + 1];
-        let g2 = nodes[base + 2];
+        let g = &nodes[base..base + 3];
+        let g0 = g[0];
+        let g1 = g[1];
+        let g2 = g[2];
         let p1 = g0;
         let p2 = p1 + g1;
         let p3 = p2 + g2;
@@ -327,8 +328,7 @@ impl SumTreeSampler {
         if total < 2 {
             return Err(WeightedError::TotalTooSmall { total, required: 2 });
         }
-        let ta = rng.below(total);
-        let tb = rng.below(total - 1);
+        let (ta, tb) = crate::weighted::pair_targets(rng, total);
         let (mut ka, mut ra) = (1usize, ta);
         let (mut kb, mut rb) = (1usize, tb);
         let mut lv = self.levels;

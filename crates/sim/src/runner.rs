@@ -69,14 +69,23 @@ pub struct SweepPoint {
 /// across population sizes, `seeds` runs per size, in parallel.
 ///
 /// `make` builds the protocol for a given `n`; each run gets a distinct
-/// deterministic seed derived from `master_seed`.
+/// deterministic seed derived from `master_seed`. Seeds are derived from the
+/// packed job index `(size_index << 32) | seed_index`, so `seeds` must stay
+/// below `2^32` — far beyond any realistic sweep; asserted at entry rather
+/// than silently reusing seed streams across sizes.
 ///
 /// Runs on the exact count engine
-/// ([`CountSimulation`]) — the compiled-pair fast path — which simulates the
-/// uniformly random scheduler exactly, so the measured distribution is the
-/// same law as the per-agent engine's at a fraction of the cost. Use
+/// ([`CountSimulation`]) — the compiled-pair fast path with the null-skipping
+/// jump scheduler engaged wherever null interactions dominate — which
+/// simulates the uniformly random scheduler exactly, so the measured
+/// distribution is the same law as the per-agent engine's at a vanishing
+/// fraction of the cost (a fratricide sweep point at `n = 2^28` telescopes
+/// `~10^16` null interactions and completes in seconds). Use
 /// [`stabilization_sweep_agents`] to drive the per-agent reference engine
 /// instead (e.g. to cross-validate the engines against each other).
+///
+/// Repeated entries in `ns` are measured independently (each job range
+/// aggregates into its own [`SweepPoint`]).
 pub fn stabilization_sweep<P, F>(
     make: F,
     ns: &[usize],
@@ -125,27 +134,49 @@ where
     })
 }
 
-fn sweep_impl<R>(ns: &[usize], seeds: u64, master_seed: u64, run: R) -> Vec<SweepPoint>
-where
-    R: Fn(usize, u64) -> (bool, f64) + Sync,
-{
-    let mut jobs: Vec<(usize, u64)> = Vec::new();
+/// Builds a sweep's `(n, seed)` job list: `seeds` jobs per entry of `ns`, in
+/// entry order, each job seeded from the packed index
+/// `(size_index << 32) | seed_index` so every (size, run) pair draws an
+/// independent deterministic stream.
+///
+/// # Panics
+///
+/// Panics when `seeds ≥ 2^32`: the packed index would silently collide the
+/// seed streams of different sizes.
+pub(crate) fn sweep_jobs(ns: &[usize], seeds: u64, master_seed: u64) -> Vec<(usize, u64)> {
+    assert!(
+        seeds < 1 << 32,
+        "sweeps support at most 2^32 - 1 seeds per size (got {seeds})"
+    );
     let seq = SeedSequence::new(master_seed);
+    let mut jobs = Vec::with_capacity(ns.len() * seeds as usize);
     for (ni, &n) in ns.iter().enumerate() {
         for s in 0..seeds {
             jobs.push((n, seq.seed_at((ni as u64) << 32 | s)));
         }
     }
+    jobs
+}
+
+fn sweep_impl<R>(ns: &[usize], seeds: u64, master_seed: u64, run: R) -> Vec<SweepPoint>
+where
+    R: Fn(usize, u64) -> (bool, f64) + Sync,
+{
+    let jobs = sweep_jobs(ns, seeds, master_seed);
     let outcomes = parallel_map(&jobs, |&(n, seed)| {
         let (converged, t) = run(n, seed);
-        (n, converged, t)
+        (converged, t)
     });
+    // Aggregate by contiguous job range, not by population-size value: a
+    // repeated n in `ns` must yield independent points instead of
+    // double-counting every run of that size into each of them.
     ns.iter()
-        .map(|&n| {
+        .enumerate()
+        .map(|(ni, &n)| {
             let mut times = Summary::new();
             let mut unconverged = 0;
-            for &(jn, converged, t) in outcomes.iter().filter(|&&(jn, _, _)| jn == n) {
-                debug_assert_eq!(jn, n);
+            let range = ni * seeds as usize..(ni + 1) * seeds as usize;
+            for &(converged, t) in &outcomes[range] {
                 if converged {
                     times.push(t);
                 } else {
@@ -215,5 +246,45 @@ mod tests {
         let points = stabilization_sweep(|_| Fratricide, &[16], 4, 1, 1);
         assert_eq!(points[0].unconverged, 4);
         assert_eq!(points[0].times.count(), 0);
+    }
+
+    #[test]
+    fn repeated_sizes_aggregate_into_independent_points() {
+        // Regression: aggregation used to filter outcomes by the size
+        // *value*, so ns = [8, 8] double-counted every run of that size
+        // into both points (2 × seeds observations each). Each point must
+        // hold exactly its own seeds — and distinct ones, since job seeds
+        // derive from the packed (size index, seed index).
+        let seeds = 6;
+        let points = stabilization_sweep(|_| Fratricide, &[8, 8], seeds, 99, u64::MAX);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert_eq!(p.n, 8);
+            assert_eq!(p.times.count() + p.unconverged, seeds);
+        }
+        // Different seed blocks: equality of the two means would be a
+        // (astronomically unlikely) coincidence.
+        assert!(
+            (points[0].times.mean() - points[1].times.mean()).abs() > 1e-9,
+            "repeated sizes appear to share seed streams"
+        );
+    }
+
+    #[test]
+    fn sweep_rides_the_jump_scheduler_at_scale() {
+        // 2^14 fratricide takes Θ(n²) ≈ 2.7e8 interactions per run — hours
+        // of debug-build stepping without the jump scheduler, milliseconds
+        // with it. Completing at all (under an effectively unbounded budget)
+        // is the assertion.
+        let points = stabilization_sweep(|_| Fratricide, &[1 << 14], 2, 5, u64::MAX);
+        assert_eq!(points[0].unconverged, 0);
+        assert_eq!(points[0].times.count(), 2);
+        // E[parallel time] ≈ n for fratricide.
+        let mean = points[0].times.mean();
+        let n = (1 << 14) as f64;
+        assert!(
+            (mean / n - 1.0).abs() < 0.5,
+            "mean parallel time {mean} far from the Θ(n) law at n = {n}"
+        );
     }
 }

@@ -1,0 +1,234 @@
+//! Pearson chi-square tests for comparing binned samples.
+//!
+//! Used by the engine-equivalence suites to pin different execution paths
+//! (per-agent, compiled count, jump-scheduled count) to the *same law*: the
+//! stabilization-time histograms of the paths form the rows of a
+//! contingency table, and the homogeneity statistic is compared against an
+//! asymptotic critical value.
+
+/// A computed chi-square homogeneity statistic with its degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquare {
+    /// The Pearson statistic `Σ (O − E)² / E`.
+    pub statistic: f64,
+    /// Degrees of freedom `(rows − 1) · (occupied columns − 1)`.
+    pub df: usize,
+}
+
+impl ChiSquare {
+    /// Whether the statistic stays below the asymptotic critical value at
+    /// significance `alpha` (i.e. the samples are consistent with one law).
+    ///
+    /// A degenerate table with a single occupied column has `df = 0` and a
+    /// statistic of exactly 0 (every observation equals its expectation);
+    /// that is trivially homogeneous and accepted at any level.
+    pub fn accepts(&self, alpha: f64) -> bool {
+        if self.df == 0 {
+            return true;
+        }
+        self.statistic < chi_square_critical(self.df, alpha)
+    }
+}
+
+/// Pearson chi-square homogeneity statistic for an `r × c` contingency
+/// table: `rows[i][j]` counts sample `i`'s observations in bin `j`. Columns
+/// whose total is zero carry no information and are dropped (the degrees of
+/// freedom shrink accordingly).
+///
+/// # Panics
+///
+/// Panics if fewer than two rows are given, rows disagree in length, or any
+/// row is entirely empty.
+///
+/// # Example
+///
+/// ```
+/// use pp_stats::chi_square_homogeneity;
+///
+/// // Two samples with identical distributions: statistic 0.
+/// let c = chi_square_homogeneity(&[&[10, 20, 30], &[10, 20, 30]]);
+/// assert_eq!(c.statistic, 0.0);
+/// assert_eq!(c.df, 2);
+/// ```
+pub fn chi_square_homogeneity(rows: &[&[u64]]) -> ChiSquare {
+    assert!(rows.len() >= 2, "homogeneity needs at least two samples");
+    let bins = rows[0].len();
+    assert!(
+        rows.iter().all(|r| r.len() == bins),
+        "all samples must use the same bin edges"
+    );
+    let row_totals: Vec<u64> = rows.iter().map(|r| r.iter().sum()).collect();
+    assert!(
+        row_totals.iter().all(|&t| t > 0),
+        "every sample must contain at least one observation"
+    );
+    let grand: u64 = row_totals.iter().sum();
+    let mut statistic = 0.0;
+    let mut occupied = 0usize;
+    for j in 0..bins {
+        let col: u64 = rows.iter().map(|r| r[j]).sum();
+        if col == 0 {
+            continue;
+        }
+        occupied += 1;
+        for (i, row) in rows.iter().enumerate() {
+            let expect = row_totals[i] as f64 * col as f64 / grand as f64;
+            let o = row[j] as f64;
+            statistic += (o - expect) * (o - expect) / expect;
+        }
+    }
+    let df = (rows.len() - 1) * occupied.saturating_sub(1);
+    ChiSquare { statistic, df }
+}
+
+/// Upper critical value of the chi-square distribution with `df` degrees of
+/// freedom at significance `alpha ∈ {0.05, 0.01, 0.001}`: tabulated exactly
+/// for `df ≤ 10` (where the tests in this workspace live and where cube
+/// approximations are weakest), the Wilson–Hilferty cube beyond (accurate to
+/// well under 1% there).
+///
+/// # Panics
+///
+/// Panics if `df == 0` or `alpha` is not one of the supported levels.
+pub fn chi_square_critical(df: usize, alpha: f64) -> f64 {
+    assert!(df > 0, "critical value undefined for df = 0");
+    const TABLE_05: [f64; 10] = [
+        3.841, 5.991, 7.815, 9.488, 11.070, 12.592, 14.067, 15.507, 16.919, 18.307,
+    ];
+    const TABLE_01: [f64; 10] = [
+        6.635, 9.210, 11.345, 13.277, 15.086, 16.812, 18.475, 20.090, 21.666, 23.209,
+    ];
+    const TABLE_001: [f64; 10] = [
+        10.828, 13.816, 16.266, 18.467, 20.515, 22.458, 24.322, 26.124, 27.877, 29.588,
+    ];
+    let (table, z): (&[f64; 10], f64) = if alpha == 0.05 {
+        (&TABLE_05, 1.6448536269514722)
+    } else if alpha == 0.01 {
+        (&TABLE_01, 2.3263478740408408)
+    } else if alpha == 0.001 {
+        (&TABLE_001, 3.090232306167813)
+    } else {
+        panic!("unsupported alpha {alpha}; use 0.05, 0.01, or 0.001");
+    };
+    if df <= 10 {
+        return table[df - 1];
+    }
+    let d = df as f64;
+    let t = 1.0 - 2.0 / (9.0 * d) + z * (2.0 / (9.0 * d)).sqrt();
+    d * t * t * t
+}
+
+/// Bins each sample of `samples` into `bins` equal-probability bins defined
+/// by the pooled empirical quantiles, returning one histogram per sample.
+///
+/// Shared data-driven edges make the histograms directly comparable in
+/// [`chi_square_homogeneity`] without choosing bin widths by hand; pooled
+/// quantile edges keep every column populated in expectation, which is what
+/// the asymptotic chi-square approximation needs.
+///
+/// # Panics
+///
+/// Panics if `bins < 2` or any sample is empty.
+pub fn quantile_bins(samples: &[&[f64]], bins: usize) -> Vec<Vec<u64>> {
+    assert!(bins >= 2, "need at least two bins");
+    assert!(samples.iter().all(|s| !s.is_empty()), "empty sample");
+    let mut pooled: Vec<f64> = samples.iter().flat_map(|s| s.iter().copied()).collect();
+    pooled.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    // Interior edges at pooled quantiles k/bins, k = 1..bins−1.
+    let edges: Vec<f64> = (1..bins)
+        .map(|k| pooled[(k * pooled.len() / bins).min(pooled.len() - 1)])
+        .collect();
+    samples
+        .iter()
+        .map(|s| {
+            let mut h = vec![0u64; bins];
+            for &x in *s {
+                let b = edges.partition_point(|&e| e <= x);
+                h[b] += 1;
+            }
+            h
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_histograms_score_zero() {
+        let c = chi_square_homogeneity(&[&[5, 9, 2, 7], &[5, 9, 2, 7], &[5, 9, 2, 7]]);
+        assert_eq!(c.statistic, 0.0);
+        assert_eq!(c.df, 6);
+        assert!(c.accepts(0.001));
+    }
+
+    #[test]
+    fn hand_computed_two_by_two() {
+        // O = [[10, 20], [20, 10]]; row totals 30/30, col totals 30/30,
+        // E = 15 everywhere; statistic = 4 · 25/15 = 20/3.
+        let c = chi_square_homogeneity(&[&[10, 20], &[20, 10]]);
+        assert!((c.statistic - 20.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.df, 1);
+        assert!(!c.accepts(0.05));
+    }
+
+    #[test]
+    fn empty_columns_are_dropped() {
+        let a = chi_square_homogeneity(&[&[10, 0, 20], &[12, 0, 18]]);
+        let b = chi_square_homogeneity(&[&[10, 20], &[12, 18]]);
+        assert!((a.statistic - b.statistic).abs() < 1e-12);
+        assert_eq!(a.df, b.df);
+    }
+
+    #[test]
+    fn critical_values_match_tables() {
+        // Tabulated range is exact; the Wilson–Hilferty tail must agree with
+        // reference quantiles (Abramowitz & Stegun) to well under 1%.
+        for (df, alpha, expect) in [
+            (1, 0.05, 3.841),
+            (5, 0.05, 11.070),
+            (10, 0.05, 18.307),
+            (5, 0.01, 15.086),
+            (9, 0.001, 27.877),
+            (20, 0.05, 31.410),
+            (30, 0.01, 50.892),
+            (24, 0.001, 51.179),
+        ] {
+            let got = chi_square_critical(df, alpha);
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.005, "df={df} alpha={alpha}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn quantile_bins_balance_pooled_mass() {
+        let a: Vec<f64> = (0..100).map(f64::from).collect();
+        let b: Vec<f64> = (0..100).map(|x| f64::from(x) + 0.5).collect();
+        let hists = quantile_bins(&[&a, &b], 4);
+        for h in &hists {
+            assert_eq!(h.iter().sum::<u64>(), 100);
+            for &c in h {
+                assert!((20..=30).contains(&(c as i64)), "unbalanced bin {c}");
+            }
+        }
+        let c = chi_square_homogeneity(&[&hists[0], &hists[1]]);
+        assert!(c.accepts(0.05), "near-identical samples must be accepted");
+    }
+
+    #[test]
+    fn single_occupied_column_is_trivially_homogeneous() {
+        // All observations in one bin: df = 0, statistic 0 — accepted, not
+        // a panic in chi_square_critical.
+        let c = chi_square_homogeneity(&[&[0, 7, 0], &[0, 3, 0]]);
+        assert_eq!(c.df, 0);
+        assert_eq!(c.statistic, 0.0);
+        assert!(c.accepts(0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn rejects_single_sample() {
+        chi_square_homogeneity(&[&[1, 2]]);
+    }
+}

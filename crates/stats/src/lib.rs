@@ -10,6 +10,9 @@
 //!   axes).
 //! * [`Histogram`] — integer histograms with tail sums, for survivor-count
 //!   distributions (Lemma 7).
+//! * [`chi_square_homogeneity`] / [`quantile_bins`] — Pearson homogeneity
+//!   tests over shared quantile bins, used to pin the engines' execution
+//!   paths (per-agent, compiled, jump-scheduled) to one stabilization law.
 //! * [`theory`] — closed-form reference curves from the paper: the lottery
 //!   game bound `2^{1−i}`, the Lemma 2 epidemic tail, coupon collector,
 //!   harmonic numbers, and Chernoff evaluators.
@@ -19,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 mod binomial;
+mod chisq;
 mod histogram;
 mod regression;
 mod summary;
@@ -26,6 +30,7 @@ mod table;
 pub mod theory;
 
 pub use binomial::{wilson95, wilson_interval};
+pub use chisq::{chi_square_critical, chi_square_homogeneity, quantile_bins, ChiSquare};
 pub use histogram::Histogram;
 pub use regression::{fit_against, fit_log2, fit_power_law, LinearFit};
 pub use summary::Summary;

@@ -1,0 +1,32 @@
+//! Jump-scheduler scale demonstration: stabilization sweeps at population
+//! sizes whose step counts (`Θ(n²)` for fratricide — `2.4 × 10¹⁶`
+//! interactions per run at `n = 2^28`) are unreachable for any per-step
+//! engine, completing in seconds because the null tail telescopes into
+//! `O(n)` executed episodes.
+//!
+//! Ignored by default: the numbers only make sense in release builds
+//! (`cargo test --release --test jump_scale -- --ignored`); the default
+//! debug-mode tier-1 run skips them.
+
+use population_protocols::protocols::Fratricide;
+use population_protocols::sim::stabilization_sweep;
+
+#[test]
+#[ignore = "release-scale demonstration: run with --release -- --ignored"]
+fn fratricide_sweep_at_2_pow_28_converges_under_the_default_budget() {
+    let points = stabilization_sweep(|_| Fratricide, &[1 << 28], 2, 11, u64::MAX);
+    assert_eq!(points[0].unconverged, 0);
+    assert_eq!(points[0].times.count(), 2);
+    // E[parallel stabilization time] ≈ n, but the two-leader stage is
+    // Exp-distributed with mean n/2, so a 2-seed mean is noisy by design:
+    // this is a loose order-of-magnitude smoke bound. The tight law checks
+    // live at small n (tests/jump_equivalence.rs) and the sub-epsilon
+    // geometric regression (this scale's real failure mode) in pp-rand.
+    let mean = points[0].times.mean();
+    let n = (1u64 << 28) as f64;
+    let ratio = mean / n;
+    assert!(
+        (0.05..20.0).contains(&ratio),
+        "mean parallel time {mean} not on the Θ(n) scale at n = 2^28"
+    );
+}
