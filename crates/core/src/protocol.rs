@@ -1194,9 +1194,13 @@ mod run_tests {
 
     #[test]
     fn count_engine_agrees_with_agent_engine() {
+        // Pll stabilization times are heavy-tailed (a failed Tournament()
+        // falls through to the Θ(log² n) BackUp()), so comparing means needs
+        // a sample large enough to absorb a tail event or two — 8 runs was
+        // within the tolerance only by seed luck.
         let n = 512;
         let seeds = SeedSequence::new(42);
-        let runs = 8;
+        let runs = 32;
         let mean_parallel = |count_engine: bool| -> f64 {
             let mut total = 0.0;
             for i in 0..runs {

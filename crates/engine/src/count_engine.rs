@@ -15,106 +15,68 @@
 //! counting how many distinct states an execution ever visits (the "number
 //! of states" column of the paper's Table 1).
 //!
-//! # The hash-free hot loop
+//! # The four execution tiers
 //!
-//! The steady-state [`step`](CountSimulation::step) does **no hashing, no
-//! state cloning, and no [`Protocol::transition`] calls**. Three mechanisms
-//! combine for that (see [`crate::compiled`] for the first):
+//! Every batched driver ([`run`](CountSimulation::run),
+//! [`run_batched`](CountSimulation::run_batched),
+//! [`run_until_single_leader`](CountSimulation::run_until_single_leader))
+//! dispatches through the [tier controller](crate::tier): periodic reviews
+//! pick the cheapest execution strategy for the *current* configuration and
+//! re-evaluate as it evolves.
 //!
-//! 1. a [compiled pair-transition cache](crate::compiled): the first
-//!    encounter of an ordered state-id pair runs the real transition and
-//!    compiles it to a packed `(a, b, leader_delta, is_null)` entry in a
-//!    dense table — valid forever because `transition` is contractually
-//!    deterministic;
-//! 2. [fused pair sampling](pp_rand::FenwickSampler::sample_pair_distinct):
-//!    the ordered (initiator, responder) pair is drawn in two tree descents
-//!    with zero tree writes, replacing the `add(s, −1)` / draw /
-//!    `add(s, +1)` round-trip — run here on the branch-free
-//!    [`SumTreeSampler`](pp_rand::SumTreeSampler), which is draw-for-draw
-//!    identical to the Fenwick sampler;
-//! 3. batched convergence loops:
-//!    [`run_until_single_leader`](CountSimulation::run_until_single_leader)
-//!    reads the leader-count change of each interaction from the cached
-//!    `leader_delta`, so convergence bookkeeping is two integer ops per step
-//!    and the step-budget check is hoisted out of the inner loop.
+//! 1. **Reference** — the uncached per-step fallback: every interaction
+//!    hashes, clones, and calls [`Protocol::transition`]. Only used when the
+//!    compiled cache is disabled; it is the bit-exact oracle the fast paths
+//!    are tested against.
+//! 2. **Compiled** — the hash-free per-step path: a
+//!    [compiled pair-transition cache](crate::compiled) makes each
+//!    steady-state interaction one table load plus
+//!    [fused pair sampling](pp_rand::SumTreeSampler::sample_pair_distinct)
+//!    (two tree descents, zero tree writes), with convergence bookkeeping
+//!    riding on cached leader deltas. Same RNG stream and bit-identical
+//!    executions whether the cache is on or off.
+//! 3. **Jump** — the null-skipping scheduler (see [`crate::jump`]): when
+//!    known-null pairs carry at least `1 − 1/engage_factor` of the scheduler
+//!    weight, each run of consecutive nulls telescopes into one geometric
+//!    draw plus one exact draw from the non-null pair distribution.
+//! 4. **Batch** — collision-free hypergeometric rounds (see
+//!    [`crate::batch`]): `Θ(√n)`-length runs of pairwise-disjoint
+//!    interactions are drawn as multivariate hypergeometric state multisets
+//!    and applied in bulk, with the terminating collision executed exactly —
+//!    sub-interaction amortized cost for *any* null density whenever the
+//!    live support is small against `√n`.
 //!
-//! The cache can be toggled with
-//! [`set_compiled_cache`](CountSimulation::set_compiled_cache); both paths
-//! consume the identical RNG stream and produce bit-identical executions
-//! (the equivalence is enforced by tests).
+//! Tiers 3 and 4 change no distribution — executions are equal in law,
+//! including the exact step counts at which the configuration changes — but
+//! they consume the RNG stream differently, so only tiers 1 and 2 are
+//! bit-identical to each other. The 4-tier chi-square equivalence suite
+//! (`tests/batch_equivalence.rs`) pins the law; heuristics, thresholds, and
+//! the cache cap are tunable through [`EngineConfig`].
 //!
-//! # The jump scheduler
+//! # State-id compaction
 //!
-//! Above the per-step fast path sits the null-skipping **jump scheduler**
-//! (see [`crate::jump`]): when engagement probes find that known-null pairs
-//! carry at least `1 − 1/8` of the scheduler weight, the batched drivers
-//! stop executing null interactions one by one and instead draw the length
-//! of each run of consecutive nulls as a single geometric sample, then draw
-//! the next real interaction exactly from the non-null pair distribution.
-//! This turns e.g. fratricide's `Θ(n²)`-interaction election into `O(n)`
-//! executed episodes — population sizes of `2^28`–`2^30` become
-//! seconds-scale — while preserving the execution law exactly (equal in
-//! law, not bit-identical: the jump path consumes the RNG stream
-//! differently). Toggle with
-//! [`set_jump_scheduler`](CountSimulation::set_jump_scheduler); inspect
-//! with [`jump_engaged`](CountSimulation::jump_engaged) and
-//! [`jump_stats`](CountSimulation::jump_stats).
+//! State-unbounded protocols (e.g. an unbounded lottery) intern states
+//! forever, but their *live* support is usually tiny. Tier reviews therefore
+//! **compact** the id space when enough dead ids have accumulated: live
+//! states are renumbered 0.. in descending-count order, the sampler tree
+//! shrinks to the live support, the pair cache remaps (dropping entries that
+//! touch dead ids), and dead states remain interned only in the seen-state
+//! map so [`distinct_states_seen`](CountSimulation::distinct_states_seen)
+//! stays exact even when a dead state is later revisited. Compaction is what
+//! keeps the fast tiers engaged past the cache's addressable-id cap.
 
+use crate::batch::{self, BatchStats};
 use crate::compiled::{self, PairCache};
-use crate::jump::NullLedger;
+use crate::tier::{self, EngineConfig, EngineTier, JumpStats, TierController};
 use crate::{EngineError, LeaderElection, Protocol, Role, RunOutcome, CONVERGENCE_BATCH};
 use pp_rand::{Geometric, Rng64, SumTreeSampler, Xoshiro256PlusPlus};
 use std::collections::HashMap;
 
-/// The jump scheduler engages when `W_active · JUMP_ENGAGE_FACTOR ≤ W_total`,
-/// i.e. when each episode is expected to telescope at least this many raw
-/// interactions. Below that ratio the per-step compiled path is cheaper than
-/// the episode's `O(K + deg)` active-pair scan.
-const JUMP_ENGAGE_FACTOR: u64 = 8;
-
-/// Hysteresis: an engaged scheduler disengages only once
-/// `W_active · JUMP_EXIT_FACTOR > W_total`, so the engine does not flap
-/// around the engagement boundary.
-const JUMP_EXIT_FACTOR: u64 = 4;
-
-/// Throughput counters of the jump scheduler (see
-/// [`CountSimulation::jump_stats`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct JumpStats {
-    /// Jump episodes executed (each ends in one real interaction).
-    pub episodes: u64,
-    /// Null interactions telescoped past without being executed.
-    pub skipped: u64,
-}
-
-/// Jump-scheduler state riding along the count engine (see [`crate::jump`]).
-#[derive(Debug, Clone)]
-struct JumpState {
-    /// User toggle ([`CountSimulation::set_jump_scheduler`]); on by default.
-    enabled: bool,
-    /// Currently executing episodes instead of per-step chunks.
-    engaged: bool,
-    /// Test hook: pinned engaged regardless of the engage/exit thresholds.
-    forced: bool,
-    /// The known-null pair set with scheduler weights.
-    ledger: NullLedger,
-    /// Step count at which the next engagement probe runs (disengaged mode).
-    probe_at: u64,
-    stats: JumpStats,
-}
-
-impl JumpState {
-    fn new() -> Self {
-        Self {
-            enabled: true,
-            engaged: false,
-            forced: false,
-            ledger: NullLedger::new(),
-            probe_at: 0,
-            stats: JumpStats::default(),
-        }
-    }
-}
+/// Sentinel id in the seen-state map for states that were interned at some
+/// point but currently hold no agents and no live slot (their old slot was
+/// reclaimed by compaction). Re-interning such a state allocates a fresh
+/// slot without recounting it as newly distinct.
+const DEAD_ID: u32 = u32::MAX;
 
 /// Exact count-based engine; see the module-level documentation above.
 ///
@@ -148,7 +110,10 @@ impl JumpState {
 pub struct CountSimulation<P: Protocol, R = Xoshiro256PlusPlus> {
     protocol: P,
     rng: R,
+    /// Every state the execution has ever visited, mapped to its live slot
+    /// id — or [`DEAD_ID`] when its slot was reclaimed by compaction.
     ids: HashMap<P::State, u32>,
+    /// Live states, indexed by slot id (compaction renumbers).
     states: Vec<P::State>,
     outputs: Vec<P::Output>,
     /// 1 for states whose output is the primed leader output, else 0.
@@ -161,22 +126,37 @@ pub struct CountSimulation<P: Protocol, R = Xoshiro256PlusPlus> {
     support: usize,
     sampler: SumTreeSampler,
     pairs: PairCache,
-    jump: JumpState,
+    tiers: TierController,
     n: u64,
     steps: u64,
 }
 
 impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
-    /// Creates a count simulation of `n` agents in the initial state.
+    /// Creates a count simulation of `n` agents in the initial state, with
+    /// the default [`EngineConfig`].
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::PopulationTooSmall`] when `n < 2`.
     pub fn new(protocol: P, n: usize, rng: R) -> Result<Self, EngineError> {
+        Self::with_config(protocol, n, rng, EngineConfig::default())
+    }
+
+    /// Creates a count simulation with explicit tier-heuristic tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::PopulationTooSmall`] when `n < 2`.
+    pub fn with_config(
+        protocol: P,
+        n: usize,
+        rng: R,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
         if n < 2 {
             return Err(EngineError::PopulationTooSmall { n });
         }
-        let mut sim = Self::empty(protocol, rng);
+        let mut sim = Self::empty(protocol, rng, config);
         let init = sim.protocol.initial_state();
         let id = sim.intern(init) as usize;
         sim.add_agents(id, n as u64);
@@ -193,7 +173,22 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
         counts: impl IntoIterator<Item = (P::State, u64)>,
         rng: R,
     ) -> Result<Self, EngineError> {
-        let mut sim = Self::empty(protocol, rng);
+        Self::from_counts_with_config(protocol, counts, rng, EngineConfig::default())
+    }
+
+    /// Creates a count simulation from explicit state counts with explicit
+    /// tier-heuristic tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::PopulationTooSmall`] when counts sum to < 2.
+    pub fn from_counts_with_config(
+        protocol: P,
+        counts: impl IntoIterator<Item = (P::State, u64)>,
+        rng: R,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        let mut sim = Self::empty(protocol, rng, config);
         for (state, count) in counts {
             if count == 0 {
                 continue;
@@ -207,7 +202,8 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
         Ok(sim)
     }
 
-    fn empty(protocol: P, rng: R) -> Self {
+    fn empty(protocol: P, rng: R, config: EngineConfig) -> Self {
+        let tiers = TierController::new(config);
         Self {
             protocol,
             rng,
@@ -218,8 +214,8 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
             leader_output: None,
             support: 0,
             sampler: SumTreeSampler::new(0),
-            pairs: PairCache::new(compiled::MAX_COMPILED_STATES),
-            jump: JumpState::new(),
+            pairs: PairCache::new(tiers.config.max_compiled_states),
+            tiers,
             n: 0,
             steps: 0,
         }
@@ -236,9 +232,14 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
 
     fn intern(&mut self, state: P::State) -> u32 {
         if let Some(&id) = self.ids.get(&state) {
-            return id;
+            if id != DEAD_ID {
+                return id;
+            }
+            // Seen before, slot reclaimed: allocate a fresh slot below
+            // without recounting it in distinct_states_seen.
         }
         let id = self.states.len() as u32;
+        debug_assert_ne!(id, DEAD_ID, "live id space exhausted");
         let output = self.protocol.output(&state);
         self.leader_flags
             .push(i8::from(self.leader_output.as_ref() == Some(&output)));
@@ -251,15 +252,38 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
         id
     }
 
+    /// The engine's tier configuration (fixed at construction).
+    pub fn config(&self) -> &EngineConfig {
+        &self.tiers.config
+    }
+
+    /// The execution tier the batched drivers are currently dispatching to.
+    pub fn active_tier(&self) -> EngineTier {
+        if self.tiers.jump.engaged {
+            EngineTier::Jump
+        } else if self.tiers.batch.engaged {
+            EngineTier::Batch
+        } else if self.pairs.is_active() {
+            EngineTier::Compiled
+        } else {
+            EngineTier::Reference
+        }
+    }
+
     /// Enables or disables the compiled pair-transition cache.
     ///
     /// Both settings execute the **same** Markov chain with the **same** RNG
     /// stream — the cache consumes no randomness — so executions are
     /// bit-identical either way; disabling only removes the fast path (every
-    /// step then hashes, clones, and calls [`Protocol::transition`]). The
-    /// cache also disables itself automatically once the protocol has
-    /// interned more than [`compiled::MAX_COMPILED_STATES`] states, since the
-    /// dense pair table grows quadratically in the states seen.
+    /// step then hashes, clones, and calls [`Protocol::transition`]). Past
+    /// [`EngineConfig::max_compiled_states`] interned states the cache
+    /// *saturates* — higher ids fall back to per-encounter transitions until
+    /// compaction frees ids — instead of deactivating.
+    ///
+    /// Disabling the cache also shuts down the jump scheduler and the batch
+    /// tier's heuristic engagement (both read compiled knowledge), which is
+    /// what keeps the uncached path bit-identical to the per-step reference
+    /// execution.
     pub fn set_compiled_cache(&mut self, enabled: bool) {
         if enabled {
             self.pairs.reactivate();
@@ -267,12 +291,11 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
             self.reseed_jump_ledger();
         } else {
             self.pairs.deactivate();
-            // The jump scheduler reads null knowledge from compiled entries;
-            // without the cache it has nothing to telescope, and staying off
-            // is what keeps the uncached path bit-identical to the per-step
-            // reference execution.
-            self.jump.engaged = false;
-            self.jump.ledger.clear();
+            self.tiers.jump.engaged = false;
+            self.tiers.jump.ledger.clear();
+            if !self.tiers.batch.forced {
+                self.tiers.batch.engaged = false;
+            }
         }
     }
 
@@ -288,10 +311,11 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
     /// scheduler on and off are not bit-identical (the equivalence suite
     /// pins the law instead). It engages itself only when the compiled
     /// cache is active and probes show null pairs carrying at least
-    /// `1 − 1/8` of the scheduler weight, and disengages under hysteresis,
-    /// so protocols without a null-dominated regime never pay for it.
-    /// Disabling it (or disabling the compiled cache, which it requires)
-    /// restores the bit-exact per-step execution.
+    /// `1 − 1/jump_engage_factor` of the scheduler weight (default `7/8`,
+    /// see [`EngineConfig`]), and disengages under hysteresis, so protocols
+    /// without a null-dominated regime never pay for it. Disabling it (or
+    /// disabling the compiled cache, which it requires) restores the
+    /// bit-exact per-step execution.
     ///
     /// Populations are capped at `2^32 − 1` agents: the scheduler's exact
     /// integer pair arithmetic needs `n(n−1)` to fit a `u64`, so beyond the
@@ -302,30 +326,75 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
     /// [`run_until_single_leader`](Self::run_until_single_leader));
     /// single-[`step`](Self::step) calls always execute per-step.
     pub fn set_jump_scheduler(&mut self, enabled: bool) {
-        self.jump.enabled = enabled;
-        self.jump.engaged = false;
-        self.jump.forced = false;
-        self.jump.ledger.clear();
+        let jump = &mut self.tiers.jump;
+        jump.enabled = enabled;
+        jump.engaged = false;
+        jump.forced = false;
+        jump.ledger.clear();
         if enabled {
             self.reseed_jump_ledger();
-            self.jump.probe_at = self.steps;
+            self.tiers.review_at = self.steps;
+        }
+    }
+
+    /// Enables or disables the **batch tier** (on by default): collision-free
+    /// hypergeometric rounds that apply `Θ(√n)` interactions in bulk (see
+    /// [`crate::batch`] for the construction and the exactness argument).
+    ///
+    /// Like the jump scheduler, the batch tier is distribution-exact but
+    /// consumes the RNG stream differently, so it is equal in law — not
+    /// bit-identical — to per-step execution. It engages itself only when
+    /// the compiled cache is active, the population is at least
+    /// [`EngineConfig::batch_min_population`], and the live support is small
+    /// against the expected `Θ(√n)` round length (see
+    /// [`EngineConfig::batch_support_divisor`]); the jump scheduler, when
+    /// engaged, takes priority (a null-dominated configuration telescopes in
+    /// `O(1)` per episode, which no round can beat).
+    ///
+    /// Populations share the jump scheduler's `2^32 − 1` cap: the collision
+    /// round's exact integer category weights are bounded by `n(n−1)`,
+    /// which must fit a `u64`, so beyond the cap the heuristics never
+    /// engage and execution stays per-step.
+    pub fn set_batch_tier(&mut self, enabled: bool) {
+        let batch = &mut self.tiers.batch;
+        batch.enabled = enabled;
+        batch.engaged = false;
+        batch.forced = false;
+        if enabled {
+            self.tiers.review_at = self.steps;
         }
     }
 
     /// Whether the jump scheduler is enabled (not necessarily engaged).
     pub fn jump_scheduler_enabled(&self) -> bool {
-        self.jump.enabled
+        self.tiers.jump.enabled
     }
 
     /// Whether the jump scheduler is currently engaged (probes found a
     /// null-dominated configuration and episodes are telescoping).
     pub fn jump_engaged(&self) -> bool {
-        self.jump.engaged
+        self.tiers.jump.engaged
     }
 
     /// Episode/skip counters of the jump scheduler.
     pub fn jump_stats(&self) -> JumpStats {
-        self.jump.stats
+        self.tiers.jump.stats
+    }
+
+    /// Whether the batch tier is enabled (not necessarily engaged).
+    pub fn batch_tier_enabled(&self) -> bool {
+        self.tiers.batch.enabled
+    }
+
+    /// Whether the batch tier is currently engaged (reviews found a
+    /// small-support configuration and rounds are running in bulk).
+    pub fn batch_engaged(&self) -> bool {
+        self.tiers.batch.engaged
+    }
+
+    /// Round/interaction counters of the batch tier.
+    pub fn batch_stats(&self) -> BatchStats {
+        self.tiers.batch.stats
     }
 
     /// Test hook: engages the jump scheduler immediately and pins it on,
@@ -340,7 +409,7 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
     #[doc(hidden)]
     pub fn force_jump_mode(&mut self) {
         assert!(
-            self.jump.enabled && self.pairs.is_active(),
+            self.tiers.jump.enabled && self.pairs.is_active(),
             "jump scheduler requires the compiled cache and the enabled toggle"
         );
         assert!(
@@ -350,9 +419,38 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
         // Unconditional rebuild: the ledger may be stale without being dirty
         // (per-step chunks since the last probe change counts but register
         // no new nulls), and episodes trust its weights exactly.
-        self.jump.ledger.rebuild(self.sampler.weights());
-        self.jump.engaged = true;
-        self.jump.forced = true;
+        self.tiers.jump.ledger.rebuild(self.sampler.weights());
+        self.tiers.jump.engaged = true;
+        self.tiers.jump.forced = true;
+    }
+
+    /// Test hook: engages the batch tier immediately and pins it on,
+    /// bypassing the engage/exit heuristics (small populations included).
+    /// Disables the jump scheduler, which would otherwise preempt batch
+    /// dispatch in its null-dominated regime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch tier is disabled, or if the population exceeds
+    /// the tier's `2^32 − 1` cap (see
+    /// [`set_batch_tier`](Self::set_batch_tier)).
+    #[doc(hidden)]
+    pub fn force_batch_mode(&mut self) {
+        assert!(
+            self.tiers.batch.enabled,
+            "batch tier requires the enabled toggle"
+        );
+        assert!(
+            self.n <= tier::BATCH_MAX_POPULATION,
+            "batch tier requires n(n-1) to fit u64"
+        );
+        let jump = &mut self.tiers.jump;
+        jump.enabled = false;
+        jump.engaged = false;
+        jump.forced = false;
+        jump.ledger.clear();
+        self.tiers.batch.engaged = true;
+        self.tiers.batch.forced = true;
     }
 
     /// Test hook: executes one per-step interaction (never jumping) and
@@ -366,9 +464,9 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
             unreachable!("population has >= 2 agents");
         };
         self.steps += 1;
-        if self.jump.engaged {
+        if self.tiers.jump.engaged {
             // Same staleness hazard as in `step`.
-            self.jump.ledger.mark_dirty();
+            self.tiers.jump.ledger.mark_dirty();
         }
         let (changed, _) = self.apply_pair(s, t);
         (s, t, changed)
@@ -382,12 +480,13 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
     }
 
     /// Re-seeds the ledger's known-null set from already-compiled entries
-    /// (after the scheduler or the cache is re-enabled mid-run).
+    /// (after the scheduler or the cache is re-enabled mid-run, or after
+    /// compaction remapped the id space).
     fn reseed_jump_ledger(&mut self) {
-        if !self.jump.enabled || !self.pairs.is_active() {
+        if !self.tiers.jump.enabled || !self.pairs.is_active() {
             return;
         }
-        let ledger = &mut self.jump.ledger;
+        let ledger = &mut self.tiers.jump.ledger;
         self.pairs.for_each_filled(|s, t, entry| {
             if compiled::unpack(entry).3 {
                 ledger.register(s, t);
@@ -396,7 +495,7 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
     }
 
     /// The compiled pair-transition cache (inspection only): activity,
-    /// compiled-pair count, and table footprint.
+    /// saturation, compiled-pair count, and table footprint.
     pub fn pair_cache(&self) -> &PairCache {
         &self.pairs
     }
@@ -423,8 +522,10 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
 
     /// Number of **distinct states the execution has ever visited** —
     /// the empirical "states used" measure reported in Table 1 experiments.
+    /// Exact across compactions: reclaimed states stay in the seen-state
+    /// map, so revisiting one does not recount it.
     pub fn distinct_states_seen(&self) -> usize {
-        self.states.len()
+        self.ids.len()
     }
 
     /// Number of distinct states currently occupied by at least one agent.
@@ -438,6 +539,7 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
     pub fn count_of(&self, state: &P::State) -> u64 {
         self.ids
             .get(state)
+            .filter(|&&id| id != DEAD_ID)
             .map(|&id| self.sampler.weights()[id as usize])
             .unwrap_or(0)
     }
@@ -472,12 +574,13 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
     }
 
     /// Compiles the transition of the ordered pair `(s, t)`: runs the real
-    /// [`Protocol::transition`], interns the successors, and (when the cache
-    /// is active — interning can deactivate it) stores the packed entry for
-    /// every later encounter.
+    /// [`Protocol::transition`], interns the successors, and (when the entry
+    /// is representable — the cache can be saturated) stores the packed
+    /// entry for every later encounter.
     ///
     /// This is the **only** place the protocol's transition is evaluated;
-    /// when the cache is disabled it simply runs once per step.
+    /// when the cache is disabled or saturated past the pair's ids it simply
+    /// runs once per encounter.
     ///
     /// Marked cold and never-inlined: with the cache active this is off the
     /// steady-state path, and keeping its hashing/interning machinery out
@@ -493,35 +596,34 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
             - self.leader_flags[s]
             - self.leader_flags[t];
         let null = a == s && b == t;
-        if self.pairs.is_active() {
-            // An active cache bounds ids by MAX_COMPILED_STATES, so they
-            // always fit the packed entry's id fields.
-            self.pairs.set(s, t, compiled::pack(a, b, delta, null));
-            if null && self.jump.enabled {
-                // Feed the jump scheduler's known-null set as pairs compile;
-                // weights stay stale (dirty) until the next probe/episode.
-                self.jump.ledger.register(s, t);
-            }
-        } else if self.jump.engaged || !self.jump.ledger.is_empty() {
-            // Interning just deactivated the cache: without compiled entries
-            // the scheduler has no null knowledge to extend, so it shuts
-            // down and execution continues on the uncached per-step path.
-            self.jump.engaged = false;
-            self.jump.ledger.clear();
+        // Feed the jump scheduler's known-null set as pairs compile (only
+        // stored pairs: the ledger must stay a subset of the cache so
+        // reseeding after compaction reconstructs it); weights stay stale
+        // (dirty) until the next probe/episode.
+        if self.pairs.store(s, t, a, b, delta, null) && null && self.tiers.jump.enabled {
+            self.tiers.jump.ledger.register(s, t);
         }
         (a, b, delta, null)
+    }
+
+    /// The compiled effect of the ordered pair `(s, t)` — `(a, b,
+    /// leader_delta, is_null)` — compiling on a cache miss. Does **not**
+    /// move agents (the batch tier applies effects to its urns instead).
+    #[inline]
+    fn pair_effect(&mut self, s: usize, t: usize) -> (usize, usize, i8, bool) {
+        let entry = self.pairs.get(s, t);
+        if entry == compiled::EMPTY {
+            self.compile_pair(s, t)
+        } else {
+            compiled::unpack(entry)
+        }
     }
 
     /// Applies the interaction of the ordered pair `(s, t)` and returns
     /// `(changed, leader_delta)`.
     #[inline]
     fn apply_pair(&mut self, s: usize, t: usize) -> (bool, i8) {
-        let entry = self.pairs.get(s, t);
-        let (a, b, delta, null) = if entry == compiled::EMPTY {
-            self.compile_pair(s, t)
-        } else {
-            compiled::unpack(entry)
-        };
+        let (a, b, delta, null) = self.pair_effect(s, t);
         // Self-transfers fall out of the lockstep walk for free, so no
         // branching on which side changed.
         self.move_agent(s, a);
@@ -544,8 +646,8 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
         // Per-step execution mutates counts behind the jump scheduler's
         // back; a stale ledger would make the next episode sample against
         // wrong weights, so force a rebuild at its next sync.
-        if self.jump.engaged {
-            self.jump.ledger.mark_dirty();
+        if self.tiers.jump.engaged {
+            self.tiers.jump.ledger.mark_dirty();
         }
         self.apply_pair(s, t).0
     }
@@ -608,38 +710,133 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
         done
     }
 
-    /// The engagement-probe interval while the jump scheduler is
-    /// disengaged: short enough to catch small populations entering their
-    /// null-dominated phase within a run, and scaled with the ledger size so
-    /// the `O(m)` rebuild each probe performs stays a vanishing fraction of
-    /// the per-step work between probes.
-    fn jump_probe_interval(&self) -> u64 {
+    /// The tier-review interval: short enough to catch small populations
+    /// entering a null-dominated or small-support phase within a run, and
+    /// scaled with the ledger size so the `O(m)` rebuild a jump probe
+    /// performs stays a vanishing fraction of the work between reviews.
+    fn review_interval(&self) -> u64 {
         self.n
             .min(CONVERGENCE_BATCH)
-            .max(4 * self.jump.ledger.len() as u64)
+            .max(4 * self.tiers.jump.ledger.len() as u64)
     }
 
-    /// Engagement probe, run at batch boundaries of the batched drivers:
-    /// rebuilds the ledger's weights against the current counts and engages
-    /// the jump scheduler when known-null pairs carry at least
-    /// `1 − 1/JUMP_ENGAGE_FACTOR` of the total scheduler weight.
-    fn maybe_probe_jump(&mut self) {
-        if self.jump.engaged || self.steps < self.jump.probe_at {
+    /// Tier review, run at batch boundaries of the batched drivers:
+    /// compacts the id space when enough dead ids accumulated, probes jump
+    /// engagement against the current null weights, and applies the batch
+    /// tier's engage/disengage heuristics.
+    fn review_tiers(&mut self) {
+        if self.steps < self.tiers.review_at {
             return;
         }
-        self.jump.probe_at = self.steps + self.jump_probe_interval();
-        if !self.jump.enabled || !self.pairs.is_active() || self.jump.ledger.is_empty() {
+        self.tiers.review_at = self.steps + self.review_interval();
+        if self.compaction_due() {
+            self.compact_states();
+        }
+        self.probe_jump();
+        self.review_batch();
+    }
+
+    /// Whether enough permanently-dead ids accumulated to warrant a
+    /// compaction pass. The threshold scales with the live support so small
+    /// protocols compact early (shrinking the sampler tree and pair table)
+    /// while state-unbounded protocols compact in `O(support)`-sized
+    /// amortized slices; pinned jump mode skips compaction because forced
+    /// episodes trust ledger ids across calls.
+    fn compaction_due(&self) -> bool {
+        if !self.tiers.config.compaction || self.tiers.jump.forced {
+            return false;
+        }
+        let dead = (self.states.len() - self.support) as u64;
+        self.states.len() >= 64 && dead >= 48.max((self.support as u64).min(1024))
+    }
+
+    /// Renumbers live states 0.. in descending-count order, shrinking the
+    /// sampler tree to the live support, remapping the pair cache, and
+    /// demoting dead states to seen-only map entries. Consumes no
+    /// randomness and depends only on the counts, so cached and uncached
+    /// twins compact identically and stay bit-identical.
+    fn compact_states(&mut self) {
+        let weights = self.sampler.weights();
+        let mut live: Vec<u32> = (0..self.states.len() as u32)
+            .filter(|&i| weights[i as usize] > 0)
+            .collect();
+        // Largest counts first: a saturated cache then covers the heavy
+        // states, and the sampler tree's hot descents shorten.
+        live.sort_unstable_by_key(|&i| (std::cmp::Reverse(weights[i as usize]), i));
+        let mut map = vec![DEAD_ID; self.states.len()];
+        for (new, &old) in live.iter().enumerate() {
+            map[old as usize] = new as u32;
+        }
+        let mut new_states = Vec::with_capacity(live.len());
+        let mut new_outputs = Vec::with_capacity(live.len());
+        let mut new_flags = Vec::with_capacity(live.len());
+        let mut new_weights = Vec::with_capacity(live.len());
+        for &old in &live {
+            let o = old as usize;
+            new_states.push(self.states[o].clone());
+            new_outputs.push(self.outputs[o].clone());
+            new_flags.push(self.leader_flags[o]);
+            new_weights.push(weights[o]);
+        }
+        for id in self.ids.values_mut() {
+            if *id != DEAD_ID {
+                *id = map[*id as usize];
+            }
+        }
+        debug_assert_eq!(self.support, live.len());
+        self.states = new_states;
+        self.outputs = new_outputs;
+        self.leader_flags = new_flags;
+        self.sampler = SumTreeSampler::from_weights(&new_weights).expect("population is non-empty");
+        self.pairs.compact(&map, live.len());
+        self.pairs.ensure_states(self.states.len());
+        // Ledger ids are stale: drop and reseed from the compacted cache.
+        // Engagement re-probes immediately (the caller reviews jump next).
+        self.tiers.jump.ledger.clear();
+        self.tiers.jump.engaged = false;
+        self.reseed_jump_ledger();
+    }
+
+    /// Jump engagement probe: rebuilds the ledger's weights against the
+    /// current counts and engages when known-null pairs carry at least
+    /// `1 − 1/jump_engage_factor` of the total scheduler weight.
+    fn probe_jump(&mut self) {
+        let jump = &self.tiers.jump;
+        if jump.engaged || !jump.enabled || !self.pairs.is_active() || jump.ledger.is_empty() {
             return;
         }
         if self.n > u64::from(u32::MAX) {
             // W_total = n(n−1) must fit u64 for exact integer pair sampling.
             return;
         }
-        self.jump.ledger.rebuild(self.sampler.weights());
+        self.tiers.jump.ledger.rebuild(self.sampler.weights());
         let w_total = self.n * (self.n - 1);
-        let w_active = w_total - self.jump.ledger.w_null();
-        if w_active.saturating_mul(JUMP_ENGAGE_FACTOR) <= w_total {
-            self.jump.engaged = true;
+        let w_active = w_total - self.tiers.jump.ledger.w_null();
+        if w_active.saturating_mul(self.tiers.config.jump_engage_factor) <= w_total {
+            self.tiers.jump.engaged = true;
+        }
+    }
+
+    /// Batch engage/disengage heuristics (see
+    /// [`EngineConfig::batch_support_divisor`]); the jump scheduler, when
+    /// engaged, preempts batch in dispatch regardless of this flag.
+    fn review_batch(&mut self) {
+        let config = self.tiers.config;
+        let batch = &mut self.tiers.batch;
+        if batch.forced {
+            batch.engaged = true;
+            return;
+        }
+        if !batch.enabled || !self.pairs.is_active() {
+            batch.engaged = false;
+            return;
+        }
+        if batch.engaged {
+            if tier::batch_exits(self.support, self.n, &config) {
+                batch.engaged = false;
+            }
+        } else if tier::batch_engages(self.support, self.n, &config) {
+            batch.engaged = true;
         }
     }
 
@@ -653,15 +850,15 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
     /// configuration untouched by construction.
     fn jump_episode(&mut self, max: u64) -> (u64, i8) {
         debug_assert!(max > 0);
-        self.jump.ledger.sync(self.sampler.weights());
+        self.tiers.jump.ledger.sync(self.sampler.weights());
         let w_total = self.n * (self.n - 1);
-        let w_null = self.jump.ledger.w_null();
+        let w_null = self.tiers.jump.ledger.w_null();
         let w_active = w_total - w_null;
         if w_active == 0 {
             // Every realizable ordered pair is known-null: the configuration
             // is silent and the remaining budget telescopes away whole.
             self.steps += max;
-            self.jump.stats.skipped += max;
+            self.tiers.jump.stats.skipped += max;
             return (max, 0);
         }
         let skip = if w_null == 0 {
@@ -674,63 +871,179 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
         };
         if skip >= max {
             self.steps += max;
-            self.jump.stats.skipped += max;
+            self.tiers.jump.stats.skipped += max;
             return (max, 0);
         }
-        self.jump.stats.skipped += skip;
-        self.jump.stats.episodes += 1;
+        self.tiers.jump.stats.skipped += skip;
+        self.tiers.jump.stats.episodes += 1;
         self.steps += skip + 1;
         let u = self.rng.below(w_active);
         let (s, t) = self
+            .tiers
             .jump
             .ledger
             .sample_active(self.sampler.weights(), self.n, u);
-        let entry = self.pairs.get(s, t);
-        let (a, b, delta, null) = if entry == compiled::EMPTY {
-            self.compile_pair(s, t)
-        } else {
-            compiled::unpack(entry)
-        };
+        let (a, b, delta, null) = self.pair_effect(s, t);
         self.move_agent(s, a);
         self.move_agent(t, b);
         // Resync the null weights of pairs touching the states whose counts
         // changed (idempotent per state, so shared pairs need no dedup). A
         // dirty ledger — compile_pair discovered a fresh null — rebuilds on
-        // the next episode instead; and if compile_pair just deactivated the
-        // cache the ledger is empty and these are no-ops.
-        if !null && !self.jump.ledger.is_dirty() {
-            let Self { jump, sampler, .. } = self;
+        // the next episode instead.
+        if !null && !self.tiers.jump.ledger.is_dirty() {
+            let Self { tiers, sampler, .. } = self;
             let counts = sampler.weights();
-            jump.ledger.on_count_change(s, counts);
-            jump.ledger.on_count_change(a, counts);
-            jump.ledger.on_count_change(t, counts);
-            jump.ledger.on_count_change(b, counts);
+            tiers.jump.ledger.on_count_change(s, counts);
+            tiers.jump.ledger.on_count_change(a, counts);
+            tiers.jump.ledger.on_count_change(t, counts);
+            tiers.jump.ledger.on_count_change(b, counts);
         }
-        if !self.jump.forced && self.jump.engaged {
-            let w_active_now = w_total - self.jump.ledger.w_null();
-            if w_active_now.saturating_mul(JUMP_EXIT_FACTOR) > w_total {
-                self.jump.engaged = false;
-                self.jump.probe_at = self.steps + self.jump_probe_interval();
+        if !self.tiers.jump.forced && self.tiers.jump.engaged {
+            let w_active_now = w_total - self.tiers.jump.ledger.w_null();
+            if w_active_now.saturating_mul(self.tiers.config.jump_exit_factor) > w_total {
+                self.tiers.jump.engaged = false;
+                self.tiers.review_at = self.steps + self.review_interval();
             }
         }
         (skip + 1, delta)
     }
 
+    /// Executes one batch round (see [`crate::batch`]): samples the maximal
+    /// collision-free prefix (capped at `max`, which must be positive),
+    /// applies it in bulk from the two-urn decomposition, and executes the
+    /// terminating collision interaction individually when it falls inside
+    /// the budget. Returns `(consumed, hit)`; with `leaders` supplied the
+    /// running count is maintained exactly, and a round that could touch a
+    /// count of 1 is resolved by the exact shuffled walk, stopping (and
+    /// discarding the unexecuted tail) at the precise hitting step.
+    fn batch_episode(&mut self, max: u64, mut leaders: Option<&mut i64>) -> (u64, bool) {
+        debug_assert!(max > 0);
+        let (bulk, collide) = batch::collision_free_prefix(&mut self.rng, self.n, max);
+        let mut scratch = std::mem::take(&mut self.tiers.batch.scratch);
+        scratch.begin(self.sampler.weights());
+        scratch.draw_multiset(&mut self.rng, bulk, false);
+        scratch.draw_multiset(&mut self.rng, bulk, true);
+        // Pairing: a uniformly permuted responder sequence against the
+        // initiators realizes the uniformly random matching.
+        self.rng.shuffle(&mut scratch.resp_seq);
+        // The leader count can touch 1 inside the round only within ±2 per
+        // interaction of its entry value; rounds that provably cannot skip
+        // the walk and apply pure bulk deltas.
+        let walk = leaders
+            .as_deref()
+            .is_some_and(|&l| (l - 1).unsigned_abs() <= 2 * bulk);
+        if walk {
+            // Both sequences uniformly permuted makes the round's pair
+            // sequence a uniformly random interleaving — the conditional law
+            // of the true process given the drawn multisets.
+            self.rng.shuffle(&mut scratch.init_seq);
+            self.tiers.batch.stats.exact_walks += 1;
+        }
+        let mut executed = 0u64;
+        let mut hit = false;
+        for i in 0..bulk as usize {
+            let s = scratch.init_seq[i] as usize;
+            let t = scratch.resp_seq[i] as usize;
+            let (a, b, delta, _) = self.pair_effect(s, t);
+            scratch.ensure_states(self.states.len());
+            scratch.add_used(a);
+            scratch.add_used(b);
+            executed += 1;
+            if let Some(l) = leaders.as_deref_mut() {
+                *l += i64::from(delta);
+                if walk && delta != 0 && *l == 1 {
+                    hit = true;
+                    // Return the reserved-but-unexecuted tail to the fresh
+                    // urn; those agents never interacted.
+                    for j in i + 1..bulk as usize {
+                        let init = scratch.init_seq[j] as usize;
+                        scratch.return_fresh(init);
+                        let resp = scratch.resp_seq[j] as usize;
+                        scratch.return_fresh(resp);
+                    }
+                    break;
+                }
+            }
+        }
+        let mut consumed = executed;
+        if collide && !hit {
+            // The terminating interaction touches at least one used agent.
+            // Used agents are exchangeable given their counts, so the
+            // participants are drawn from exact integer category weights
+            // over (used, fresh) ordered pairs, excluding fresh-fresh.
+            debug_assert_eq!(executed, bulk);
+            let used = scratch.used_total;
+            let fresh = scratch.fresh_total;
+            let w_uu = used * (used - 1);
+            let w_uf = used * fresh;
+            let pick = self.rng.below(w_uu + 2 * w_uf);
+            let (iu, ru) = if pick < w_uu {
+                (true, true)
+            } else if pick < w_uu + w_uf {
+                (true, false)
+            } else {
+                (false, true)
+            };
+            let s = scratch.draw_one(&mut self.rng, iu);
+            let t = scratch.draw_one(&mut self.rng, ru);
+            let (a, b, delta, _) = self.pair_effect(s, t);
+            scratch.ensure_states(self.states.len());
+            scratch.add_used(a);
+            scratch.add_used(b);
+            consumed += 1;
+            self.tiers.batch.stats.collision_interactions += 1;
+            if let Some(l) = leaders {
+                *l += i64::from(delta);
+                hit = *l == 1 && delta != 0;
+            }
+        }
+        // Merge the urns back into the sampler counts.
+        let states = self.states.len();
+        scratch.ensure_states(states);
+        for id in 0..states {
+            let new = scratch.fresh[id] + scratch.used[id];
+            let old = self.sampler.weights()[id];
+            if new != old {
+                self.sampler
+                    .add(id, new as i64 - old as i64)
+                    .expect("slot exists");
+                self.support = self.support + usize::from(old == 0) - usize::from(new == 0);
+            }
+        }
+        self.steps += consumed;
+        let stats = &mut self.tiers.batch.stats;
+        stats.episodes += 1;
+        stats.bulk_interactions += executed;
+        self.tiers.batch.scratch = scratch;
+        // Counts changed wholesale behind the jump ledger's back.
+        if !self.tiers.jump.ledger.is_empty() {
+            self.tiers.jump.ledger.mark_dirty();
+        }
+        (consumed, hit)
+    }
+
     /// Executes exactly `steps` interactions.
     ///
-    /// Rides the jump scheduler whenever it is engaged (see
-    /// [`set_jump_scheduler`](Self::set_jump_scheduler)); otherwise runs the
-    /// compiled per-step chunks, probing for engagement at batch boundaries.
+    /// Dispatches through the tier controller: jump episodes wherever the
+    /// scheduler is engaged, batch rounds wherever the batch tier is, and
+    /// compiled per-step chunks otherwise, with tier reviews at batch
+    /// boundaries (see the module docs for the tier taxonomy).
     pub fn run(&mut self, steps: u64) {
         let mut remaining = steps;
         while remaining > 0 {
-            if self.jump.engaged {
+            self.review_tiers();
+            if self.tiers.jump.engaged {
                 let (consumed, _) = self.jump_episode(remaining);
                 remaining -= consumed;
                 continue;
             }
+            if self.tiers.batch.engaged {
+                let (consumed, _) = self.batch_episode(remaining, None);
+                remaining -= consumed;
+                continue;
+            }
             let window = remaining
-                .min(self.jump.probe_at.saturating_sub(self.steps))
+                .min(self.tiers.review_at.saturating_sub(self.steps))
                 .max(1);
             let mut left = window;
             while left > 0 {
@@ -742,7 +1055,6 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
                 left -= did;
             }
             remaining -= window;
-            self.maybe_probe_jump();
         }
     }
 
@@ -880,7 +1192,10 @@ impl<P: LeaderElection, R: Rng64> CountSimulation<P, R> {
     /// The leader count is maintained from the cached `leader_delta` of each
     /// compiled pair — two integer ops per step — and the step-budget check
     /// runs once per batch, not once per step. The returned step count is
-    /// still exact: the count is checked at every step that changes it.
+    /// still exact on every tier: per-step chunks check at each step that
+    /// changes the count, jump episodes report their one executed
+    /// interaction's delta, and batch rounds that could touch a count of 1
+    /// resolve through the exact shuffled walk.
     pub fn run_until_single_leader(&mut self, max_steps: u64) -> RunOutcome {
         self.prime_role_tracking();
         let mut leaders = self.leader_count() as i64;
@@ -897,7 +1212,8 @@ impl<P: LeaderElection, R: Rng64> CountSimulation<P, R> {
                     converged: false,
                 };
             }
-            if self.jump.engaged {
+            self.review_tiers();
+            if self.tiers.jump.engaged {
                 // Null interactions cannot change the leader count, so the
                 // telescoped run needs no bookkeeping; the episode's one
                 // executed interaction reports its cached delta and the step
@@ -906,9 +1222,16 @@ impl<P: LeaderElection, R: Rng64> CountSimulation<P, R> {
                 leaders += i64::from(delta);
                 continue;
             }
+            if self.tiers.batch.engaged {
+                let (_, hit) = self.batch_episode(max_steps - self.steps, Some(&mut leaders));
+                debug_assert_eq!(hit, leaders == 1);
+                // Sampled invariant check: once per round, not per step.
+                debug_assert_eq!(leaders, self.leader_count() as i64);
+                continue;
+            }
             let burst = CONVERGENCE_BATCH
                 .min(max_steps - self.steps)
-                .min(self.jump.probe_at.saturating_sub(self.steps))
+                .min(self.tiers.review_at.saturating_sub(self.steps))
                 .max(1);
             if self.leader_chunk(burst, &mut leaders) {
                 return RunOutcome {
@@ -918,7 +1241,6 @@ impl<P: LeaderElection, R: Rng64> CountSimulation<P, R> {
             }
             // Sampled invariant check: once per batch, not per step.
             debug_assert_eq!(leaders, self.leader_count() as i64);
-            self.maybe_probe_jump();
         }
     }
 }
@@ -1112,11 +1434,13 @@ mod tests {
 
     #[test]
     fn cached_and_uncached_convergence_steps_agree() {
-        // Bit-exact comparison, so the jump scheduler (which consumes the
-        // RNG stream differently) stays off on the cached side; its own
-        // equivalence-in-law suite lives in tests/jump_equivalence.rs.
+        // Bit-exact comparison, so the jump scheduler and batch tier (which
+        // consume the RNG stream differently) stay off on the cached side;
+        // their own equivalence-in-law suites live in
+        // tests/jump_equivalence.rs and tests/batch_equivalence.rs.
         let mut cached = CountSimulation::new(Frat, 200, rng(11)).unwrap();
         cached.set_jump_scheduler(false);
+        cached.set_batch_tier(false);
         let mut reference = CountSimulation::new(Frat, 200, rng(11)).unwrap();
         reference.set_compiled_cache(false);
         let a = cached.run_until_single_leader(u64::MAX);
@@ -1126,13 +1450,13 @@ mod tests {
     }
 
     #[test]
-    fn cache_deactivates_on_state_explosion_and_stays_exact() {
+    fn cache_saturates_on_state_explosion_and_stays_exact() {
         // Counter interns a fresh state on (almost) every interaction, so a
-        // long run blows past MAX_COMPILED_STATES and must fall back — with
-        // no behavioral difference vs. an uncached twin.
-        // With n = 2 each step increments one of two agents, so the max
-        // value (= distinct states − 1) is at least steps/2: the state
-        // count provably exceeds the cap.
+        // long per-step run blows past the addressable-id cap. The cache
+        // must *saturate* (stay active, stop covering new ids) with no
+        // behavioral difference vs. an uncached twin. Single steps never
+        // compact (reviews run only in the batched drivers), so the interned
+        // count genuinely exceeds the cap here.
         let mut cached = CountSimulation::new(Counter, 2, rng(12)).unwrap();
         let mut reference = CountSimulation::new(Counter, 2, rng(12)).unwrap();
         reference.set_compiled_cache(false);
@@ -1140,8 +1464,52 @@ mod tests {
         for _ in 0..steps {
             assert_eq!(cached.step(), reference.step());
         }
-        assert!(!cached.pair_cache().is_active());
+        assert!(cached.pair_cache().is_active(), "saturation, not a cliff");
+        assert!(cached
+            .pair_cache()
+            .is_saturated(cached.distinct_states_seen()));
         assert_eq!(cached.state_counts(), reference.state_counts());
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_ids_in_batched_runs() {
+        // Driven through run(), tier reviews compact the id space: the live
+        // slot count stays bounded while distinct_states_seen keeps exact
+        // count of everything ever interned.
+        let mut sim = CountSimulation::new(Counter, 2, rng(13)).unwrap();
+        sim.run(20_000);
+        assert!(sim.distinct_states_seen() > 4096, "interning kept counting");
+        assert!(
+            sim.raw_counts().len() < 256,
+            "live slots were not reclaimed: {}",
+            sim.raw_counts().len()
+        );
+        assert!(sim.pair_cache().is_active());
+        assert!(!sim.pair_cache().is_saturated(sim.raw_counts().len()));
+        let total: u64 = sim.state_counts().values().sum();
+        assert_eq!(total, 2);
+        assert_eq!(sim.steps(), 20_000);
+    }
+
+    #[test]
+    fn compaction_preserves_bit_identical_cached_uncached_twins() {
+        // Compaction consumes no randomness and depends only on counts, so
+        // cached and uncached twins must stay in lockstep across it.
+        let mut cached = CountSimulation::new(Counter, 2, rng(14)).unwrap();
+        cached.set_jump_scheduler(false);
+        cached.set_batch_tier(false);
+        let mut reference = CountSimulation::new(Counter, 2, rng(14)).unwrap();
+        reference.set_compiled_cache(false);
+        for _ in 0..64 {
+            cached.run(300);
+            reference.run(300);
+            assert_eq!(cached.state_counts(), reference.state_counts());
+            assert_eq!(
+                cached.distinct_states_seen(),
+                reference.distinct_states_seen()
+            );
+            assert_eq!(cached.support_size(), reference.support_size());
+        }
     }
 
     #[test]
@@ -1173,5 +1541,103 @@ mod tests {
         assert!(sim.pair_cache().compiled_pairs() <= 4);
         assert!(sim.pair_cache().compiled_pairs() >= 1);
         assert!(sim.pair_cache().table_bytes() > 0);
+    }
+
+    #[test]
+    fn batch_rounds_conserve_population_and_step_budgets() {
+        let mut sim = CountSimulation::new(Frat, 256, rng(16)).unwrap();
+        sim.force_batch_mode();
+        for chunk in [1u64, 7, 64, 1000, 4096] {
+            let before = sim.steps();
+            sim.run(chunk);
+            assert_eq!(sim.steps(), before + chunk);
+            let total: u64 = sim.state_counts().values().sum();
+            assert_eq!(total, 256);
+            assert_eq!(sim.support_size(), sim.state_counts().len());
+        }
+        let stats = sim.batch_stats();
+        assert!(stats.episodes > 0);
+        assert!(stats.bulk_interactions > 0);
+        assert_eq!(
+            stats.bulk_interactions + stats.collision_interactions,
+            sim.steps()
+        );
+    }
+
+    #[test]
+    fn batch_convergence_is_exact_to_single_leader() {
+        for seed in 0..8 {
+            let mut sim = CountSimulation::new(Frat, 128, rng(100 + seed)).unwrap();
+            sim.force_batch_mode();
+            let out = sim.run_until_single_leader(u64::MAX);
+            assert!(out.converged);
+            assert_eq!(sim.leader_count(), 1);
+            assert_eq!(sim.steps(), out.steps);
+            assert!(sim.batch_stats().exact_walks > 0, "tail must walk");
+        }
+    }
+
+    #[test]
+    fn batch_engages_heuristically_on_large_small_support_populations() {
+        let mut sim = CountSimulation::new(Frat, 1 << 14, rng(17)).unwrap();
+        assert_eq!(sim.active_tier(), EngineTier::Compiled);
+        sim.run(1 << 12);
+        // Fratricide's support is 2 ≪ √n: batch engages at the first review
+        // (until the null fraction crosses the jump threshold much later).
+        assert!(sim.batch_engaged());
+        assert!(matches!(
+            sim.active_tier(),
+            EngineTier::Batch | EngineTier::Jump
+        ));
+        assert!(sim.batch_stats().episodes > 0);
+    }
+
+    #[test]
+    fn batch_never_engages_below_population_floor() {
+        let mut sim = CountSimulation::new(Frat, 200, rng(18)).unwrap();
+        sim.run(50_000);
+        assert_eq!(sim.batch_stats().episodes, 0);
+        assert!(!sim.batch_engaged());
+    }
+
+    #[test]
+    fn config_is_validated_and_tunable() {
+        let config = EngineConfig {
+            max_compiled_states: usize::MAX,
+            batch_min_population: 0,
+            ..EngineConfig::default()
+        };
+        let sim = CountSimulation::with_config(Frat, 64, rng(19), config).unwrap();
+        assert_eq!(
+            sim.config().max_compiled_states,
+            compiled::MAX_COMPILED_STATES
+        );
+        assert_eq!(sim.config().batch_min_population, 2);
+        // A lowered population floor lets batch engage at n = 64.
+        let mut sim = CountSimulation::with_config(
+            Frat,
+            64,
+            rng(20),
+            EngineConfig {
+                batch_min_population: 2,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        sim.run(4096);
+        assert!(sim.batch_stats().episodes > 0, "floor tuned away");
+    }
+
+    #[test]
+    fn disabling_batch_tier_disengages() {
+        let mut sim = CountSimulation::new(Frat, 1 << 14, rng(21)).unwrap();
+        sim.run(1 << 12);
+        assert!(sim.batch_engaged());
+        sim.set_batch_tier(false);
+        assert!(!sim.batch_engaged());
+        assert!(!sim.batch_tier_enabled());
+        let before = sim.batch_stats().episodes;
+        sim.run(1 << 12);
+        assert_eq!(sim.batch_stats().episodes, before);
     }
 }

@@ -52,11 +52,15 @@
 //! is located inside the row after dividing out `c_s`. Both scans are exact
 //! integer arithmetic; no floating point touches the pair selection.
 //!
-//! The engine engages the scheduler only when skipping pays: probes at batch
-//! boundaries rebuild the ledger and compare `W_active · 8 ≤ W_total`
-//! (expected skip ≥ 8 interactions per episode), with hysteresis on exit.
-//! See [`CountSimulation::set_jump_scheduler`](crate::CountSimulation::set_jump_scheduler)
-//! for the engine-level contract.
+//! The engine engages the scheduler only when skipping pays: tier reviews
+//! rebuild the ledger and compare
+//! `W_active · jump_engage_factor ≤ W_total` (default factor 8, i.e. an
+//! expected skip of ≥ 8 interactions per episode), with hysteresis on exit —
+//! both factors are [`EngineConfig`](crate::EngineConfig) fields. See
+//! [`CountSimulation::set_jump_scheduler`](crate::CountSimulation::set_jump_scheduler)
+//! for the engine-level contract; an engaged scheduler preempts the batch
+//! tier in dispatch, since a null-dominated configuration telescopes in
+//! `O(1)` per episode.
 
 /// The known-null pair set with scheduler weights: membership, per-pair and
 /// total weight, per-state adjacency, and exact active-pair sampling.

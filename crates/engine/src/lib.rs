@@ -21,15 +21,18 @@
 //!   [`RoundRobinScheduler`] (deterministic adversarial-ish sweep).
 //! * [`Simulation`] — the per-agent reference engine; `O(1)` per interaction.
 //! * [`CountSimulation`] — an *exact* count-based engine that interns states
-//!   and samples interactions from per-state counts (Fenwick tree); it also
-//!   measures how many distinct states an execution actually visits, which is
-//!   the "number of states" column of the paper's Table 1. Its steady-state
-//!   step is hash-free: a [compiled pair-transition cache](compiled) plus
-//!   fused pair sampling make each interaction a table lookup and two tree
-//!   descents (see the [`count_engine` docs](CountSimulation)); on top, a
-//!   null-skipping jump scheduler telescopes runs of null interactions into
-//!   single geometric draws wherever they dominate, making `Θ(n²)`-step
-//!   election tails at `n = 2^28`–`2^30` seconds-scale.
+//!   and samples interactions from per-state counts; it also measures how
+//!   many distinct states an execution actually visits, which is the
+//!   "number of states" column of the paper's Table 1. It dispatches across
+//!   **four execution tiers** (see the [`tier` docs](EngineTier) and the
+//!   [`count_engine` docs](CountSimulation)): the uncached reference path,
+//!   the hash-free [compiled](compiled) per-step path, a null-skipping jump
+//!   scheduler that telescopes runs of null interactions into single
+//!   geometric draws wherever they dominate (making `Θ(n²)`-step election
+//!   tails at `n = 2^28`–`2^30` seconds-scale), and a collision-free
+//!   hypergeometric **batch** tier that applies `Θ(√n)`-interaction rounds
+//!   in bulk for any null density. Tier heuristics are tunable through
+//!   [`EngineConfig`].
 //! * [`epidemic`] — the one-way epidemic process of \[AAE08\], the workhorse of
 //!   every O(log n) bound in the paper (its Lemma 2).
 //!
@@ -67,6 +70,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod batch;
 pub mod compiled;
 mod config;
 mod count_engine;
@@ -76,16 +80,19 @@ mod error;
 mod jump;
 mod protocol;
 mod scheduler;
+mod tier;
 mod trace;
 
+pub use batch::BatchStats;
 pub use config::Configuration;
-pub use count_engine::{CountSimulation, JumpStats};
+pub use count_engine::CountSimulation;
 pub use engine::{RunOutcome, Simulation};
 pub use error::EngineError;
 pub use protocol::{check_symmetry, LeaderElection, Protocol, Role};
 pub use scheduler::{
     Interaction, ReplayScheduler, RoundRobinScheduler, Scheduler, UniformScheduler,
 };
+pub use tier::{EngineConfig, EngineTier, JumpStats};
 pub use trace::Trace;
 
 /// How many interactions run between hoisted checks (step budget, sampled

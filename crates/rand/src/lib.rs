@@ -18,6 +18,13 @@
 //! * the [`Rng64`] trait with unbiased bounded sampling
 //!   ([`Rng64::below`], Lemire's method), fair coins, unit-interval doubles,
 //!   geometric sampling, and distinct-pair sampling for interaction schedules,
+//! * discrete distributions for batch simulation: [`Hypergeometric`]
+//!   (inverse-CDF / HRUA) — the per-class draw behind the count engine's
+//!   collision-free interaction batches — and its with-replacement sibling
+//!   [`Binomial`] (inverse-CDF / BTRD), plus
+//!   [`multivariate_hypergeometric`], the reference implementation of the
+//!   conditional decomposition (the engine inlines an order-optimized copy;
+//!   the two are pinned draw-for-draw equivalent by its tests),
 //! * weighted samplers: [`FenwickSampler`] (dynamic weights, `O(log k)`
 //!   updates and draws), [`SumTreeSampler`] (same queries on a complete
 //!   binary sum tree whose fixed-depth branch-free walks feed the count
@@ -40,7 +47,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod binomial;
 mod geometric;
+mod hypergeom;
+mod lnfact;
 mod pcg;
 mod rng;
 mod seq;
@@ -49,7 +59,9 @@ mod sumtree;
 mod weighted;
 mod xoshiro;
 
+pub use binomial::Binomial;
 pub use geometric::Geometric;
+pub use hypergeom::{multivariate_hypergeometric, Hypergeometric};
 pub use pcg::Pcg32;
 pub use rng::Rng64;
 pub use seq::SeedSequence;

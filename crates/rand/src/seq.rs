@@ -1,6 +1,6 @@
 //! Reproducible derivation of per-run seeds from one master seed.
 
-use crate::SplitMix64;
+use crate::{SplitMix64, Xoshiro256PlusPlus};
 
 /// A deterministic sequence of well-mixed 64-bit seeds.
 ///
@@ -51,6 +51,13 @@ impl SeedSequence {
         s
     }
 
+    /// A ready simulation RNG for run `index`: the
+    /// `Xoshiro256PlusPlus::seed_from_u64(seq.seed_at(i))` pattern every
+    /// sweep and equivalence suite repeats, as one call.
+    pub fn rng_at(&self, index: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(self.seed_at(index))
+    }
+
     /// Derives a named sub-sequence, e.g. one per experiment, that is
     /// independent of this sequence's cursor.
     pub fn derive(&self, label: u64) -> SeedSequence {
@@ -88,6 +95,17 @@ mod tests {
         let b = SeedSequence::new(2);
         let overlap = (0..100).filter(|&i| a.seed_at(i) == b.seed_at(i)).count();
         assert_eq!(overlap, 0);
+    }
+
+    #[test]
+    fn rng_at_matches_manual_seeding() {
+        use crate::Rng64;
+        let seq = SeedSequence::new(11);
+        let mut direct = seq.rng_at(4);
+        let mut manual = Xoshiro256PlusPlus::seed_from_u64(seq.seed_at(4));
+        for _ in 0..8 {
+            assert_eq!(direct.next_u64(), manual.next_u64());
+        }
     }
 
     #[test]

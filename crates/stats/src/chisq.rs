@@ -1,10 +1,13 @@
 //! Pearson chi-square tests for comparing binned samples.
 //!
 //! Used by the engine-equivalence suites to pin different execution paths
-//! (per-agent, compiled count, jump-scheduled count) to the *same law*: the
-//! stabilization-time histograms of the paths form the rows of a
-//! contingency table, and the homogeneity statistic is compared against an
-//! asymptotic critical value.
+//! to the *same law*: the stabilization-time histograms of the paths form
+//! the rows of a contingency table, and the homogeneity statistic is
+//! compared against an asymptotic critical value. The suites grew with the
+//! engine — from the original three-way comparison (per-agent, compiled
+//! count, jump-scheduled count) to the four-tier comparison that adds the
+//! hypergeometric batch tier; [`chi_square_samples`] wraps the
+//! quantile-binning + homogeneity pipeline those k-way suites share.
 
 /// A computed chi-square homogeneity statistic with its degrees of freedom.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -151,6 +154,34 @@ pub fn quantile_bins(samples: &[&[f64]], bins: usize) -> Vec<Vec<u64>> {
         .collect()
 }
 
+/// One-call homogeneity test over raw (unbinned) samples: bins all samples
+/// into `bins` shared pooled-quantile bins (see [`quantile_bins`]) and
+/// returns the Pearson homogeneity statistic over the resulting `k × bins`
+/// contingency table.
+///
+/// This is the k-way engine-tier comparison as a single call — e.g. the
+/// 4-tier suite passes one stabilization-time sample per execution tier:
+///
+/// ```
+/// use pp_stats::chi_square_samples;
+///
+/// let a: Vec<f64> = (0..200).map(|i| (i % 40) as f64).collect();
+/// let b: Vec<f64> = (0..200).map(|i| ((i + 7) % 40) as f64).collect();
+/// let c = chi_square_samples(&[&a, &b], 5);
+/// assert!(c.accepts(0.001), "same law must be accepted");
+/// ```
+///
+/// # Panics
+///
+/// Panics if fewer than two samples are given, any sample is empty, or
+/// `bins < 2` (propagated from [`quantile_bins`] /
+/// [`chi_square_homogeneity`]).
+pub fn chi_square_samples(samples: &[&[f64]], bins: usize) -> ChiSquare {
+    let hists = quantile_bins(samples, bins);
+    let rows: Vec<&[u64]> = hists.iter().map(|h| h.as_slice()).collect();
+    chi_square_homogeneity(&rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,5 +261,28 @@ mod tests {
     #[should_panic(expected = "at least two samples")]
     fn rejects_single_sample() {
         chi_square_homogeneity(&[&[1, 2]]);
+    }
+
+    #[test]
+    fn samples_wrapper_matches_manual_pipeline() {
+        let a: Vec<f64> = (0..300).map(|i| (i % 60) as f64).collect();
+        let b: Vec<f64> = (0..300).map(|i| ((i * 7) % 60) as f64).collect();
+        let c: Vec<f64> = (0..300).map(|i| ((i * 11) % 60) as f64).collect();
+        let d: Vec<f64> = (0..300).map(|i| ((i * 13) % 60) as f64).collect();
+        let direct = chi_square_samples(&[&a, &b, &c, &d], 6);
+        let hists = quantile_bins(&[&a, &b, &c, &d], 6);
+        let manual = chi_square_homogeneity(&[&hists[0], &hists[1], &hists[2], &hists[3]]);
+        assert_eq!(direct.statistic, manual.statistic);
+        assert_eq!(direct.df, manual.df);
+        // Four samples of the same discrete-uniform law are homogeneous.
+        assert!(direct.accepts(0.001));
+    }
+
+    #[test]
+    fn samples_wrapper_detects_a_diverging_tier() {
+        let same: Vec<f64> = (0..400).map(|i| (i % 50) as f64).collect();
+        let shifted: Vec<f64> = (0..400).map(|i| (i % 50) as f64 + 30.0).collect();
+        let c = chi_square_samples(&[&same, &same.clone(), &shifted], 5);
+        assert!(!c.accepts(0.001), "a shifted law must be rejected");
     }
 }

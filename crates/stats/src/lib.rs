@@ -30,7 +30,9 @@ mod table;
 pub mod theory;
 
 pub use binomial::{wilson95, wilson_interval};
-pub use chisq::{chi_square_critical, chi_square_homogeneity, quantile_bins, ChiSquare};
+pub use chisq::{
+    chi_square_critical, chi_square_homogeneity, chi_square_samples, quantile_bins, ChiSquare,
+};
 pub use histogram::Histogram;
 pub use regression::{fit_against, fit_log2, fit_power_law, LinearFit};
 pub use summary::Summary;
