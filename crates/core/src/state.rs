@@ -258,6 +258,25 @@ impl Default for PllState {
     }
 }
 
+/// Snapshot codec: a `P_LL` state is persisted as its packed word.
+///
+/// [`decode`](pp_engine::SnapshotState::decode) validates the status and
+/// variant tags before unpacking ([`PllState::unpack`] panics on unknown
+/// tags, which a codec for untrusted bytes must never do).
+impl pp_engine::SnapshotState for PllState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.pack().encode(out);
+    }
+
+    fn decode(bytes: &mut &[u8]) -> Option<Self> {
+        let word = u64::decode(bytes)?;
+        if (word >> 1) & 0b11 == 0b11 || (word >> 11) & 0b111 > 4 {
+            return None;
+        }
+        Some(Self::unpack(word))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +354,19 @@ mod tests {
         assert_eq!(Status::A.to_string(), "A");
         assert_eq!(Status::B.to_string(), "B");
     }
+
+    #[test]
+    fn snapshot_decode_rejects_invalid_tags() {
+        use pp_engine::SnapshotState;
+        // Status tag 3 and variant tag 5 have no meaning; `unpack` would
+        // panic on them, `decode` must reject them instead.
+        for word in [0b11u64 << 1, 0b101u64 << 11] {
+            let mut buf = Vec::new();
+            word.encode(&mut buf);
+            assert_eq!(PllState::decode(&mut &buf[..]), None);
+        }
+        assert_eq!(PllState::decode(&mut &[0u8; 4][..]), None, "truncated");
+    }
 }
 
 #[cfg(test)]
@@ -376,6 +408,16 @@ mod proptests {
         #[test]
         fn pack_unpack_roundtrip(s in arb_state()) {
             prop_assert_eq!(PllState::unpack(s.pack()), s);
+        }
+
+        #[test]
+        fn snapshot_codec_roundtrip(s in arb_state()) {
+            use pp_engine::SnapshotState;
+            let mut buf = Vec::new();
+            s.encode(&mut buf);
+            let mut cursor = &buf[..];
+            prop_assert_eq!(PllState::decode(&mut cursor), Some(s));
+            prop_assert!(cursor.is_empty());
         }
 
         #[test]

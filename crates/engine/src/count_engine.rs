@@ -67,9 +67,10 @@
 
 use crate::batch::{self, BatchStats};
 use crate::compiled::{self, PairCache};
+use crate::snapshot::{self, SnapshotError, SnapshotReader, SnapshotState, SnapshotWriter};
 use crate::tier::{self, EngineConfig, EngineTier, JumpStats, TierController};
 use crate::{EngineError, LeaderElection, Protocol, Role, RunOutcome, CONVERGENCE_BATCH};
-use pp_rand::{Geometric, Rng64, SumTreeSampler, Xoshiro256PlusPlus};
+use pp_rand::{Geometric, Rng64, RngSnapshot, SumTreeSampler, Xoshiro256PlusPlus};
 use std::collections::HashMap;
 
 /// Sentinel id in the seen-state map for states that were interned at some
@@ -1245,6 +1246,290 @@ impl<P: LeaderElection, R: Rng64> CountSimulation<P, R> {
     }
 }
 
+impl<P, R> CountSimulation<P, R>
+where
+    P: Protocol,
+    P::State: SnapshotState,
+    R: Rng64 + RngSnapshot,
+{
+    /// Serializes the complete mid-election execution into the versioned
+    /// binary snapshot format of [`crate::snapshot`].
+    ///
+    /// The snapshot is a **transparent pause**: feeding the bytes to
+    /// [`resume`](Self::resume) between two driver calls yields a simulation
+    /// whose remaining trajectory is *bit-identical* — same RNG draws, same
+    /// interactions at the same step counts, same configurations — to the
+    /// original continuing without the pause, on every tier. (It does not
+    /// make `run(a); run(b)` bit-identical to `run(a + b)` on the jump/batch
+    /// tiers; those were never bit-identical, because a budget cap can
+    /// truncate an episode and discard its draws. The pause preserves
+    /// whatever call segmentation the caller uses.)
+    ///
+    /// Equal executions produce byte-identical snapshots: everything
+    /// iteration-order-sensitive (the seen-state map) is serialized in a
+    /// canonical order.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+
+        w.begin_section(snapshot::TAG_CONFIG);
+        let c = &self.tiers.config;
+        w.put_u64(c.max_compiled_states as u64);
+        w.put_u64(c.jump_engage_factor);
+        w.put_u64(c.jump_exit_factor);
+        w.put_u64(c.batch_support_divisor);
+        w.put_u64(c.batch_min_population);
+        w.put_bool(c.compaction);
+        w.end_section();
+
+        w.begin_section(snapshot::TAG_POPULATION);
+        w.put_u64(self.n);
+        w.put_u64(self.steps);
+        w.put_u64(self.tiers.review_at);
+        w.put_u64(self.states.len() as u64);
+        let weights = self.sampler.weights();
+        for (slot, state) in self.states.iter().enumerate() {
+            // Zero-weight live slots are serialized too: compiled entries
+            // reference them by id, so slot order is trajectory state.
+            w.put_state(state);
+            w.put_u64(weights[slot]);
+        }
+        // Dead (seen-only) states sorted by encoding: the map's iteration
+        // order is nondeterministic, and equal executions must snapshot to
+        // equal bytes.
+        let mut dead: Vec<Vec<u8>> = self
+            .ids
+            .iter()
+            .filter(|&(_, &id)| id == DEAD_ID)
+            .map(|(state, _)| {
+                let mut buf = Vec::new();
+                state.encode(&mut buf);
+                buf
+            })
+            .collect();
+        dead.sort_unstable();
+        w.put_u64(dead.len() as u64);
+        for encoding in &dead {
+            w.put_raw(encoding);
+        }
+        w.end_section();
+
+        w.begin_section(snapshot::TAG_CACHE);
+        let (cache_active, shift, has_table) = self.pairs.snapshot_geometry();
+        w.put_bool(cache_active);
+        w.put_bool(has_table);
+        w.put_u32(shift);
+        w.put_u64(self.pairs.compiled_pairs() as u64);
+        self.pairs.for_each_filled(|s, t, entry| {
+            w.put_u16(s as u16);
+            w.put_u16(t as u16);
+            w.put_u32(entry);
+        });
+        w.end_section();
+
+        w.begin_section(snapshot::TAG_TIERS);
+        let jump = &self.tiers.jump;
+        w.put_bool(jump.enabled);
+        w.put_bool(jump.engaged);
+        w.put_bool(jump.forced);
+        w.put_u64(jump.stats.episodes);
+        w.put_u64(jump.stats.skipped);
+        let batch = &self.tiers.batch;
+        w.put_bool(batch.enabled);
+        w.put_bool(batch.engaged);
+        w.put_bool(batch.forced);
+        w.put_u64(batch.stats.episodes);
+        w.put_u64(batch.stats.bulk_interactions);
+        w.put_u64(batch.stats.collision_interactions);
+        w.put_u64(batch.stats.exact_walks);
+        w.end_section();
+
+        w.begin_section(snapshot::TAG_RNG);
+        let words = self.rng.export_state();
+        w.put_u64(words.len() as u64);
+        for word in words {
+            w.put_u64(word);
+        }
+        w.end_section();
+
+        w.finish()
+    }
+
+    /// Rebuilds a simulation from [`snapshot`](Self::snapshot) bytes,
+    /// resuming the execution under the bit-identical contract documented
+    /// there. `protocol` must be the same protocol (value, not just type)
+    /// the snapshot was taken with — transitions are recompiled on demand
+    /// from it, so a different protocol silently diverges.
+    ///
+    /// Role tracking resumes unprimed; the first
+    /// [`run_until_single_leader`](Self::run_until_single_leader) call
+    /// re-primes idempotently and retrofits every cached leader delta, so
+    /// convergence runs behave identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`SnapshotError`] — never panics — on truncated,
+    /// corrupted, wrong-magic, or future-version input, and on any decoded
+    /// state that is internally inconsistent (counts not summing to the
+    /// population, cache entries referencing unknown ids, duplicate states,
+    /// invalid RNG words).
+    pub fn resume(protocol: P, bytes: &[u8]) -> Result<Self, SnapshotError> {
+        use SnapshotError::Corrupt;
+        let mut r = SnapshotReader::open(bytes)?;
+
+        let mut sec = r.section(snapshot::TAG_CONFIG)?;
+        let config = EngineConfig {
+            max_compiled_states: usize::try_from(sec.get_u64()?)
+                .map_err(|_| Corrupt("compiled-state cap overflows usize"))?,
+            jump_engage_factor: sec.get_u64()?,
+            jump_exit_factor: sec.get_u64()?,
+            batch_support_divisor: sec.get_u64()?,
+            batch_min_population: sec.get_u64()?,
+            compaction: sec.get_bool()?,
+        };
+        sec.expect_end("config section has trailing bytes")?;
+
+        let mut sec = r.section(snapshot::TAG_POPULATION)?;
+        let n = sec.get_u64()?;
+        let steps = sec.get_u64()?;
+        let review_at = sec.get_u64()?;
+        let live = sec.get_u64()?;
+        if live == 0 || live >= u64::from(DEAD_ID) {
+            return Err(Corrupt("live state count out of range"));
+        }
+        let mut states = Vec::new();
+        let mut weights = Vec::new();
+        for _ in 0..live {
+            states.push(sec.get_state::<P::State>()?);
+            weights.push(sec.get_u64()?);
+        }
+        let dead_count = sec.get_u64()?;
+        let mut dead = Vec::new();
+        for _ in 0..dead_count {
+            dead.push(sec.get_state::<P::State>()?);
+        }
+        sec.expect_end("population section has trailing bytes")?;
+
+        let mut sec = r.section(snapshot::TAG_CACHE)?;
+        let cache_active = sec.get_bool()?;
+        let has_table = sec.get_bool()?;
+        let shift = sec.get_u32()?;
+        let entry_count = sec.get_u64()?;
+        let mut entries = Vec::new();
+        for _ in 0..entry_count {
+            entries.push((sec.get_u16()?, sec.get_u16()?, sec.get_u32()?));
+        }
+        sec.expect_end("cache section has trailing bytes")?;
+
+        let mut sec = r.section(snapshot::TAG_TIERS)?;
+        let jump_flags = (sec.get_bool()?, sec.get_bool()?, sec.get_bool()?);
+        let jump_stats = JumpStats {
+            episodes: sec.get_u64()?,
+            skipped: sec.get_u64()?,
+        };
+        let batch_flags = (sec.get_bool()?, sec.get_bool()?, sec.get_bool()?);
+        let batch_stats = BatchStats {
+            episodes: sec.get_u64()?,
+            bulk_interactions: sec.get_u64()?,
+            collision_interactions: sec.get_u64()?,
+            exact_walks: sec.get_u64()?,
+        };
+        sec.expect_end("tier section has trailing bytes")?;
+
+        let mut sec = r.section(snapshot::TAG_RNG)?;
+        let word_count = sec.get_u64()?;
+        let mut words = Vec::new();
+        for _ in 0..word_count {
+            words.push(sec.get_u64()?);
+        }
+        sec.expect_end("rng section has trailing bytes")?;
+        r.expect_end("trailing bytes after the last section")?;
+
+        // Cross-validation: the decoded pieces must describe one consistent
+        // simulation before anything executable is built from them.
+        if n < 2 {
+            return Err(Corrupt("population below 2"));
+        }
+        let total = weights
+            .iter()
+            .try_fold(0u64, |acc, &w| acc.checked_add(w))
+            .ok_or(Corrupt("count vector overflows"))?;
+        if total != n {
+            return Err(Corrupt("counts do not sum to the population"));
+        }
+        if (jump_flags.1 || batch_flags.1) && n > u64::from(u32::MAX) {
+            // Engaged fast tiers compute n(n−1) in u64.
+            return Err(Corrupt("fast tier engaged beyond its population cap"));
+        }
+        for &(s, t, entry) in &entries {
+            let (a, b, _, _) = compiled::unpack(entry);
+            if (s as usize).max(t as usize).max(a).max(b) >= states.len() {
+                return Err(Corrupt("pair-cache entry references an unknown state id"));
+            }
+        }
+
+        let mut tiers = TierController::new(config);
+        if tiers.config != config {
+            // The writer only serializes already-validated configs.
+            return Err(Corrupt("engine config outside its valid range"));
+        }
+        tiers.review_at = review_at;
+        (tiers.jump.enabled, tiers.jump.engaged, tiers.jump.forced) = jump_flags;
+        tiers.jump.stats = jump_stats;
+        (tiers.batch.enabled, tiers.batch.engaged, tiers.batch.forced) = batch_flags;
+        tiers.batch.stats = batch_stats;
+
+        let pairs = PairCache::restore(
+            config.max_compiled_states,
+            cache_active,
+            shift,
+            has_table,
+            &entries,
+        )
+        .ok_or(Corrupt("pair-cache table is inconsistent"))?;
+
+        let mut ids = HashMap::new();
+        for (slot, state) in states.iter().enumerate() {
+            if ids.insert(state.clone(), slot as u32).is_some() {
+                return Err(Corrupt("duplicate live state"));
+            }
+        }
+        for state in dead {
+            if ids.insert(state, DEAD_ID).is_some() {
+                return Err(Corrupt("duplicate seen state"));
+            }
+        }
+
+        let outputs: Vec<P::Output> = states.iter().map(|s| protocol.output(s)).collect();
+        let leader_flags = vec![0i8; states.len()];
+        let support = weights.iter().filter(|&&w| w > 0).count();
+        let sampler =
+            SumTreeSampler::from_weights(&weights).map_err(|_| Corrupt("empty count vector"))?;
+        let rng = R::import_state(&words).ok_or(Corrupt("invalid RNG state"))?;
+
+        let mut sim = Self {
+            protocol,
+            rng,
+            ids,
+            states,
+            outputs,
+            leader_flags,
+            leader_output: None,
+            support,
+            sampler,
+            pairs,
+            tiers,
+            n,
+            steps,
+        };
+        // The null ledger is recomputed state: reseed the pair set from the
+        // cache's null entries; the next probe/episode re-syncs the weights
+        // deterministically from the counts (registration order is erased by
+        // the ledger's sort-and-dedup rebuild).
+        sim.reseed_jump_ledger();
+        Ok(sim)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1639,5 +1924,157 @@ mod tests {
         let before = sim.batch_stats().episodes;
         sim.run(1 << 12);
         assert_eq!(sim.batch_stats().episodes, before);
+    }
+
+    /// Snapshots `sim`, resumes from the bytes, and drives the resumed copy
+    /// and an in-memory clone through identical segments: every observable
+    /// must match step-for-step (the transparent-pause contract).
+    fn assert_transparent_pause<P>(protocol: P, sim: &CountSimulation<P, Xoshiro256PlusPlus>)
+    where
+        P: Protocol + Clone,
+        P::State: SnapshotState,
+    {
+        let bytes = sim.snapshot();
+        let mut twin = sim.clone();
+        let mut resumed = CountSimulation::<P, Xoshiro256PlusPlus>::resume(protocol, &bytes)
+            .expect("own snapshot must resume");
+        assert_eq!(resumed.steps(), twin.steps());
+        assert_eq!(resumed.population(), twin.population());
+        assert_eq!(resumed.state_counts(), twin.state_counts());
+        assert_eq!(
+            resumed.snapshot(),
+            bytes,
+            "snapshotting a freshly resumed simulation must reproduce the bytes"
+        );
+        for &segment in &[509u64, 4096, 12_000] {
+            twin.run(segment);
+            resumed.run(segment);
+            assert_eq!(resumed.steps(), twin.steps(), "steps after +{segment}");
+            assert_eq!(
+                resumed.state_counts(),
+                twin.state_counts(),
+                "counts after +{segment}"
+            );
+            assert_eq!(
+                resumed.active_tier(),
+                twin.active_tier(),
+                "tier after +{segment}"
+            );
+        }
+        assert_eq!(resumed.distinct_states_seen(), twin.distinct_states_seen());
+    }
+
+    #[test]
+    fn snapshot_resume_is_transparent_on_compiled_tier() {
+        let mut sim = CountSimulation::new(Frat, 1 << 10, rng(22)).unwrap();
+        sim.run(500);
+        assert_eq!(sim.active_tier(), EngineTier::Compiled);
+        assert_transparent_pause(Frat, &sim);
+    }
+
+    #[test]
+    fn snapshot_resume_is_transparent_on_reference_tier() {
+        let mut sim = CountSimulation::new(Frat, 1 << 10, rng(23)).unwrap();
+        sim.set_compiled_cache(false);
+        sim.run(500);
+        assert_eq!(sim.active_tier(), EngineTier::Reference);
+        assert_transparent_pause(Frat, &sim);
+    }
+
+    #[test]
+    fn snapshot_resume_is_transparent_on_forced_jump_tier() {
+        let mut sim = CountSimulation::new(Frat, 1 << 10, rng(24)).unwrap();
+        sim.force_jump_mode();
+        sim.run(20_000);
+        assert_eq!(sim.active_tier(), EngineTier::Jump);
+        assert!(sim.jump_stats().skipped > 0);
+        assert_transparent_pause(Frat, &sim);
+    }
+
+    #[test]
+    fn snapshot_resume_is_transparent_on_forced_batch_tier() {
+        let mut sim = CountSimulation::new(Frat, 1 << 10, rng(25)).unwrap();
+        sim.force_batch_mode();
+        sim.run(20_000);
+        assert_eq!(sim.active_tier(), EngineTier::Batch);
+        assert!(sim.batch_stats().episodes > 0);
+        assert_transparent_pause(Frat, &sim);
+    }
+
+    #[test]
+    fn snapshot_resume_is_transparent_under_heuristic_tier_transitions() {
+        // Large-n Fratricide crosses Compiled → Batch/Jump on its own; pausing
+        // right after the transition must not disturb the remaining run.
+        let mut sim = CountSimulation::new(Frat, 1 << 14, rng(26)).unwrap();
+        sim.run(1 << 12);
+        assert!(sim.batch_engaged() || sim.jump_engaged());
+        assert_transparent_pause(Frat, &sim);
+    }
+
+    #[test]
+    fn snapshot_resume_preserves_leader_election_trajectory() {
+        let mut sim = CountSimulation::new(Frat, 1 << 10, rng(27)).unwrap();
+        // Pause mid-election: role tracking must re-prime on the resumed side.
+        let _ = sim.run_until_single_leader(2_000);
+        let mut twin = sim.clone();
+        let mut resumed =
+            CountSimulation::<Frat, Xoshiro256PlusPlus>::resume(Frat, &sim.snapshot())
+                .expect("own snapshot must resume");
+        let a = twin.run_until_single_leader(u64::MAX);
+        let b = resumed.run_until_single_leader(u64::MAX);
+        assert_eq!(a, b);
+        assert_eq!(twin.steps(), resumed.steps());
+        assert_eq!(twin.leader_count(), resumed.leader_count());
+        assert_eq!(twin.state_counts(), resumed.state_counts());
+    }
+
+    #[test]
+    fn snapshot_resume_roundtrips_dead_states() {
+        // Counter keeps interning fresh states while old ones die out, so a
+        // long run populates the seen-state map that the snapshot must carry.
+        let mut sim = CountSimulation::new(Counter, 16, rng(28)).unwrap();
+        sim.run(3_000);
+        assert!(
+            sim.distinct_states_seen() > sim.support_size(),
+            "test needs dead states to exercise the seen-state section"
+        );
+        assert_transparent_pause(Counter, &sim);
+    }
+
+    #[test]
+    fn resume_rejects_corrupt_bytes_without_panicking() {
+        let mut sim = CountSimulation::new(Frat, 128, rng(29)).unwrap();
+        sim.run(200);
+        let bytes = sim.snapshot();
+        for len in 0..bytes.len() {
+            assert!(
+                CountSimulation::<Frat, Xoshiro256PlusPlus>::resume(Frat, &bytes[..len]).is_err(),
+                "truncation to {len} bytes must be rejected"
+            );
+        }
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                CountSimulation::<Frat, Xoshiro256PlusPlus>::resume(Frat, &bad).is_err(),
+                "bit flip at offset {i} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_format_canary() {
+        // Golden hash of a fully deterministic snapshot. If this test fails,
+        // the on-disk format changed: bump `SNAPSHOT_VERSION` in snapshot.rs
+        // (old snapshots become unreadable by design) and re-pin the hash.
+        let mut sim = CountSimulation::new(Frat, 256, rng(42)).unwrap();
+        sim.run(1_000);
+        let hash = crate::snapshot::fnv1a64(&sim.snapshot());
+        const GOLDEN: u64 = 0x6f8f_fb5c_e0d0_47c4;
+        assert!(
+            hash == GOLDEN || crate::snapshot::SNAPSHOT_VERSION > 1,
+            "snapshot bytes changed under version 1 (hash {hash:#018x}); \
+             bump SNAPSHOT_VERSION and update GOLDEN"
+        );
     }
 }

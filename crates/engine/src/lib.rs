@@ -80,6 +80,7 @@ mod error;
 mod jump;
 mod protocol;
 mod scheduler;
+pub mod snapshot;
 mod tier;
 mod trace;
 
@@ -92,6 +93,7 @@ pub use protocol::{check_symmetry, LeaderElection, Protocol, Role};
 pub use scheduler::{
     Interaction, ReplayScheduler, RoundRobinScheduler, Scheduler, UniformScheduler,
 };
+pub use snapshot::{SnapshotError, SnapshotState, SNAPSHOT_VERSION};
 pub use tier::{EngineConfig, EngineTier, JumpStats};
 pub use trace::Trace;
 

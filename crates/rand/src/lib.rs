@@ -54,6 +54,7 @@ mod lnfact;
 mod pcg;
 mod rng;
 mod seq;
+mod snapshot;
 mod splitmix;
 mod sumtree;
 mod weighted;
@@ -65,6 +66,7 @@ pub use hypergeom::{multivariate_hypergeometric, Hypergeometric};
 pub use pcg::Pcg32;
 pub use rng::Rng64;
 pub use seq::SeedSequence;
+pub use snapshot::RngSnapshot;
 pub use splitmix::SplitMix64;
 pub use sumtree::{SumTreeSampler, TransferEffect};
 pub use weighted::{AliasTable, FenwickSampler, WeightedError};

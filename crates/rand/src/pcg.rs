@@ -44,6 +44,27 @@ impl Pcg32 {
         self.state = self.state.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
     }
 
+    /// Returns the current state as `[state, increment]` (for checkpointing
+    /// executions).
+    pub fn state(&self) -> [u64; 2] {
+        [self.state, self.inc]
+    }
+
+    /// Builds a generator from an explicit `[state, increment]` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the increment is even: the PCG LCG step requires an odd
+    /// increment (which [`new`](Self::new) guarantees by construction), so an
+    /// even one cannot have come from [`state`](Self::state).
+    pub fn from_state(state: [u64; 2]) -> Self {
+        assert!(state[1] & 1 == 1, "pcg32 increment must be odd");
+        Self {
+            state: state[0],
+            inc: state[1],
+        }
+    }
+
     /// Returns the next 32 random bits.
     pub fn next_u32_native(&mut self) -> u32 {
         let old = self.state;

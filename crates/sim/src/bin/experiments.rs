@@ -5,32 +5,64 @@
 //! experiments table1               # run one experiment (publication scale)
 //! experiments all --quick          # smoke-run everything
 //! experiments theorem1 --csv DIR   # also write CSV files into DIR
+//!
+//! # crash-recoverable sweeps (table1): journal progress, kill, resume
+//! experiments table1 --checkpoint-dir ck --max-sweep-jobs 40   # exit 2
+//! experiments table1 --checkpoint-dir ck --resume              # continues
 //! ```
 
-use pp_sim::{run_experiment, ExperimentOutput, EXPERIMENT_IDS};
+use pp_sim::{run_experiment_with, ExperimentCheckpoint, ExperimentOutput, EXPERIMENT_IDS};
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Exit code when a checkpointed run suspends with jobs still pending.
+const EXIT_SUSPENDED: u8 = 2;
 
 struct Args {
     ids: Vec<String>,
     quick: bool,
     csv_dir: Option<PathBuf>,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
+    max_sweep_jobs: Option<usize>,
+    snapshot_interval: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut ids = Vec::new();
     let mut quick = false;
     let mut csv_dir = None;
+    let mut checkpoint_dir = None;
+    let mut resume = false;
+    let mut max_sweep_jobs = None;
+    let mut snapshot_interval = None;
     let mut argv = std::env::args().skip(1);
+    let path_arg = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
+        argv.next()
+            .map(PathBuf::from)
+            .ok_or_else(|| format!("{flag} requires a directory argument"))
+    };
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--quick" => quick = true,
-            "--csv" => {
-                let dir = argv
+            "--csv" => csv_dir = Some(path_arg(&mut argv, "--csv")?),
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(path_arg(&mut argv, "--checkpoint-dir")?);
+            }
+            "--resume" => resume = true,
+            "--max-sweep-jobs" => {
+                let k = argv
                     .next()
-                    .ok_or_else(|| "--csv requires a directory argument".to_string())?;
-                csv_dir = Some(PathBuf::from(dir));
+                    .ok_or_else(|| "--max-sweep-jobs requires a count".to_string())?;
+                max_sweep_jobs = Some(k.parse().map_err(|_| format!("invalid job count `{k}`"))?);
+            }
+            "--snapshot-interval" => {
+                let s = argv
+                    .next()
+                    .ok_or_else(|| "--snapshot-interval requires a step count".to_string())?;
+                snapshot_interval =
+                    Some(s.parse().map_err(|_| format!("invalid step count `{s}`"))?);
             }
             "--help" | "-h" => {
                 ids.push("help".to_string());
@@ -44,15 +76,29 @@ fn parse_args() -> Result<Args, String> {
     if ids.is_empty() {
         ids.push("help".to_string());
     }
+    if checkpoint_dir.is_none()
+        && (resume || max_sweep_jobs.is_some() || snapshot_interval.is_some())
+    {
+        return Err(
+            "--resume / --max-sweep-jobs / --snapshot-interval require --checkpoint-dir"
+                .to_string(),
+        );
+    }
     Ok(Args {
         ids,
         quick,
         csv_dir,
+        checkpoint_dir,
+        resume,
+        max_sweep_jobs,
+        snapshot_interval,
     })
 }
 
 fn print_help() {
     println!("Usage: experiments <id>... [--quick] [--csv DIR]");
+    println!("                   [--checkpoint-dir DIR [--resume] [--max-sweep-jobs K]");
+    println!("                    [--snapshot-interval STEPS]]");
     println!();
     println!("Reproduces the tables and key lemmas of Sudo et al. (PODC 2019).");
     println!();
@@ -64,8 +110,18 @@ fn print_help() {
     }
     println!();
     println!("flags:");
-    println!("  --quick    smoke-test scale (seconds instead of minutes)");
-    println!("  --csv DIR  also write each table as CSV into DIR");
+    println!("  --quick                 smoke-test scale (seconds instead of minutes)");
+    println!("  --csv DIR               also write each table as CSV into DIR");
+    println!("  --checkpoint-dir DIR    journal sweep progress under DIR (table1 only);");
+    println!("                          a killed run resumes with --resume and produces");
+    println!("                          byte-identical output");
+    println!("  --resume                continue from an existing checkpoint directory");
+    println!("  --max-sweep-jobs K      suspend after K fresh sweep jobs (exit code 2);");
+    println!("                          resume later to finish");
+    println!("  --snapshot-interval S   also snapshot in-flight sweep jobs every S steps;");
+    println!("                          use the same S across runs (results are exact per");
+    println!("                          interval setting, and omitting it keeps checkpointed");
+    println!("                          runs bit-identical to uncheckpointed ones)");
 }
 
 fn write_csvs(output: &ExperimentOutput, dir: &PathBuf) -> std::io::Result<()> {
@@ -81,6 +137,29 @@ fn write_csvs(output: &ExperimentOutput, dir: &PathBuf) -> std::io::Result<()> {
         eprintln!("wrote {}", path.display());
     }
     Ok(())
+}
+
+/// Builds the checkpoint context, refusing to overwrite foreign progress: a
+/// non-empty checkpoint directory requires an explicit `--resume`.
+fn open_checkpoint(args: &Args) -> Result<Option<ExperimentCheckpoint>, String> {
+    let Some(dir) = &args.checkpoint_dir else {
+        return Ok(None);
+    };
+    let occupied = std::fs::read_dir(dir).map(|mut d| d.next().is_some());
+    if let Ok(true) = occupied {
+        if !args.resume {
+            return Err(format!(
+                "checkpoint directory {} already holds sweep progress; \
+                 pass --resume to continue it or remove the directory to start over",
+                dir.display()
+            ));
+        }
+    }
+    Ok(Some(ExperimentCheckpoint::new(
+        dir,
+        args.snapshot_interval,
+        args.max_sweep_jobs,
+    )))
 }
 
 fn main() -> ExitCode {
@@ -110,10 +189,18 @@ fn main() -> ExitCode {
         }
     }
 
+    let mut checkpoint = match open_checkpoint(&args) {
+        Ok(ckpt) => ckpt,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     for id in &ids {
         let started = std::time::Instant::now();
-        match run_experiment(id, args.quick) {
-            Ok(output) => {
+        match run_experiment_with(id, args.quick, checkpoint.as_mut()) {
+            Ok(Some(output)) => {
                 println!("{}", output.to_markdown());
                 eprintln!(
                     "[{}] finished in {:.1}s{}",
@@ -127,6 +214,15 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 }
+            }
+            Ok(None) => {
+                eprintln!(
+                    "[{}] suspended after the sweep-job budget in {:.1}s; \
+                     rerun with --checkpoint-dir ... --resume to continue",
+                    id,
+                    started.elapsed().as_secs_f64(),
+                );
+                return ExitCode::from(EXIT_SUSPENDED);
             }
             Err(e) => {
                 eprintln!("error: {e}");

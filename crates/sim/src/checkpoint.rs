@@ -1,0 +1,620 @@
+//! Crash-recoverable sweep shards: per-job journals plus mid-job engine
+//! snapshots.
+//!
+//! A checkpointed sweep records progress in a *journal* — a line-oriented
+//! text file listing every completed job with its exact result — and,
+//! optionally, periodic [`CountSimulation::snapshot`]s of jobs still in
+//! flight. Killing the process at any point loses at most the work since the
+//! last journal append / snapshot; rerunning the same sweep with the same
+//! checkpoint directory picks up where it left off.
+//!
+//! # Determinism contract
+//!
+//! A killed-then-resumed sweep aggregates into [`SweepPoint`]s that are
+//! **bit-identical** to an uninterrupted sweep with the same configuration:
+//! job results are journaled as exact `f64` bit patterns and re-aggregated in
+//! job-index order, so every mean, variance, and quantile string downstream
+//! comes out byte-for-byte equal.
+//!
+//! With `snapshot_interval: None` each job is driven by a single
+//! `run_until_single_leader` call — exactly like [`stabilization_sweep`] —
+//! so the checkpointed sweep equals the plain sweep bit-for-bit too. With
+//! `snapshot_interval: Some(i)` jobs are driven in segments that end at fixed
+//! absolute step multiples of `i`; segment boundaries are a function of the
+//! step counter alone, so a job resumed from a snapshot replays the same
+//! boundaries and stays bit-identical to the same job run without the kill
+//! *at the same interval*. (Engine tiers that cap step budgets discard
+//! in-flight draws at segment ends, so runs at *different* intervals agree
+//! in law but not bit-for-bit — compare like with like.)
+//!
+//! [`stabilization_sweep`]: crate::stabilization_sweep
+
+use crate::runner::{sweep_jobs, SweepPoint};
+use pp_engine::{CountSimulation, LeaderElection, SnapshotState};
+use pp_rand::Xoshiro256PlusPlus;
+use pp_stats::Summary;
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Journal file name inside a sweep's checkpoint directory.
+const JOURNAL_FILE: &str = "journal.txt";
+
+/// Journal header prefix; the version is part of the format.
+const HEADER_PREFIX: &str = "ppsweep v1";
+
+/// Where and how a sweep checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory holding this sweep's journal and in-flight job snapshots.
+    /// Created if absent. One directory per sweep — sweeps must not share.
+    pub dir: PathBuf,
+    /// Snapshot in-flight jobs every this many simulation steps (rounded to
+    /// the next absolute multiple). `None` journals only completed jobs,
+    /// which keeps the sweep bit-identical to the uncheckpointed one.
+    pub snapshot_interval: Option<u64>,
+    /// Stop after completing this many *fresh* (not journaled) jobs and
+    /// report [`SweepStatus::Suspended`]. `None` runs to completion. Used to
+    /// bound a shard's work — and by the tests to simulate crashes at
+    /// deterministic points.
+    pub job_limit: Option<usize>,
+}
+
+impl CheckpointConfig {
+    /// A config that journals completed jobs in `dir` with no mid-job
+    /// snapshots and no job limit.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            snapshot_interval: None,
+            job_limit: None,
+        }
+    }
+}
+
+/// Outcome of a checkpointed sweep invocation.
+#[derive(Debug)]
+pub enum SweepStatus {
+    /// Every job has a journaled result; `points` aggregates them in job
+    /// order, bit-identical to an uninterrupted sweep.
+    Complete {
+        /// One aggregated point per entry of `ns`, exactly as
+        /// [`crate::stabilization_sweep`] would return them.
+        points: Vec<SweepPoint>,
+        /// Jobs executed by *this* invocation (the rest came from the
+        /// journal).
+        fresh_jobs: usize,
+    },
+    /// The job limit was reached with jobs still pending; rerun with the
+    /// same checkpoint directory to continue.
+    Suspended {
+        /// Jobs executed by this invocation before suspending.
+        fresh_jobs: usize,
+    },
+}
+
+/// [`crate::stabilization_sweep`] with crash recovery: journals every
+/// completed job under `ckpt.dir` and resumes from whatever a previous
+/// invocation left there.
+///
+/// See the [module docs](self) for the determinism contract. The sweep
+/// parameters are fingerprinted into the journal header; reusing a
+/// checkpoint directory with different parameters is an error
+/// (`InvalidData`), not a silent wrong answer.
+///
+/// # Errors
+///
+/// Any journal / snapshot I/O error, or a journal whose fingerprint does not
+/// match the given parameters.
+pub fn stabilization_sweep_checkpointed<P, F>(
+    make: F,
+    ns: &[usize],
+    seeds: u64,
+    master_seed: u64,
+    max_steps: u64,
+    ckpt: &CheckpointConfig,
+) -> io::Result<SweepStatus>
+where
+    P: LeaderElection,
+    P::State: SnapshotState,
+    F: Fn(usize) -> P + Sync,
+{
+    let jobs = sweep_jobs(ns, seeds, master_seed);
+    let fp = fingerprint(ns, seeds, master_seed, max_steps);
+    std::fs::create_dir_all(&ckpt.dir)?;
+    let journal_path = ckpt.dir.join(JOURNAL_FILE);
+    let mut done = load_journal(&journal_path, fp, jobs.len())?;
+
+    let pending: Vec<usize> = (0..jobs.len()).filter(|i| !done.contains_key(i)).collect();
+    let budget = ckpt.job_limit.unwrap_or(usize::MAX).min(pending.len());
+    let to_run = &pending[..budget];
+
+    if !to_run.is_empty() {
+        let journal = Mutex::new(open_journal_for_append(&journal_path, fp)?);
+        let fresh = crate::parallel_map(to_run, |&i| {
+            let (n, seed) = jobs[i];
+            let snapshot_path = job_snapshot_path(&ckpt.dir, i);
+            let (converged, time) = run_job(
+                &make,
+                n,
+                seed,
+                max_steps,
+                ckpt.snapshot_interval,
+                &snapshot_path,
+            );
+            // Journal the result before discarding the snapshot, so a crash
+            // between the two at worst redoes a completed job.
+            {
+                let mut file = journal.lock().expect("journal writers do not panic");
+                writeln!(
+                    file,
+                    "done {i} {} {:016x}",
+                    u8::from(converged),
+                    time.to_bits()
+                )
+                .and_then(|()| file.flush())
+                .expect("journal append failed");
+            }
+            let _ = std::fs::remove_file(&snapshot_path);
+            (i, (converged, time))
+        });
+        done.extend(fresh);
+    }
+
+    if done.len() < jobs.len() {
+        return Ok(SweepStatus::Suspended {
+            fresh_jobs: to_run.len(),
+        });
+    }
+
+    // Aggregate by contiguous job range in job-index order — the exact
+    // traversal of the uncheckpointed sweep, so the summaries match it
+    // bit-for-bit no matter which jobs came from the journal.
+    let points = ns
+        .iter()
+        .enumerate()
+        .map(|(ni, &n)| {
+            let mut times = Summary::new();
+            let mut unconverged = 0;
+            for i in ni * seeds as usize..(ni + 1) * seeds as usize {
+                let (converged, t) = done[&i];
+                if converged {
+                    times.push(t);
+                } else {
+                    unconverged += 1;
+                }
+            }
+            SweepPoint {
+                n,
+                times,
+                unconverged,
+            }
+        })
+        .collect();
+    Ok(SweepStatus::Complete {
+        points,
+        fresh_jobs: to_run.len(),
+    })
+}
+
+/// Runs one sweep job, resuming from its snapshot file when a readable one
+/// exists and writing fresh snapshots at every interval boundary.
+fn run_job<P, F>(
+    make: &F,
+    n: usize,
+    seed: u64,
+    max_steps: u64,
+    interval: Option<u64>,
+    snapshot_path: &Path,
+) -> (bool, f64)
+where
+    P: LeaderElection,
+    P::State: SnapshotState,
+    F: Fn(usize) -> P,
+{
+    // An unreadable or corrupt snapshot degrades to restarting the job from
+    // its seed — same trajectory, just recomputed (segment boundaries are a
+    // function of the step counter, so the replay takes the same path).
+    let resumed = std::fs::read(snapshot_path)
+        .ok()
+        .and_then(|bytes| CountSimulation::resume(make(n), &bytes).ok());
+    let mut sim = resumed.unwrap_or_else(|| {
+        CountSimulation::new(make(n), n, Xoshiro256PlusPlus::seed_from_u64(seed))
+            .expect("population sizes are >= 2 by construction")
+    });
+
+    match interval {
+        None => {
+            let out = sim.run_until_single_leader(max_steps);
+            (out.converged, out.parallel_time(n))
+        }
+        Some(interval) => {
+            let interval = interval.max(1);
+            loop {
+                // Next absolute boundary strictly above the current step
+                // count — identical whether this job runs straight through
+                // or resumes from any snapshot.
+                let target = (sim.steps() / interval + 1)
+                    .saturating_mul(interval)
+                    .min(max_steps);
+                let out = sim.run_until_single_leader(target);
+                if out.converged || sim.steps() >= max_steps {
+                    return (out.converged, out.parallel_time(n));
+                }
+                write_atomically(snapshot_path, &sim.snapshot())
+                    .expect("job snapshot write failed");
+            }
+        }
+    }
+}
+
+/// The snapshot file of in-flight job `index`.
+fn job_snapshot_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("job_{index}.ckpt"))
+}
+
+/// Writes via a temporary file + rename so readers never observe a torn
+/// snapshot.
+fn write_atomically(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("ckpt.tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// FNV-1a 64 over the sweep parameters: the journal's compatibility check.
+fn fingerprint(ns: &[usize], seeds: u64, master_seed: u64, max_steps: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |word: u64| {
+        for b in word.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(ns.len() as u64);
+    for &n in ns {
+        eat(n as u64);
+    }
+    eat(seeds);
+    eat(master_seed);
+    eat(max_steps);
+    h
+}
+
+/// Parses the journal at `path` (missing file → empty). Checks the header
+/// fingerprint and tolerates exactly one trailing unparseable line (a record
+/// cut short by a crash mid-append).
+fn load_journal(path: &Path, fp: u64, job_count: usize) -> io::Result<HashMap<usize, (bool, f64)>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(HashMap::new()),
+        Err(e) => return Err(e),
+    };
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let lines: Vec<&str> = text.lines().collect();
+    let Some((&header, records)) = lines.split_first() else {
+        return Ok(HashMap::new());
+    };
+    let expected_header = format!("{HEADER_PREFIX} {fp:016x}");
+    if header != expected_header {
+        return Err(bad(format!(
+            "sweep journal {} does not match these sweep parameters \
+             (header `{header}`, expected `{expected_header}`); \
+             use a fresh checkpoint directory per sweep configuration",
+            path.display()
+        )));
+    }
+    let mut done = HashMap::new();
+    for (k, line) in records.iter().enumerate() {
+        match parse_record(line, job_count) {
+            Some((index, result)) => {
+                done.insert(index, result);
+            }
+            // Only the final record may be torn; anything else is corruption.
+            None if k + 1 == records.len() => {}
+            None => {
+                return Err(bad(format!(
+                    "corrupt sweep journal {}: unparseable record `{line}`",
+                    path.display()
+                )));
+            }
+        }
+    }
+    Ok(done)
+}
+
+/// Parses `done <index> <0|1> <f64-bits-hex>`; `None` on any malformation.
+fn parse_record(line: &str, job_count: usize) -> Option<(usize, (bool, f64))> {
+    let mut fields = line.split_ascii_whitespace();
+    if fields.next()? != "done" {
+        return None;
+    }
+    let index: usize = fields.next()?.parse().ok()?;
+    let converged = match fields.next()? {
+        "0" => false,
+        "1" => true,
+        _ => return None,
+    };
+    let bits_field = fields.next()?;
+    if bits_field.len() != 16 || fields.next().is_some() || index >= job_count {
+        return None;
+    }
+    let time = f64::from_bits(u64::from_str_radix(bits_field, 16).ok()?);
+    Some((index, (converged, time)))
+}
+
+/// Opens the journal for appending, writing the header first when the file
+/// is new or empty.
+fn open_journal_for_append(path: &Path, fp: u64) -> io::Result<std::fs::File> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    if file.metadata()?.len() == 0 {
+        writeln!(file, "{HEADER_PREFIX} {fp:016x}")?;
+        file.flush()?;
+    }
+    Ok(file)
+}
+
+/// Checkpoint context threaded through a multi-sweep experiment (each sweep
+/// gets a labeled subdirectory; the fresh-job budget is shared across them).
+#[derive(Debug)]
+pub struct ExperimentCheckpoint {
+    base: PathBuf,
+    snapshot_interval: Option<u64>,
+    budget: Option<usize>,
+}
+
+impl ExperimentCheckpoint {
+    /// Creates a context rooted at `base` with an optional mid-job snapshot
+    /// interval and an optional shared fresh-job budget.
+    pub fn new(
+        base: impl Into<PathBuf>,
+        snapshot_interval: Option<u64>,
+        budget: Option<usize>,
+    ) -> Self {
+        Self {
+            base: base.into(),
+            snapshot_interval,
+            budget,
+        }
+    }
+
+    /// The [`CheckpointConfig`] for the sweep labeled `label`, carrying
+    /// whatever fresh-job budget remains.
+    pub fn sweep_config(&self, label: &str) -> CheckpointConfig {
+        CheckpointConfig {
+            dir: self.base.join(label),
+            snapshot_interval: self.snapshot_interval,
+            job_limit: self.budget,
+        }
+    }
+
+    /// Deducts `fresh` completed jobs from the shared budget.
+    pub fn consume(&mut self, fresh: usize) {
+        if let Some(budget) = &mut self.budget {
+            *budget = budget.saturating_sub(fresh);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_protocols::Fratricide;
+
+    /// A unique scratch directory, removed on drop.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(name: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("ppsweep_test_{}_{name}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            Self(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn assert_points_bit_identical(a: &[SweepPoint], b: &[SweepPoint]) {
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.iter().zip(b) {
+            assert_eq!(pa.n, pb.n);
+            assert_eq!(pa.unconverged, pb.unconverged);
+            let (va, vb) = (pa.times.values(), pb.times.values());
+            assert_eq!(va.len(), vb.len());
+            for (x, y) in va.iter().zip(vb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "n = {}", pa.n);
+            }
+        }
+    }
+
+    #[test]
+    fn uninterrupted_checkpointed_sweep_matches_plain_sweep() {
+        let scratch = Scratch::new("plain_equiv");
+        let ns = [16usize, 32];
+        let plain = crate::stabilization_sweep(|_| Fratricide, &ns, 4, 11, u64::MAX);
+        let ckpt = CheckpointConfig::new(&scratch.0);
+        let status = stabilization_sweep_checkpointed(|_| Fratricide, &ns, 4, 11, u64::MAX, &ckpt)
+            .expect("sweep checkpoints");
+        let SweepStatus::Complete { points, fresh_jobs } = status else {
+            panic!("no job limit: sweep must complete");
+        };
+        assert_eq!(fresh_jobs, 8);
+        assert_points_bit_identical(&plain, &points);
+    }
+
+    #[test]
+    fn killed_and_resumed_sweep_is_bit_identical_to_clean() {
+        let scratch = Scratch::new("kill_resume");
+        let ns = [16usize, 24];
+        let (seeds, master) = (5u64, 77u64);
+        let plain = crate::stabilization_sweep(|_| Fratricide, &ns, seeds, master, u64::MAX);
+
+        // Crash after every 3 fresh jobs until the sweep completes.
+        let mut shard = CheckpointConfig::new(&scratch.0);
+        shard.job_limit = Some(3);
+        let mut rounds = 0;
+        let points = loop {
+            rounds += 1;
+            assert!(rounds < 20, "sweep failed to make progress");
+            match stabilization_sweep_checkpointed(
+                |_| Fratricide,
+                &ns,
+                seeds,
+                master,
+                u64::MAX,
+                &shard,
+            )
+            .expect("sweep checkpoints")
+            {
+                SweepStatus::Complete { points, .. } => break points,
+                SweepStatus::Suspended { fresh_jobs } => assert_eq!(fresh_jobs, 3),
+            }
+        };
+        assert_eq!(rounds, 4, "10 jobs at 3 per round");
+        assert_points_bit_identical(&plain, &points);
+
+        // Re-invoking a finished sweep replays the journal: zero fresh jobs,
+        // same points.
+        match stabilization_sweep_checkpointed(|_| Fratricide, &ns, seeds, master, u64::MAX, &shard)
+            .expect("sweep checkpoints")
+        {
+            SweepStatus::Complete {
+                points: replayed,
+                fresh_jobs,
+            } => {
+                assert_eq!(fresh_jobs, 0);
+                assert_points_bit_identical(&points, &replayed);
+            }
+            SweepStatus::Suspended { .. } => panic!("journal is complete"),
+        }
+    }
+
+    #[test]
+    fn mid_job_snapshots_resume_bit_identically() {
+        // Both sides run at the same snapshot interval; the killed side is
+        // forced through snapshot restores, the straight side is not.
+        let ns = [64usize];
+        let (seeds, master) = (2u64, 5u64);
+        let straight_dir = Scratch::new("midjob_straight");
+        let mut straight = CheckpointConfig::new(&straight_dir.0);
+        straight.snapshot_interval = Some(512);
+        let SweepStatus::Complete {
+            points: expected, ..
+        } = stabilization_sweep_checkpointed(
+            |_| Fratricide,
+            &ns,
+            seeds,
+            master,
+            u64::MAX,
+            &straight,
+        )
+        .expect("sweep checkpoints")
+        else {
+            panic!("no job limit: sweep must complete");
+        };
+
+        let killed_dir = Scratch::new("midjob_killed");
+        let mut killed = CheckpointConfig::new(&killed_dir.0);
+        killed.snapshot_interval = Some(512);
+        killed.job_limit = Some(1);
+        let points = loop {
+            match stabilization_sweep_checkpointed(
+                |_| Fratricide,
+                &ns,
+                seeds,
+                master,
+                u64::MAX,
+                &killed,
+            )
+            .expect("sweep checkpoints")
+            {
+                SweepStatus::Complete { points, .. } => break points,
+                SweepStatus::Suspended { .. } => {}
+            }
+        };
+        assert_points_bit_identical(&expected, &points);
+    }
+
+    #[test]
+    fn journal_rejects_mismatched_sweep_parameters() {
+        let scratch = Scratch::new("fingerprint");
+        let ckpt = CheckpointConfig::new(&scratch.0);
+        stabilization_sweep_checkpointed(|_| Fratricide, &[16], 2, 1, u64::MAX, &ckpt)
+            .expect("sweep checkpoints");
+        // Same directory, different master seed: must refuse, not mis-merge.
+        let err = stabilization_sweep_checkpointed(|_| Fratricide, &[16], 2, 2, u64::MAX, &ckpt)
+            .expect_err("fingerprint mismatch must error");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn journal_tolerates_a_torn_final_record() {
+        let scratch = Scratch::new("torn_tail");
+        let ckpt = CheckpointConfig::new(&scratch.0);
+        let mut limited = ckpt.clone();
+        limited.job_limit = Some(2);
+        stabilization_sweep_checkpointed(|_| Fratricide, &[16], 3, 9, u64::MAX, &limited)
+            .expect("sweep checkpoints");
+        // Simulate a crash mid-append: a record cut off halfway through.
+        let journal = scratch.0.join(JOURNAL_FILE);
+        let mut text = std::fs::read_to_string(&journal).unwrap();
+        text.push_str("done 2 1 3ff");
+        std::fs::write(&journal, &text).unwrap();
+        let status = stabilization_sweep_checkpointed(|_| Fratricide, &[16], 3, 9, u64::MAX, &ckpt)
+            .expect("torn tail is tolerated");
+        let SweepStatus::Complete { points, fresh_jobs } = status else {
+            panic!("sweep must complete");
+        };
+        // The torn record was discarded, so its job reran.
+        assert_eq!(fresh_jobs, 1);
+        let plain = crate::stabilization_sweep(|_| Fratricide, &[16], 3, 9, u64::MAX);
+        assert_points_bit_identical(&plain, &points);
+    }
+
+    #[test]
+    fn corrupt_interior_record_is_an_error() {
+        let scratch = Scratch::new("corrupt_interior");
+        let mut limited = CheckpointConfig::new(&scratch.0);
+        limited.job_limit = Some(2);
+        stabilization_sweep_checkpointed(|_| Fratricide, &[16], 3, 9, u64::MAX, &limited)
+            .expect("sweep checkpoints");
+        let journal = scratch.0.join(JOURNAL_FILE);
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.insert(1, "done garbage");
+        std::fs::write(&journal, lines.join("\n") + "\n").unwrap();
+        let err = stabilization_sweep_checkpointed(
+            |_| Fratricide,
+            &[16],
+            3,
+            9,
+            u64::MAX,
+            &CheckpointConfig::new(&scratch.0),
+        )
+        .expect_err("interior corruption must error");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn record_parser_rejects_malformed_lines() {
+        assert!(parse_record("done 0 1 3ff0000000000000", 4).is_some());
+        for line in [
+            "done 0 1 3ff",                   // short bits field
+            "done 0 2 3ff0000000000000",      // bad converged flag
+            "done 9 1 3ff0000000000000",      // index out of range (job_count 4)
+            "done 0 1 3ff0000000000000 tail", // trailing field
+            "redo 0 1 3ff0000000000000",      // wrong verb
+            "",
+        ] {
+            assert!(parse_record(line, 4).is_none(), "accepted `{line}`");
+        }
+    }
+}

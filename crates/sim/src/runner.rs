@@ -4,12 +4,23 @@ use pp_engine::{CountSimulation, LeaderElection, Simulation, UniformScheduler};
 use pp_rand::{SeedSequence, Xoshiro256PlusPlus};
 use pp_stats::Summary;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Applies `f` to every job on all available cores, preserving job order.
 ///
 /// Results are deterministic: ordering does not depend on thread scheduling,
 /// only on the job list (each job carries its own seed).
+///
+/// Workers claim job indices from a shared atomic counter and buffer
+/// `(index, result)` pairs locally; the buffers are collected through each
+/// worker's join handle and scattered into place — no locks anywhere, and no
+/// synchronization on the results beyond the joins themselves.
+///
+/// # Panics
+///
+/// If `f` panics on any job, the panic propagates out of `parallel_map` (the
+/// worker's join handle surfaces it; `std::thread::scope` re-raises panics of
+/// scoped threads). Jobs already claimed by other workers still run to
+/// completion first; their results are discarded.
 ///
 /// # Example
 ///
@@ -30,26 +41,33 @@ where
         .unwrap_or(1)
         .min(jobs.len().max(1));
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let mut results: Vec<Option<R>> = Vec::with_capacity(jobs.len());
+    results.resize_with(jobs.len(), || None);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let r = f(&jobs[i]);
-                *results[i].lock().expect("worker never panics holding lock") = Some(r);
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        local.push((i, f(&jobs[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("a sweep worker panicked") {
+                results[i] = Some(r);
+            }
         }
     });
     results
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("no poisoned locks")
-                .expect("every job ran")
-        })
+        .map(|r| r.expect("every job index was claimed exactly once"))
         .collect()
 }
 
@@ -202,6 +220,18 @@ mod tests {
         let jobs: Vec<u64> = (0..1000).collect();
         let out = parallel_map(&jobs, |&x| x + 1);
         assert_eq!(out, (1..=1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn parallel_map_propagates_worker_panics() {
+        // A panicking job must surface in the caller (via the worker's join
+        // handle), not silently poison a result slot.
+        let jobs: Vec<u64> = (0..64).collect();
+        parallel_map(&jobs, |&x| {
+            assert!(x != 13, "unlucky job");
+            x
+        });
     }
 
     #[test]

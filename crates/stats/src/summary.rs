@@ -138,6 +138,21 @@ impl Summary {
     pub fn values(&self) -> &[f64] {
         &self.values
     }
+
+    /// Absorbs every observation of `other`, in `other`'s insertion order.
+    ///
+    /// Implemented by re-pushing the retained raw values, so merging partial
+    /// summaries in insertion order reproduces the single-pass summary
+    /// *exactly* — bit for bit, not just within floating-point tolerance.
+    /// This is what lets a resumed experiment sweep aggregate shard results
+    /// identically to an uninterrupted run. Merging in a different order
+    /// keeps count, extrema, and quantiles exact; mean and variance agree to
+    /// floating-point tolerance.
+    pub fn merge(&mut self, other: &Summary) {
+        for &x in other.values() {
+            self.push(x);
+        }
+    }
 }
 
 impl FromIterator<f64> for Summary {
@@ -212,6 +227,50 @@ mod tests {
         s.extend([3.0, 4.0]);
         assert_eq!(s.count(), 4);
         assert!((s.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_order_merge_is_bit_identical_to_single_pass() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0, 0.25, 3.5];
+        let whole: Summary = xs.iter().copied().collect();
+        for split in 0..=xs.len() {
+            let mut merged: Summary = xs[..split].iter().copied().collect();
+            let tail: Summary = xs[split..].iter().copied().collect();
+            merged.merge(&tail);
+            assert_eq!(merged.count(), whole.count());
+            assert_eq!(merged.mean().to_bits(), whole.mean().to_bits());
+            assert_eq!(merged.variance().to_bits(), whole.variance().to_bits());
+            assert_eq!(merged.values(), whole.values());
+        }
+    }
+
+    #[test]
+    fn out_of_order_merge_is_exact_on_count_and_extrema() {
+        let a: Summary = [5.0, 1.0, 3.0].into_iter().collect();
+        let b: Summary = [4.0, 2.0, 6.0].into_iter().collect();
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.count(), 6);
+        assert_eq!(ab.count(), ba.count());
+        assert_eq!(ab.min(), ba.min());
+        assert_eq!(ab.max(), ba.max());
+        assert_eq!(ab.median(), ba.median());
+        assert!((ab.mean() - ba.mean()).abs() < 1e-12);
+        assert!((ab.variance() - ba.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merging_an_empty_summary_is_identity() {
+        let mut s: Summary = [1.0, 2.0].into_iter().collect();
+        let before = s.clone();
+        s.merge(&Summary::new());
+        assert_eq!(s.count(), before.count());
+        assert_eq!(s.values(), before.values());
+        let mut empty = Summary::new();
+        empty.merge(&before);
+        assert_eq!(empty.values(), before.values());
     }
 }
 
