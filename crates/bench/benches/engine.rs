@@ -13,7 +13,10 @@
 //! `engine/count_steps_compiled` the compiled per-step cache with jump and
 //! batch disabled, and `engine/count_steps_reference` the uncached per-step
 //! fallback (hashing, cloning, and `Protocol::transition` calls every
-//! step). The step groups run mid-election workloads where null
+//! step). `engine/count_steps_wide` runs the `WideSimulation` lane engine
+//! on the batch group's workload at lane widths 1/4/8/16 with **per-seed**
+//! element throughput, tracing the lane-scaling curve against the scalar
+//! batch row. The step groups run mid-election workloads where null
 //! interactions never dominate — the regime the batch tier was built for
 //! (`P_LL`'s timer ticks pin its null fraction near 0.56, so jumping never
 //! engages there). The jump scheduler's own regime is measured by
@@ -29,9 +32,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pp_bench::fast_criterion;
 use pp_core::Pll;
-use pp_engine::{CountSimulation, LeaderElection, Simulation, UniformScheduler};
+use pp_engine::{
+    CountSimulation, EngineConfig, LeaderElection, Simulation, UniformScheduler, WideSimulation,
+    WideTierPolicy,
+};
 use pp_protocols::{Fratricide, UnboundedLottery};
-use pp_rand::Xoshiro256PlusPlus;
+use pp_rand::{SeedSequence, Xoshiro256PlusPlus};
 use std::hint::black_box;
 
 /// Interactions per benchmark iteration.
@@ -159,6 +165,84 @@ fn bench_count_engine_reference(c: &mut Criterion) {
     bench_count_engine_at("engine/count_steps_reference", Tier::Reference, c);
 }
 
+/// The wide lane engine on the batch group's exact workload: `W` seeds of
+/// `P_LL@2^20` advanced in lockstep through one shared pair cache, batch
+/// rounds pinned, measured inside the same mid-election window. One element
+/// is one interaction of one seed (an iteration advances every lane by
+/// `STEPS`, declaring `W · STEPS` elements), so every row reports the
+/// bundle's aggregate seed-interactions per second: `lanes/1` is directly
+/// comparable to `engine/count_steps_batch/pll/1048576`, and the rise from
+/// `lanes/1` through `lanes/16` is the lane-scaling win — interleaved
+/// independent RNG streams filling the pipeline plus cache lookups, tier
+/// reviews, and round setup amortized across the lane set.
+///
+/// The group also re-measures the scalar batch tier as `scalar_batch`,
+/// back-to-back with `lanes/8`: the wide-vs-scalar per-seed ratio is the
+/// figure this group exists for, and on a shared 1-vCPU container the
+/// machine's throughput drifts by ±10 % across minutes — more than the
+/// ratio itself — so the two sides of the comparison (the smoke-bench gate
+/// and the `BENCH_engine.json` headline) must come from adjacent
+/// measurements, not from rows minutes apart in different groups.
+fn bench_count_engine_wide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/count_steps_wide");
+    let n = 1usize << 20;
+
+    group.throughput(Throughput::Elements(STEPS));
+    group.bench_with_input(
+        BenchmarkId::new(format!("pll/{n}"), "scalar_batch"),
+        &n,
+        |b, &n| {
+            let make = || {
+                let mut sim = count_sim(Pll::for_population(n).expect("n >= 2"), n, Tier::Batch);
+                sim.run(WINDOW_FROM * n as u64);
+                sim
+            };
+            let mut sim = make();
+            b.iter(|| {
+                if sim.steps() > WINDOW_TO * n as u64 {
+                    sim = make();
+                }
+                sim.run(STEPS);
+                black_box(sim.steps())
+            });
+        },
+    );
+
+    for &lanes in &[8usize, 1, 4, 16] {
+        // One element = one interaction of one seed: an iteration advances
+        // every lane by STEPS, so rates are aggregate across the bundle and
+        // the scalar rows are the lanes = 1 baseline of the same metric.
+        group.throughput(Throughput::Elements(STEPS * lanes as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("pll/{n}/lanes"), lanes),
+            &lanes,
+            |b, &lanes| {
+                let make = || {
+                    let mut sim = WideSimulation::with_config(
+                        Pll::for_population(n).expect("n >= 2"),
+                        n,
+                        SeedSequence::new(1).rngs(lanes),
+                        EngineConfig::default(),
+                        WideTierPolicy::PinnedBatch,
+                    )
+                    .expect("n >= 2");
+                    sim.run(WINDOW_FROM * n as u64);
+                    sim
+                };
+                let mut sim = make();
+                b.iter(|| {
+                    if sim.steps() > WINDOW_TO * n as u64 {
+                        sim = make();
+                    }
+                    sim.run(STEPS);
+                    black_box(sim.steps())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Whole fratricide elections on the jump scheduler: `Θ(n²)` simulated
 /// interactions per run (≈10¹² at `n = 2^20`) telescoped into `O(n)`
 /// executed episodes. No per-step tier appears alongside because none could
@@ -186,6 +270,7 @@ criterion_group! {
     name = benches;
     config = fast_criterion();
     targets = bench_agent_engine, bench_count_engine, bench_count_engine_batch,
-        bench_count_engine_compiled, bench_count_engine_reference, bench_election_jump
+        bench_count_engine_wide, bench_count_engine_compiled,
+        bench_count_engine_reference, bench_election_jump
 }
 criterion_main!(benches);

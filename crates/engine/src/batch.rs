@@ -154,6 +154,13 @@ pub(crate) struct BatchScratch {
 
 impl BatchScratch {
     /// Resets the urns for a new round over the given per-state counts.
+    ///
+    /// The visiting order is the total order `(count desc, id asc)` — a
+    /// pure function of the counts, so *how* it is sorted can never change
+    /// a draw. Counts move little between consecutive rounds, which makes
+    /// the previous round's order an almost-sorted starting point:
+    /// carrying it over and repairing with insertion sort (`O(classes +
+    /// displacements)`) replaces the full re-sort on the hot path.
     pub(crate) fn begin(&mut self, counts: &[u64]) {
         self.fresh.clear();
         self.fresh.extend_from_slice(counts);
@@ -161,12 +168,44 @@ impl BatchScratch {
         self.used.resize(counts.len(), 0);
         self.fresh_total = counts.iter().sum();
         self.used_total = 0;
-        self.order.clear();
-        self.order
-            .extend((0..counts.len() as u32).filter(|&i| counts[i as usize] > 0));
+        // Rebuild the candidate list seeded by the previous order: retain
+        // its still-occupied ids, then append newly occupied ids (tracked
+        // via the used urn, zeroed above, as a scratch membership flag).
+        for &id in &self.order {
+            if let Some(f) = self.used.get_mut(id as usize) {
+                *f = 1;
+            }
+        }
+        {
+            let fresh = &self.fresh;
+            self.order
+                .retain(|&id| fresh.get(id as usize).copied().unwrap_or(0) > 0);
+        }
+        for (id, &c) in counts.iter().enumerate() {
+            if c > 0 && self.used[id] == 0 {
+                self.order.push(id as u32);
+            }
+        }
+        self.used[..counts.len()].fill(0);
         let fresh = &self.fresh;
-        self.order
-            .sort_unstable_by_key(|&i| (std::cmp::Reverse(fresh[i as usize]), i));
+        let order = &mut self.order;
+        // Insertion sort: linear on the carried-over prefix, and the
+        // comparator's total order guarantees the same permutation any
+        // sort would produce.
+        for i in 1..order.len() {
+            let id = order[i];
+            let key = (std::cmp::Reverse(fresh[id as usize]), id);
+            let mut j = i;
+            while j > 0 {
+                let prev = order[j - 1];
+                if (std::cmp::Reverse(fresh[prev as usize]), prev) <= key {
+                    break;
+                }
+                order[j] = prev;
+                j -= 1;
+            }
+            order[j] = id;
+        }
         self.init_seq.clear();
         self.resp_seq.clear();
     }
@@ -214,9 +253,8 @@ impl BatchScratch {
                     .expect("class within remaining population")
                     .sample(rng)
             };
-            for _ in 0..x {
-                seq.push(id);
-            }
+            // Run-length fill (no RNG involved; only the expansion speed).
+            seq.resize(seq.len() + x as usize, id);
             self.fresh[id as usize] -= x;
             remaining -= x;
             pop -= c;
@@ -251,6 +289,14 @@ impl BatchScratch {
     pub(crate) fn add_used(&mut self, id: usize) {
         self.used[id] += 1;
         self.used_total += 1;
+    }
+
+    /// Adds `k` agents in state `id` to the used urn at once — the wide
+    /// engine's category-deduplicated bulk apply (`k` identical
+    /// interactions collapse to one cache lookup and one urn update).
+    pub(crate) fn add_used_n(&mut self, id: usize, k: u64) {
+        self.used[id] += k;
+        self.used_total += k;
     }
 
     /// Returns one reserved-but-unexecuted agent to the fresh urn (exact

@@ -83,6 +83,7 @@ mod scheduler;
 pub mod snapshot;
 mod tier;
 mod trace;
+pub mod wide;
 
 pub use batch::BatchStats;
 pub use config::Configuration;
@@ -96,6 +97,7 @@ pub use scheduler::{
 pub use snapshot::{SnapshotError, SnapshotState, SNAPSHOT_VERSION};
 pub use tier::{EngineConfig, EngineTier, JumpStats};
 pub use trace::Trace;
+pub use wide::{WideElection, WideLaneExport, WideSimulation, WideTierPolicy};
 
 /// How many interactions run between hoisted checks (step budget, sampled
 /// debug assertions) in both engines' batched convergence loops.

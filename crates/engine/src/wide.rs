@@ -1,0 +1,1472 @@
+//! The **wide lane engine**: lockstep multi-seed simulation over one shared
+//! compiled pair cache.
+//!
+//! Table-1 grids run hundreds of seeds per population size, and every seed
+//! of a `(protocol, n)` cell explores the *same* transition structure: the
+//! same reachable states, the same compiled pair effects, the same tier
+//! heuristics. The scalar [`CountSimulation`](crate::CountSimulation) pays
+//! for that structure once per seed. [`WideSimulation`] instead advances
+//! `W` same-`n` seeds (the *lanes*) in lockstep:
+//!
+//! * **One shared pair cache.** States are interned into a single global id
+//!   space and pair transitions compile into one shared cache; a pair
+//!   compiled by any lane is a cache hit for every other lane.
+//! * **Structure-of-arrays counts.** Occupancies live in one
+//!   `counts[state][lane]` matrix (row-major by global state id, the lane
+//!   dimension contiguous), so the convergence check, the bulk count
+//!   merges, and the retirement bookkeeping are dense row sweeps the
+//!   compiler can autovectorize — fixed-width chunking on stable Rust, no
+//!   nightly `std::simd` dependency.
+//! * **One RNG stream per lane.** Each lane owns its generator (use
+//!   [`SeedSequence::rng_at`](pp_rand::SeedSequence::rng_at) to derive
+//!   independent streams), and consumes it in **exactly the scalar
+//!   engine's draw order**: under a pinned tier policy every lane is
+//!   bit-identical to the scalar run with the same seed (see
+//!   *Bit-identity* below).
+//! * **Amortized reviews and compaction.** Tier reviews, lane-slot
+//!   compaction, and global state-id compaction run once per review window
+//!   for the whole lane set instead of once per seed.
+//! * **Early retirement.** A converged (or budget-exhausted) lane is
+//!   removed and the lane dimension is compacted, so live lanes stay dense
+//!   and the SoA sweeps never touch finished work.
+//!
+//! # Lane-local slot numbering
+//!
+//! The inverse-CDF pair sampler selects slots *by index order*, so a lane
+//! is bit-identical to its scalar twin only if its slot numbering matches
+//! the scalar engine's interning order — which is the order that lane's own
+//! trajectory first occupies states, not the order the *union* of lanes
+//! discovers them. Each lane therefore carries a tiny slot table
+//! (`slot ↔ global id`) assigned in its own first-occupancy order, while
+//! cached effects, counts, and compaction live in the shared global space.
+//!
+//! # Bit-identity and law equivalence
+//!
+//! With a **pinned** policy ([`WideTierPolicy::PinnedPerStep`] or
+//! [`WideTierPolicy::PinnedBatch`]) every lane consumes its RNG in the
+//! scalar engine's exact draw order, so per-lane trajectories, step counts,
+//! and final configurations are bit-identical to the scalar engine under
+//! the matching pinned scalar configuration (compiled per-step execution
+//! with the jump and batch tiers disabled; or
+//! [`force_batch_mode`](crate::CountSimulation::force_batch_mode) — both
+//! with compaction off). The regression suite
+//! (`crates/engine/tests/wide_equivalence.rs`) pins this.
+//!
+//! [`WideTierPolicy::Auto`] dispatches heuristically (per-step vs batch
+//! rounds, compaction, spill-out of null-dominated lanes) and is equal *in
+//! law* to the scalar engine — same distribution over trajectories, step
+//! counts included — but not bit-identical, exactly like the scalar jump
+//! and batch tiers relative to per-step execution. The chi-square suite
+//! (`tests/wide_law.rs`) covers the heuristic dispatch.
+//!
+//! # Null-dominated lanes
+//!
+//! The wide engine has no jump tier: telescoping nulls is inherently
+//! per-lane work with no cross-lane structure to share. When a lane's
+//! configuration becomes null-dominated (the scalar jump scheduler's engage
+//! rule), the auto policy **spills** the lane out of an election run —
+//! [`WideElection::spilled`] hands back its exact counts, RNG, and step
+//! counter so the caller finishes it on a scalar
+//! [`CountSimulation`](crate::CountSimulation), whose jump scheduler
+//! telescopes the null tail in `O(1)` expected work per real transition.
+
+use crate::batch::BatchScratch;
+use crate::compiled::{self, PairCache};
+use crate::tier::{self, EngineConfig};
+use crate::{
+    BatchStats, EngineError, LeaderElection, Protocol, Role, RunOutcome, CONVERGENCE_BATCH,
+};
+use pp_rand::{Rng64, SumTreeSampler, Xoshiro256PlusPlus};
+use std::collections::HashMap;
+
+/// Sentinel in the seen-state map for global ids reclaimed by compaction
+/// (same convention as the scalar engine).
+const DEAD_GID: u32 = u32::MAX;
+
+/// Sentinel in a lane's `global id → slot` table for states the lane has
+/// never occupied.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Lanes per interleaved shuffle block. Enough independent RNG chains to
+/// hide the generator's serial latency, while the block's sequences
+/// (`≈ √n` entries each) stay L1-resident — interleaving *all* lanes at
+/// once thrashes L1 and measures slower than the scalar serial order.
+const SHUFFLE_LANE_BLOCK: usize = 4;
+
+/// Ceiling on the category-stamp table (`slots²` entries) of the
+/// deduplicated bulk apply. At the cap the two `u32` side tables cost
+/// 2 MiB; lanes whose live support squares past it fall back to the
+/// per-interaction loop.
+const CAT_TABLE_CAP: usize = 1 << 18;
+
+/// Bulks shorter than this skip category deduplication: with only a
+/// handful of interactions most categories are unique and the stamp
+/// passes cost more than the saved cache lookups.
+const CAT_DEDUP_MIN_BULK: u64 = 32;
+
+/// How the wide engine picks its execution strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WideTierPolicy {
+    /// Heuristic dispatch: batch rounds while the support is small against
+    /// the expected collision-free run (the scalar engage rule evaluated
+    /// over the whole lane set), per-step chunks otherwise, with lane-slot
+    /// and global-id compaction at reviews and null-dominated lanes
+    /// spilled out of election runs. Equal in law to the scalar engine,
+    /// not bit-identical.
+    Auto,
+    /// Compiled per-step execution only, no compaction: every lane is
+    /// bit-identical to a scalar run with the same RNG, the jump and batch
+    /// tiers disabled, and compaction off.
+    PinnedPerStep,
+    /// Batch rounds only, no compaction: every lane is bit-identical to a
+    /// scalar run with the same RNG under
+    /// [`force_batch_mode`](crate::CountSimulation::force_batch_mode) with
+    /// the jump scheduler disabled and compaction off. Requires
+    /// `n ≤ u32::MAX` (exact integer category weights), like the scalar
+    /// batch tier.
+    PinnedBatch,
+}
+
+/// A lane extracted from a wide run so the caller can finish it on the
+/// scalar engine (see the module docs on null-dominated lanes).
+#[derive(Debug)]
+pub struct WideLaneExport<S, R> {
+    /// The lane's position in the original RNG vector.
+    pub index: usize,
+    /// Interactions the lane executed inside the wide run.
+    pub steps: u64,
+    /// The lane's exact configuration, in lane-slot order (deterministic
+    /// given the lane's trajectory).
+    pub counts: Vec<(S, u64)>,
+    /// The lane's RNG, positioned exactly after its last wide draw.
+    pub rng: R,
+}
+
+/// Result of [`WideSimulation::run_until_single_leader`].
+#[derive(Debug)]
+pub struct WideElection<S, R> {
+    /// Per-lane outcomes, indexed by original lane position; `None` for
+    /// lanes that were spilled instead of finished.
+    pub outcomes: Vec<Option<RunOutcome>>,
+    /// Null-dominated lanes handed back for scalar completion (empty under
+    /// pinned policies or with spilling disabled).
+    pub spilled: Vec<WideLaneExport<S, R>>,
+}
+
+/// Per-lane state: the RNG stream, the lane-local slot tables, and the
+/// per-step sampler tree.
+#[derive(Debug)]
+struct Lane<R> {
+    /// Position in the original RNG vector (stable across retirement).
+    index: usize,
+    rng: R,
+    steps: u64,
+    /// Running leader count; valid once role tracking is primed.
+    leaders: i64,
+    /// Number of lane slots with a positive count.
+    support: usize,
+    /// Lane slot → global id, in this lane's first-occupancy order.
+    slot_gid: Vec<u32>,
+    /// Global id → lane slot ([`NO_SLOT`] when absent). Grown lazily.
+    gid_slot: Vec<u32>,
+    /// Per-step sampler over lane slots; its weights are the lane's counts
+    /// while in per-step mode, stale in batch mode (rebuilt on exit).
+    tree: SumTreeSampler,
+    /// Batch-round urn scratch, indexed by lane slot.
+    scratch: BatchScratch,
+}
+
+impl<R> Lane<R> {
+    fn slots(&self) -> usize {
+        self.slot_gid.len()
+    }
+
+    /// The lane slot of global id `gid`, interning a fresh slot on first
+    /// occupancy. `grow_tree` appends a sampler slot too (per-step mode;
+    /// batch mode rebuilds the tree wholesale on exit instead).
+    fn slot_of(&mut self, gid: usize, grow_tree: bool) -> usize {
+        if let Some(&slot) = self.gid_slot.get(gid) {
+            if slot != NO_SLOT {
+                return slot as usize;
+            }
+        }
+        if self.gid_slot.len() <= gid {
+            self.gid_slot.resize(gid + 1, NO_SLOT);
+        }
+        let slot = self.slot_gid.len();
+        self.slot_gid.push(gid as u32);
+        self.gid_slot[gid] = slot as u32;
+        if grow_tree {
+            let pushed = self.tree.push_slot();
+            debug_assert_eq!(pushed, slot);
+        }
+        slot
+    }
+}
+
+/// Global state shared by every lane: the interned state universe, the
+/// compiled pair cache, and the SoA count matrix.
+#[derive(Debug)]
+struct Shared<P: Protocol> {
+    protocol: P,
+    /// Every state any lane has ever visited, mapped to its live global id
+    /// — or [`DEAD_GID`] after compaction reclaimed it.
+    ids: HashMap<P::State, u32>,
+    /// Live states by global id (global compaction renumbers).
+    states: Vec<P::State>,
+    outputs: Vec<P::Output>,
+    /// 1 for states with the primed leader output, else 0 (all-zero until
+    /// role tracking is primed).
+    leader_flags: Vec<i8>,
+    leader_output: Option<P::Output>,
+    /// Compiled pair effects keyed by global ids, shared across lanes.
+    pairs: PairCache,
+    /// SoA counts: `counts[gid * width + lane]` for the live lanes.
+    counts: Vec<u64>,
+    /// Live lane count — the SoA stride.
+    width: usize,
+}
+
+impl<P: Protocol> Shared<P> {
+    fn intern(&mut self, state: P::State) -> u32 {
+        if let Some(&id) = self.ids.get(&state) {
+            if id != DEAD_GID {
+                return id;
+            }
+        }
+        let id = self.states.len() as u32;
+        debug_assert_ne!(id, DEAD_GID, "global id space exhausted");
+        let output = self.protocol.output(&state);
+        self.leader_flags
+            .push(i8::from(self.leader_output.as_ref() == Some(&output)));
+        self.outputs.push(output);
+        self.states.push(state.clone());
+        self.ids.insert(state, id);
+        self.counts.resize(self.counts.len() + self.width, 0);
+        self.pairs.ensure_states(self.states.len());
+        id
+    }
+
+    /// Compiles the ordered global pair `(gs, gt)`: runs the protocol's
+    /// transition, interns the successors (initiator's first, exactly like
+    /// the scalar engine), and stores the packed effect when representable.
+    #[cold]
+    #[inline(never)]
+    fn compile(&mut self, gs: usize, gt: usize) -> (usize, usize, i8, bool) {
+        let (na, nb) = self.protocol.transition(&self.states[gs], &self.states[gt]);
+        let a = self.intern(na) as usize;
+        let b = self.intern(nb) as usize;
+        let delta = self.leader_flags[a] + self.leader_flags[b]
+            - self.leader_flags[gs]
+            - self.leader_flags[gt];
+        let null = a == gs && b == gt;
+        self.pairs.store(gs, gt, a, b, delta, null);
+        (a, b, delta, null)
+    }
+
+    /// The compiled effect of the ordered global pair, compiling on a miss.
+    #[inline]
+    fn effect(&mut self, gs: usize, gt: usize) -> (usize, usize, i8, bool) {
+        let entry = self.pairs.get(gs, gt);
+        if entry == compiled::EMPTY {
+            self.compile(gs, gt)
+        } else {
+            compiled::unpack(entry)
+        }
+    }
+
+    /// The effect of lane pair `(s, t)` in lane-slot terms, interning lane
+    /// slots for the successors (initiator's first — the scalar interning
+    /// order) on the lane's first occupancy.
+    #[inline]
+    fn lane_effect<R>(
+        &mut self,
+        lane: &mut Lane<R>,
+        s: usize,
+        t: usize,
+        grow_tree: bool,
+    ) -> (usize, usize, i8, bool) {
+        let gs = lane.slot_gid[s] as usize;
+        let gt = lane.slot_gid[t] as usize;
+        let (ga, gb, delta, null) = self.effect(gs, gt);
+        let a = lane.slot_of(ga, grow_tree);
+        let b = lane.slot_of(gb, grow_tree);
+        (a, b, delta, null)
+    }
+}
+
+/// Reusable buffers of the staged batch round, kept out of the per-lane
+/// state so retiring a lane frees no hot allocation.
+///
+/// `survival` is the shared collision-free survival-product table: entry
+/// `j` holds the probability that the first `j` interactions of a round
+/// are collision-free, built by exactly the scalar sampler's running
+/// product (it depends only on `n` and the in-round step index, never on
+/// a lane). It persists across rounds and is extended lazily; see
+/// [`prefix_lockstep`].
+#[derive(Debug, Default)]
+struct RoundBuffers {
+    gather: Vec<u64>,
+    uniforms: Vec<f64>,
+    budgets: Vec<u64>,
+    bulks: Vec<u64>,
+    collides: Vec<bool>,
+    survival: Vec<f64>,
+    /// Category keys (`initiator · slots + responder`) of the current
+    /// lane's bulk, in first-occurrence order — the order the
+    /// per-interaction loop would intern successors in.
+    cat_keys: Vec<u32>,
+    /// Multiplicity of each key in `cat_keys`.
+    cat_counts: Vec<u64>,
+    /// Key → position in `cat_keys`, valid when stamped with `cat_epoch`.
+    cat_index: Vec<u32>,
+    /// Per-key epoch stamps: clear-free reset of `cat_index` each bulk.
+    cat_stamp: Vec<u32>,
+    /// Current stamp epoch.
+    cat_epoch: u32,
+}
+
+/// Lockstep multi-seed count engine; see the module docs.
+///
+/// # Example
+///
+/// ```
+/// use pp_engine::wide::WideSimulation;
+/// use pp_engine::{LeaderElection, Protocol, Role};
+/// use pp_rand::SeedSequence;
+///
+/// #[derive(Clone)]
+/// struct Frat;
+/// impl Protocol for Frat {
+///     type State = bool;
+///     type Output = Role;
+///     fn initial_state(&self) -> bool { true }
+///     fn transition(&self, a: &bool, b: &bool) -> (bool, bool) {
+///         if *a && *b { (true, false) } else { (*a, *b) }
+///     }
+///     fn output(&self, s: &bool) -> Role {
+///         if *s { Role::Leader } else { Role::Follower }
+///     }
+/// }
+/// impl LeaderElection for Frat { fn monotone_leaders(&self) -> bool { true } }
+///
+/// let seq = SeedSequence::new(42);
+/// let rngs = (0..4u64).map(|i| seq.rng_at(i)).collect();
+/// let mut wide = WideSimulation::new(Frat, 256, rngs).unwrap();
+/// wide.set_spill(false); // keep every lane in-engine for the example
+/// let election = wide.run_until_single_leader(u64::MAX);
+/// assert!(election.outcomes.iter().all(|o| o.unwrap().converged));
+/// ```
+#[derive(Debug)]
+pub struct WideSimulation<P: Protocol, R = Xoshiro256PlusPlus> {
+    shared: Shared<P>,
+    lanes: Vec<Lane<R>>,
+    config: EngineConfig,
+    policy: WideTierPolicy,
+    /// Whether lanes currently advance through batch rounds (the SoA is
+    /// canonical) or per-step chunks (the lane trees are canonical).
+    batch_mode: bool,
+    /// Next review threshold on the minimum lane step count.
+    review_at: u64,
+    /// Spill null-dominated lanes out of election runs (auto policy only).
+    spill: bool,
+    n: u64,
+    stats: BatchStats,
+    round: RoundBuffers,
+}
+
+impl<P: Protocol, R: Rng64> WideSimulation<P, R> {
+    /// Creates a wide simulation of `rngs.len()` lanes, each `n` agents in
+    /// the initial state, with the default config and the auto policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::PopulationTooSmall`] when `n < 2`.
+    pub fn new(protocol: P, n: usize, rngs: Vec<R>) -> Result<Self, EngineError> {
+        Self::with_config(
+            protocol,
+            n,
+            rngs,
+            EngineConfig::default(),
+            WideTierPolicy::Auto,
+        )
+    }
+
+    /// Creates a wide simulation with explicit tier tuning and policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::PopulationTooSmall`] when `n < 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pinned batch policy is combined with `n > u32::MAX`
+    /// (the batch tier's exact integer category weights need `n(n−1)` to
+    /// fit a `u64`), mirroring the scalar
+    /// [`force_batch_mode`](crate::CountSimulation::force_batch_mode).
+    pub fn with_config(
+        protocol: P,
+        n: usize,
+        rngs: Vec<R>,
+        config: EngineConfig,
+        policy: WideTierPolicy,
+    ) -> Result<Self, EngineError> {
+        if n < 2 {
+            return Err(EngineError::PopulationTooSmall { n });
+        }
+        if policy == WideTierPolicy::PinnedBatch {
+            assert!(
+                n as u64 <= tier::BATCH_MAX_POPULATION,
+                "the batch tier supports populations up to u32::MAX"
+            );
+        }
+        let config = config.validated();
+        let width = rngs.len();
+        let mut shared = Shared {
+            protocol,
+            ids: HashMap::new(),
+            states: Vec::new(),
+            outputs: Vec::new(),
+            leader_flags: Vec::new(),
+            leader_output: None,
+            pairs: PairCache::new(config.max_compiled_states),
+            counts: Vec::new(),
+            width,
+        };
+        let init = shared.protocol.initial_state();
+        let gid = shared.intern(init) as usize;
+        debug_assert_eq!(gid, 0);
+        let lanes = rngs
+            .into_iter()
+            .enumerate()
+            .map(|(index, rng)| {
+                shared.counts[gid * width + index] = n as u64;
+                Lane {
+                    index,
+                    rng,
+                    steps: 0,
+                    leaders: 0,
+                    support: 1,
+                    slot_gid: vec![gid as u32],
+                    gid_slot: vec![0],
+                    tree: SumTreeSampler::from_weights(&[n as u64])
+                        .expect("population is non-empty"),
+                    scratch: BatchScratch::default(),
+                }
+            })
+            .collect();
+        Ok(Self {
+            shared,
+            lanes,
+            config,
+            batch_mode: policy == WideTierPolicy::PinnedBatch,
+            policy,
+            review_at: 0,
+            spill: policy == WideTierPolicy::Auto,
+            n: n as u64,
+            stats: BatchStats::default(),
+            round: RoundBuffers::default(),
+        })
+    }
+
+    /// The population size every lane simulates.
+    pub fn population(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Live (unretired, unspilled) lane count.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The execution policy picked at construction.
+    pub fn policy(&self) -> WideTierPolicy {
+        self.policy
+    }
+
+    /// Disables (or re-enables) spilling null-dominated lanes out of
+    /// election runs. Only meaningful under the auto policy; pinned
+    /// policies never spill.
+    pub fn set_spill(&mut self, enabled: bool) {
+        self.spill = enabled && self.policy == WideTierPolicy::Auto;
+    }
+
+    /// Step counter of the live lane at `pos`.
+    pub fn lane_steps(&self, pos: usize) -> u64 {
+        self.lanes[pos].steps
+    }
+
+    /// Original index of the live lane at `pos`.
+    pub fn lane_index(&self, pos: usize) -> usize {
+        self.lanes[pos].index
+    }
+
+    /// The minimum step counter over live lanes (0 when none remain) —
+    /// the lockstep "time" of the whole simulation.
+    pub fn steps(&self) -> u64 {
+        self.lanes.iter().map(|l| l.steps).min().unwrap_or(0)
+    }
+
+    /// Aggregate batch-tier counters across all lanes.
+    pub fn batch_stats(&self) -> BatchStats {
+        self.stats
+    }
+
+    /// Distinct states seen by the union of all lanes (the shared interned
+    /// universe).
+    pub fn distinct_states_seen(&self) -> usize {
+        self.shared.ids.len()
+    }
+
+    /// Live global ids (the SoA row count); strictly less than
+    /// [`distinct_states_seen`](Self::distinct_states_seen) once global
+    /// compaction has reclaimed dead states.
+    pub fn live_states(&self) -> usize {
+        self.shared.states.len()
+    }
+
+    /// The shared compiled pair cache (for diagnostics).
+    pub fn pair_cache(&self) -> &PairCache {
+        &self.shared.pairs
+    }
+
+    /// The exact state counts of the live lane at `pos`.
+    pub fn lane_state_counts(&self, pos: usize) -> HashMap<P::State, u64> {
+        let lane = &self.lanes[pos];
+        let counts = self.lane_counts(pos);
+        lane.slot_gid
+            .iter()
+            .zip(&counts)
+            .filter(|&(_, &c)| c > 0)
+            .map(|(&gid, &c)| (self.shared.states[gid as usize].clone(), c))
+            .collect()
+    }
+
+    /// The lane's canonical counts in lane-slot order.
+    fn lane_counts(&self, pos: usize) -> Vec<u64> {
+        let lane = &self.lanes[pos];
+        if self.batch_mode {
+            let w = self.shared.width;
+            lane.slot_gid
+                .iter()
+                .map(|&gid| self.shared.counts[gid as usize * w + pos])
+                .collect()
+        } else {
+            lane.tree.weights().to_vec()
+        }
+    }
+
+    /// Copies every lane's tree weights into the SoA matrix (no-op in
+    /// batch mode, where the SoA is already canonical). Every SoA entry a
+    /// lane ever made positive has a lane slot, so writing through the
+    /// slot tables refreshes every stale entry.
+    fn sync_soa(&mut self) {
+        if self.batch_mode {
+            return;
+        }
+        let w = self.shared.width;
+        for (pos, lane) in self.lanes.iter().enumerate() {
+            let weights = lane.tree.weights();
+            for (slot, &gid) in lane.slot_gid.iter().enumerate() {
+                self.shared.counts[gid as usize * w + pos] = weights[slot];
+            }
+        }
+    }
+
+    /// Enters batch mode: the SoA becomes canonical.
+    fn enter_batch(&mut self) {
+        debug_assert!(!self.batch_mode);
+        self.sync_soa();
+        self.batch_mode = true;
+    }
+
+    /// Leaves batch mode: rebuilds every lane tree from its SoA column.
+    /// Tree selection is a pure function of the weights, so a rebuilt tree
+    /// draws identically to an incrementally-maintained one.
+    fn exit_batch(&mut self) {
+        debug_assert!(self.batch_mode);
+        self.batch_mode = false;
+        let w = self.shared.width;
+        for (pos, lane) in self.lanes.iter_mut().enumerate() {
+            let counts: Vec<u64> = lane
+                .slot_gid
+                .iter()
+                .map(|&gid| self.shared.counts[gid as usize * w + pos])
+                .collect();
+            lane.tree = SumTreeSampler::from_weights(&counts).expect("population is non-empty");
+        }
+    }
+
+    /// Removes the live lane at `pos` (swap-remove) and compacts the lane
+    /// dimension of the SoA so live columns stay dense.
+    fn remove_lane(&mut self, pos: usize) -> Lane<R> {
+        let old_w = self.shared.width;
+        let lane = self.lanes.swap_remove(pos);
+        let new_w = old_w - 1;
+        let rows = self.shared.states.len();
+        let soa = &mut self.shared.counts;
+        // Pass 1: the swapped-in last column takes the removed position.
+        if pos != new_w {
+            for g in 0..rows {
+                soa[g * old_w + pos] = soa[g * old_w + new_w];
+            }
+        }
+        // Pass 2: compact the stride in place (every read index is at or
+        // ahead of its write index, so the forward sweep never clobbers
+        // unread data).
+        if new_w > 0 {
+            for g in 1..rows {
+                for l in 0..new_w {
+                    soa[g * new_w + l] = soa[g * old_w + l];
+                }
+            }
+        }
+        soa.truncate(rows * new_w);
+        self.shared.width = new_w;
+        lane
+    }
+
+    /// Exports the live lane at `pos` for scalar completion.
+    fn export_lane(&mut self, pos: usize) -> WideLaneExport<P::State, R> {
+        let counts: Vec<(P::State, u64)> = {
+            let lane = &self.lanes[pos];
+            let weights = self.lane_counts(pos);
+            lane.slot_gid
+                .iter()
+                .zip(&weights)
+                .filter(|&(_, &c)| c > 0)
+                .map(|(&gid, &c)| (self.shared.states[gid as usize].clone(), c))
+                .collect()
+        };
+        let lane = self.remove_lane(pos);
+        WideLaneExport {
+            index: lane.index,
+            steps: lane.steps,
+            counts,
+            rng: lane.rng,
+        }
+    }
+
+    /// Advances **every** live lane by exactly `steps` interactions, in
+    /// lockstep. Converged lanes are not retired here (retirement belongs
+    /// to [`run_until_single_leader`]); use this for throughput work and
+    /// fixed-budget comparisons.
+    ///
+    /// [`run_until_single_leader`]: Self::run_until_single_leader
+    pub fn run(&mut self, steps: u64) {
+        if steps == 0 || self.lanes.is_empty() {
+            return;
+        }
+        let targets: Vec<u64> = self.lanes.iter().map(|l| l.steps + steps).collect();
+        loop {
+            self.review();
+            if self.batch_mode {
+                let budgets: Vec<u64> = self
+                    .lanes
+                    .iter()
+                    .zip(&targets)
+                    .map(|(l, &t)| t.saturating_sub(l.steps))
+                    .collect();
+                self.batch_round(&budgets, false);
+            } else {
+                for (pos, &target) in targets.iter().enumerate() {
+                    let remaining = target.saturating_sub(self.lanes[pos].steps);
+                    if remaining == 0 {
+                        continue;
+                    }
+                    let mut left = remaining.min(CONVERGENCE_BATCH);
+                    while left > 0 {
+                        let (did, _) =
+                            lane_chunk(&mut self.shared, &mut self.lanes[pos], left, false);
+                        debug_assert!(did > 0, "chunks always make progress");
+                        left -= did.min(left);
+                    }
+                }
+            }
+            if self.lanes.iter().zip(&targets).all(|(l, &t)| l.steps >= t) {
+                return;
+            }
+        }
+    }
+
+    /// One auto-policy review: syncs the SoA, compacts lane slots and the
+    /// global id space when enough dead ids accumulated, and applies the
+    /// batch engage/exit heuristics over the whole lane set. Runs at most
+    /// once per review window of the lockstep step counter; pinned
+    /// policies never review.
+    fn review(&mut self) {
+        if self.policy != WideTierPolicy::Auto || self.lanes.is_empty() {
+            return;
+        }
+        let min_steps = self.steps();
+        if min_steps < self.review_at {
+            return;
+        }
+        self.review_at = min_steps + self.n.min(CONVERGENCE_BATCH);
+        self.sync_soa();
+        let mut compacted = false;
+        for pos in 0..self.lanes.len() {
+            if self.lane_compaction_due(pos) {
+                self.compact_lane(pos);
+                compacted = true;
+            }
+        }
+        if compacted {
+            self.maybe_compact_global();
+        }
+        let sup_max = self.lanes.iter().map(|l| l.support).max().unwrap_or(0);
+        if self.batch_mode {
+            if tier::batch_exits(sup_max, self.n, &self.config) || !self.shared.pairs.is_active() {
+                self.exit_batch();
+            }
+        } else if self.shared.pairs.is_active()
+            && tier::batch_engages(sup_max, self.n, &self.config)
+        {
+            self.enter_batch();
+        }
+    }
+
+    /// The scalar engine's compaction trigger, applied to one lane's slot
+    /// space.
+    fn lane_compaction_due(&self, pos: usize) -> bool {
+        if !self.config.compaction {
+            return false;
+        }
+        let lane = &self.lanes[pos];
+        let dead = (lane.slots() - lane.support) as u64;
+        lane.slots() >= 64 && dead >= 48.max((lane.support as u64).min(1024))
+    }
+
+    /// Renumbers the lane's live slots 0.. in descending-count order (ties
+    /// by old slot), dropping dead slots. Consumes no randomness; slot
+    /// renumbering preserves the law because selection is inverse-CDF by
+    /// weight, never by position.
+    fn compact_lane(&mut self, pos: usize) {
+        let w = self.shared.width;
+        let counts: Vec<u64> = {
+            let lane = &self.lanes[pos];
+            lane.slot_gid
+                .iter()
+                .map(|&gid| self.shared.counts[gid as usize * w + pos])
+                .collect()
+        };
+        let lane = &mut self.lanes[pos];
+        let mut live: Vec<u32> = (0..lane.slots() as u32)
+            .filter(|&s| counts[s as usize] > 0)
+            .collect();
+        live.sort_unstable_by_key(|&s| (std::cmp::Reverse(counts[s as usize]), s));
+        let slot_gid: Vec<u32> = live
+            .iter()
+            .map(|&old| lane.slot_gid[old as usize])
+            .collect();
+        for v in lane.gid_slot.iter_mut() {
+            *v = NO_SLOT;
+        }
+        for (new, &gid) in slot_gid.iter().enumerate() {
+            lane.gid_slot[gid as usize] = new as u32;
+        }
+        lane.slot_gid = slot_gid;
+        debug_assert_eq!(lane.support, lane.slots());
+        if !self.batch_mode {
+            let weights: Vec<u64> = live.iter().map(|&s| counts[s as usize]).collect();
+            lane.tree = SumTreeSampler::from_weights(&weights).expect("population is non-empty");
+        }
+    }
+
+    /// Global-id compaction: drops every global id no live lane references
+    /// any more, renumbering survivors in descending total-count order so
+    /// a saturated cache keeps addressing the heavy states. Runs only
+    /// after lane compaction released slot references.
+    fn maybe_compact_global(&mut self) {
+        let states = self.shared.states.len();
+        let w = self.shared.width;
+        let mut referenced = vec![false; states];
+        for lane in &self.lanes {
+            for &gid in &lane.slot_gid {
+                referenced[gid as usize] = true;
+            }
+        }
+        let live_count = referenced.iter().filter(|&&r| r).count();
+        let dead = (states - live_count) as u64;
+        if states < 64 || dead < 48.max((live_count as u64).min(1024)) {
+            return;
+        }
+        let mut live: Vec<u32> = (0..states as u32)
+            .filter(|&g| referenced[g as usize])
+            .collect();
+        {
+            let counts = &self.shared.counts;
+            live.sort_unstable_by_key(|&g| {
+                let row = g as usize * w;
+                let total: u64 = counts[row..row + w].iter().sum();
+                (std::cmp::Reverse(total), g)
+            });
+        }
+        let mut map = vec![DEAD_GID; states];
+        for (new, &old) in live.iter().enumerate() {
+            map[old as usize] = new as u32;
+        }
+        let mut new_states = Vec::with_capacity(live.len());
+        let mut new_outputs = Vec::with_capacity(live.len());
+        let mut new_flags = Vec::with_capacity(live.len());
+        let mut new_counts = vec![0u64; live.len() * w];
+        for (new, &old) in live.iter().enumerate() {
+            let o = old as usize;
+            new_states.push(self.shared.states[o].clone());
+            new_outputs.push(self.shared.outputs[o].clone());
+            new_flags.push(self.shared.leader_flags[o]);
+            new_counts[new * w..(new + 1) * w]
+                .copy_from_slice(&self.shared.counts[o * w..(o + 1) * w]);
+        }
+        for id in self.shared.ids.values_mut() {
+            if *id != DEAD_GID {
+                *id = map[*id as usize];
+            }
+        }
+        self.shared.states = new_states;
+        self.shared.outputs = new_outputs;
+        self.shared.leader_flags = new_flags;
+        self.shared.counts = new_counts;
+        self.shared.pairs.compact(&map, live.len());
+        self.shared.pairs.ensure_states(self.shared.states.len());
+        for lane in &mut self.lanes {
+            for gid in lane.slot_gid.iter_mut() {
+                debug_assert_ne!(map[*gid as usize], DEAD_GID);
+                *gid = map[*gid as usize];
+            }
+            lane.gid_slot.clear();
+            lane.gid_slot.resize(self.shared.states.len(), NO_SLOT);
+            for (slot, &gid) in lane.slot_gid.iter().enumerate() {
+                lane.gid_slot[gid as usize] = slot as u32;
+            }
+        }
+    }
+
+    /// One staged batch round: every lane with a positive budget executes
+    /// one collision-free hypergeometric round, phase by phase across the
+    /// lane set, consuming each lane's RNG in exactly the scalar engine's
+    /// episode draw order (the per-lane streams are private, so the
+    /// cross-lane staging is invisible to any single lane). With `track`
+    /// set the per-lane leader counts are maintained exactly, including
+    /// the scalar walk semantics and its mid-round stop on hitting 1.
+    ///
+    /// `budgets` is indexed by live lane position; lanes with budget 0 (or
+    /// that already sit at one leader with `track`) sit the round out.
+    fn batch_round(&mut self, budgets: &[u64], track: bool) {
+        let n = self.n;
+        let w = self.shared.width;
+        debug_assert!(self.batch_mode);
+        let active: Vec<usize> = (0..self.lanes.len())
+            .filter(|&pos| budgets[pos] > 0 && !(track && self.lanes[pos].leaders == 1))
+            .collect();
+        if active.is_empty() {
+            return;
+        }
+        // Phase A: per-lane round uniforms (the first episode draw), then
+        // every lane's collision-free prefix length in lockstep.
+        {
+            let round = &mut self.round;
+            round.uniforms.clear();
+            round.budgets.clear();
+            for &pos in &active {
+                round.uniforms.push(self.lanes[pos].rng.unit_f64());
+                round.budgets.push(budgets[pos]);
+            }
+            round.bulks.clear();
+            round.bulks.resize(active.len(), 0);
+            round.collides.clear();
+            round.collides.resize(active.len(), false);
+            prefix_lockstep(
+                n,
+                &round.uniforms,
+                &round.budgets,
+                &mut round.bulks,
+                &mut round.collides,
+                &mut round.survival,
+            );
+        }
+        // Phase B: per-lane urn setup and the two hypergeometric multiset
+        // draws (inherently serial within a lane — each draw conditions on
+        // the previous ones through the lane's own RNG — but independent
+        // across lanes).
+        let mut scratches: Vec<BatchScratch> = Vec::with_capacity(active.len());
+        for (k, &pos) in active.iter().enumerate() {
+            let mut scratch = std::mem::take(&mut self.lanes[pos].scratch);
+            self.round.gather.clear();
+            for &gid in &self.lanes[pos].slot_gid {
+                self.round
+                    .gather
+                    .push(self.shared.counts[gid as usize * w + pos]);
+            }
+            scratch.begin(&self.round.gather);
+            let bulk = self.round.bulks[k];
+            let lane = &mut self.lanes[pos];
+            scratch.draw_multiset(&mut lane.rng, bulk, false);
+            scratch.draw_multiset(&mut lane.rng, bulk, true);
+            scratches.push(scratch);
+        }
+        // Phase C: the responder shuffles, interleaved across lanes at the
+        // swap-index level (each lane's own swap sequence — and hence its
+        // RNG stream — is exactly the scalar Fisher–Yates order); then the
+        // initiator shuffles of lanes running the exact walk, responders
+        // before initiators per lane like the scalar episode.
+        shuffle_lockstep(&mut self.lanes, &active, &mut scratches, true, None);
+        let walks: Vec<bool> = active
+            .iter()
+            .enumerate()
+            .map(|(k, &pos)| {
+                track && (self.lanes[pos].leaders - 1).unsigned_abs() <= 2 * self.round.bulks[k]
+            })
+            .collect();
+        shuffle_lockstep(
+            &mut self.lanes,
+            &active,
+            &mut scratches,
+            false,
+            Some(&walks),
+        );
+        // Phases D and E, per lane: apply the bulk through the shared
+        // cache, the exact collision interaction, then merge the urns into
+        // the lane's SoA column.
+        for (k, &pos) in active.iter().enumerate() {
+            let mut scratch = std::mem::take(&mut scratches[k]);
+            let bulk = self.round.bulks[k];
+            let collide = self.round.collides[k];
+            let walk = walks[k];
+            if walk {
+                self.stats.exact_walks += 1;
+            }
+            let mut executed = 0u64;
+            let mut hit = false;
+            let mut leaders = self.lanes[pos].leaders;
+            let mut known_slots = self.lanes[pos].slots();
+            scratch.ensure_states(known_slots);
+            // The bulk loop consumes no randomness, so identical `(s, t)`
+            // pairs can be collapsed to one cache lookup with a
+            // multiplicity — bit-identical as long as first occurrences
+            // are processed in sequence order (that preserves the slot
+            // interning order) and the urn/leader updates stay additive.
+            // Exact walks keep the per-interaction loop: they track the
+            // leader count through every single interaction and may stop
+            // mid-bulk.
+            let dedup = !walk
+                && bulk >= CAT_DEDUP_MIN_BULK
+                && known_slots.saturating_mul(known_slots) <= CAT_TABLE_CAP;
+            if dedup {
+                let round = &mut self.round;
+                let table = known_slots * known_slots;
+                if round.cat_stamp.len() < table {
+                    round.cat_stamp.resize(table, 0);
+                    round.cat_index.resize(table, 0);
+                }
+                if round.cat_epoch == u32::MAX {
+                    round.cat_stamp.fill(0);
+                    round.cat_epoch = 0;
+                }
+                round.cat_epoch += 1;
+                let epoch = round.cat_epoch;
+                round.cat_keys.clear();
+                round.cat_counts.clear();
+                for i in 0..bulk as usize {
+                    let key =
+                        scratch.init_seq[i] as usize * known_slots + scratch.resp_seq[i] as usize;
+                    if round.cat_stamp[key] == epoch {
+                        round.cat_counts[round.cat_index[key] as usize] += 1;
+                    } else {
+                        round.cat_stamp[key] = epoch;
+                        round.cat_index[key] = round.cat_keys.len() as u32;
+                        round.cat_keys.push(key as u32);
+                        round.cat_counts.push(1);
+                    }
+                }
+                let stride = known_slots;
+                for ci in 0..self.round.cat_keys.len() {
+                    let key = self.round.cat_keys[ci] as usize;
+                    let c = self.round.cat_counts[ci];
+                    let (s, t) = (key / stride, key % stride);
+                    let (a, b, delta, _) =
+                        self.shared.lane_effect(&mut self.lanes[pos], s, t, false);
+                    let slots = self.lanes[pos].slots();
+                    if slots != known_slots {
+                        scratch.ensure_states(slots);
+                        known_slots = slots;
+                    }
+                    scratch.add_used_n(a, c);
+                    scratch.add_used_n(b, c);
+                    if track {
+                        leaders += i64::from(delta) * c as i64;
+                    }
+                }
+                executed = bulk;
+            } else {
+                for i in 0..bulk as usize {
+                    let s = scratch.init_seq[i] as usize;
+                    let t = scratch.resp_seq[i] as usize;
+                    let (a, b, delta, _) =
+                        self.shared.lane_effect(&mut self.lanes[pos], s, t, false);
+                    // The urns only need regrowing when the effect interned
+                    // a new lane slot — rare after warm-up, so the
+                    // per-interaction call is gated on actual growth.
+                    let slots = self.lanes[pos].slots();
+                    if slots != known_slots {
+                        scratch.ensure_states(slots);
+                        known_slots = slots;
+                    }
+                    scratch.add_used(a);
+                    scratch.add_used(b);
+                    executed += 1;
+                    if track {
+                        leaders += i64::from(delta);
+                        if walk && delta != 0 && leaders == 1 {
+                            hit = true;
+                            // Return the reserved-but-unexecuted tail to
+                            // the fresh urn; those agents never interacted.
+                            for j in i + 1..bulk as usize {
+                                let init = scratch.init_seq[j] as usize;
+                                scratch.return_fresh(init);
+                                let resp = scratch.resp_seq[j] as usize;
+                                scratch.return_fresh(resp);
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+            let mut consumed = executed;
+            if collide && !hit {
+                debug_assert_eq!(executed, bulk);
+                let used = scratch.used_total;
+                let fresh = scratch.fresh_total;
+                let w_uu = used * (used - 1);
+                let w_uf = used * fresh;
+                let pick = self.lanes[pos].rng.below(w_uu + 2 * w_uf);
+                let (iu, ru) = if pick < w_uu {
+                    (true, true)
+                } else if pick < w_uu + w_uf {
+                    (true, false)
+                } else {
+                    (false, true)
+                };
+                let (s, t) = {
+                    let lane = &mut self.lanes[pos];
+                    let s = scratch.draw_one(&mut lane.rng, iu);
+                    let t = scratch.draw_one(&mut lane.rng, ru);
+                    (s, t)
+                };
+                let (a, b, delta, _) = self.shared.lane_effect(&mut self.lanes[pos], s, t, false);
+                scratch.ensure_states(self.lanes[pos].slots());
+                scratch.add_used(a);
+                scratch.add_used(b);
+                consumed += 1;
+                self.stats.collision_interactions += 1;
+                if track {
+                    leaders += i64::from(delta);
+                    hit = leaders == 1 && delta != 0;
+                }
+            }
+            debug_assert!(!track || hit == (leaders == 1));
+            let lane = &mut self.lanes[pos];
+            scratch.ensure_states(lane.slots());
+            let mut support = lane.support;
+            for slot in 0..lane.slots() {
+                let new = scratch.fresh[slot] + scratch.used[slot];
+                let gid = lane.slot_gid[slot] as usize;
+                let cell = &mut self.shared.counts[gid * w + pos];
+                let old = *cell;
+                if new != old {
+                    *cell = new;
+                    support = support + usize::from(old == 0) - usize::from(new == 0);
+                }
+            }
+            lane.support = support;
+            lane.steps += consumed;
+            lane.leaders = leaders;
+            lane.scratch = scratch;
+            self.stats.episodes += 1;
+            self.stats.bulk_interactions += executed;
+        }
+    }
+
+    /// Null-dominated lanes under the scalar jump scheduler's engage rule:
+    /// positions whose known-null pairs carry at least
+    /// `1 − 1/jump_engage_factor` of the scheduler weight. Reads the SoA
+    /// (callers sync first) and the compiled cache's null-pair set.
+    fn null_dominated_lanes(&self) -> Vec<usize> {
+        if self.n > u64::from(u32::MAX) || !self.shared.pairs.is_active() {
+            return Vec::new();
+        }
+        let mut nulls: Vec<(usize, usize)> = Vec::new();
+        self.shared.pairs.for_each_filled(|s, t, entry| {
+            if compiled::unpack(entry).3 {
+                nulls.push((s, t));
+            }
+        });
+        if nulls.is_empty() {
+            return Vec::new();
+        }
+        let w = self.shared.width;
+        let w_total = self.n * (self.n - 1);
+        (0..self.lanes.len())
+            .filter(|&pos| {
+                let w_null: u64 = nulls
+                    .iter()
+                    .map(|&(s, t)| {
+                        let cs = self.shared.counts[s * w + pos];
+                        let ct = self.shared.counts[t * w + pos];
+                        cs * ct.saturating_sub(u64::from(s == t))
+                    })
+                    .sum();
+                let w_active = w_total - w_null.min(w_total);
+                w_active.saturating_mul(self.config.jump_engage_factor) <= w_total
+            })
+            .collect()
+    }
+}
+
+impl<P: LeaderElection, R: Rng64> WideSimulation<P, R> {
+    /// Primes per-state leader flags and retrofits cached leader deltas,
+    /// exactly like the scalar engine.
+    fn prime_role_tracking(&mut self) {
+        if self.shared.leader_output.is_some() {
+            return;
+        }
+        self.shared.leader_output = Some(Role::Leader);
+        for i in 0..self.shared.states.len() {
+            self.shared.leader_flags[i] = i8::from(self.shared.outputs[i] == Role::Leader);
+        }
+        let flags = &self.shared.leader_flags;
+        self.shared.pairs.for_each_filled_mut(|s, t, entry| {
+            let (a, b, _, null) = compiled::unpack(*entry);
+            let delta = flags[a] + flags[b] - flags[s] - flags[t];
+            *entry = compiled::pack(a, b, delta, null);
+        });
+    }
+
+    /// The current leader count of every live lane, computed by a dense
+    /// row sweep of the SoA matrix (the lane dimension is contiguous, so
+    /// the per-row accumulation autovectorizes).
+    pub fn leader_counts(&mut self) -> Vec<u64> {
+        self.sync_soa();
+        let w = self.shared.width;
+        let mut acc = vec![0u64; w];
+        for (gid, &flag) in self.shared.leader_flags.iter().enumerate() {
+            if flag != 0 {
+                let row = &self.shared.counts[gid * w..(gid + 1) * w];
+                for (a, &c) in acc.iter_mut().zip(row) {
+                    *a += c;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Runs every lane until it has exactly one leader or `max_steps`
+    /// interactions, retiring lanes as they finish so live lanes stay
+    /// dense. Under the auto policy, null-dominated lanes are spilled out
+    /// for scalar completion (see the module docs) unless
+    /// [`set_spill`](Self::set_spill) disabled it.
+    ///
+    /// Step counts are exact on every path: per-step chunks stop at the
+    /// hitting interaction, and batch rounds that could touch a count of 1
+    /// resolve through the exact shuffled walk — identical semantics (and,
+    /// under pinned policies, identical bits) to the scalar driver.
+    pub fn run_until_single_leader(&mut self, max_steps: u64) -> WideElection<P::State, R> {
+        self.prime_role_tracking();
+        let counts = self.leader_counts();
+        for (lane, leaders) in self.lanes.iter_mut().zip(counts) {
+            lane.leaders = leaders as i64;
+        }
+        let mut outcomes: Vec<Option<RunOutcome>> =
+            vec![None; self.lanes.iter().map(|l| l.index + 1).max().unwrap_or(0)];
+        let mut spilled = Vec::new();
+        loop {
+            // Retirement pass: the scalar driver checks convergence before
+            // the budget, so a lane converging exactly at the budget
+            // boundary counts as converged.
+            let mut pos = self.lanes.len();
+            while pos > 0 {
+                pos -= 1;
+                let lane = &self.lanes[pos];
+                let outcome = if lane.leaders == 1 {
+                    Some(RunOutcome {
+                        steps: lane.steps,
+                        converged: true,
+                    })
+                } else if lane.steps >= max_steps {
+                    Some(RunOutcome {
+                        steps: lane.steps,
+                        converged: false,
+                    })
+                } else {
+                    None
+                };
+                if let Some(outcome) = outcome {
+                    let lane = self.remove_lane(pos);
+                    outcomes[lane.index] = Some(outcome);
+                }
+            }
+            if self.lanes.is_empty() {
+                break;
+            }
+            let review_due = self.policy == WideTierPolicy::Auto && self.steps() >= self.review_at;
+            self.review();
+            if review_due && self.spill {
+                self.sync_soa();
+                let dominated = self.null_dominated_lanes();
+                for &pos in dominated.iter().rev() {
+                    spilled.push(self.export_lane(pos));
+                }
+                if self.lanes.is_empty() {
+                    break;
+                }
+            }
+            if self.batch_mode {
+                let budgets: Vec<u64> = self.lanes.iter().map(|l| max_steps - l.steps).collect();
+                self.batch_round(&budgets, true);
+            } else {
+                for pos in 0..self.lanes.len() {
+                    let lane_steps = self.lanes[pos].steps;
+                    if self.lanes[pos].leaders == 1 || lane_steps >= max_steps {
+                        continue;
+                    }
+                    let burst = CONVERGENCE_BATCH.min(max_steps - lane_steps).max(1);
+                    lane_chunk(&mut self.shared, &mut self.lanes[pos], burst, true);
+                }
+            }
+        }
+        WideElection { outcomes, spilled }
+    }
+}
+
+impl<P: Protocol> WideSimulation<P, Xoshiro256PlusPlus> {
+    /// Convenience constructor: `width` lanes seeded with the RNG streams
+    /// [`rng_at`](pp_rand::SeedSequence::rng_at)`(0..width)` of `seq`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::PopulationTooSmall`] when `n < 2`.
+    pub fn from_seed_sequence(
+        protocol: P,
+        n: usize,
+        seq: &pp_rand::SeedSequence,
+        width: usize,
+    ) -> Result<Self, EngineError> {
+        let rngs = (0..width as u64).map(|i| seq.rng_at(i)).collect();
+        Self::new(protocol, n, rngs)
+    }
+}
+
+/// Executes up to `max` per-step interactions on one lane, replicating the
+/// scalar `run_chunk`/`leader_chunk` semantics (and RNG order) exactly:
+/// the hot loop runs on cache hits whose successor states the lane has
+/// already occupied; a cache miss — or a hit whose successors the lane
+/// occupies for the first time — carries the drawn pair out of the loop
+/// and completes it through the compile/intern path, consuming no extra
+/// randomness. With `track`, cached leader deltas accumulate into the
+/// lane's running count and the chunk stops the moment it hits exactly 1.
+///
+/// Returns `(consumed, hit)`.
+fn lane_chunk<P: Protocol, R: Rng64>(
+    shared: &mut Shared<P>,
+    lane: &mut Lane<R>,
+    max: u64,
+    track: bool,
+) -> (u64, bool) {
+    let mut pending = None;
+    let mut done = 0u64;
+    let mut count = lane.leaders;
+    let mut hit = false;
+    {
+        let Lane {
+            tree,
+            rng,
+            slot_gid,
+            gid_slot,
+            support,
+            ..
+        } = lane;
+        let pairs = &shared.pairs;
+        let mut sup = *support;
+        while done < max {
+            let Ok((s, t)) = tree.sample_pair_distinct(rng) else {
+                debug_assert!(false, "population has >= 2 agents");
+                break;
+            };
+            let gs = slot_gid[s] as usize;
+            let gt = slot_gid[t] as usize;
+            let entry = pairs.get(gs, gt);
+            if entry == compiled::EMPTY {
+                pending = Some((s, t));
+                break;
+            }
+            let (ga, gb, delta, _) = compiled::unpack(entry);
+            let a = gid_slot.get(ga).copied().unwrap_or(NO_SLOT);
+            let b = gid_slot.get(gb).copied().unwrap_or(NO_SLOT);
+            if a == NO_SLOT || b == NO_SLOT {
+                pending = Some((s, t));
+                break;
+            }
+            let (Ok(e1), Ok(e2)) = (tree.transfer(s, a as usize), tree.transfer(t, b as usize))
+            else {
+                debug_assert!(false, "lane slots exist");
+                break;
+            };
+            sup = sup + usize::from(e1.populated) + usize::from(e2.populated)
+                - usize::from(e1.emptied)
+                - usize::from(e2.emptied);
+            done += 1;
+            if track && delta != 0 {
+                count += i64::from(delta);
+                if count == 1 {
+                    hit = true;
+                    break;
+                }
+            }
+        }
+        *support = sup;
+    }
+    lane.steps += done;
+    if let Some((s, t)) = pending {
+        if !hit {
+            lane.steps += 1;
+            done += 1;
+            let (a, b, delta, _) = shared.lane_effect(lane, s, t, true);
+            let (Ok(e1), Ok(e2)) = (lane.tree.transfer(s, a), lane.tree.transfer(t, b)) else {
+                unreachable!("lane slots exist");
+            };
+            lane.support = lane.support + usize::from(e1.populated) + usize::from(e2.populated)
+                - usize::from(e1.emptied)
+                - usize::from(e2.emptied);
+            if track && delta != 0 {
+                count += i64::from(delta);
+                hit = count == 1;
+            }
+        }
+    }
+    lane.leaders = count;
+    (done, hit)
+}
+
+/// Every lane's collision-free prefix length, resolved against the shared
+/// survival-product table.
+///
+/// The scalar sampler multiplies a running product `P` by a per-step
+/// factor that depends only on `n` and the step index `m` — never on the
+/// lane — and stops at the first `m` with `u ≥ P`. So all lanes walk the
+/// *same* product sequence `P₁ ≥ P₂ ≥ …`, and the table can be built once
+/// (with exactly the scalar multiply order, so every entry is
+/// bit-identical to the scalar running product) and binary-searched per
+/// lane: `O(log)` per lane-round instead of the scalar's `O(√n)` loop.
+/// The search predicate `P[j] > u` is the scalar's survival test verbatim,
+/// and the sequence is monotone non-increasing even in f64 (each factor is
+/// in `[0, 1]`, and rounding a product `v ≤ x` to nearest cannot land
+/// above the representable `x`), so the resulting `(length, collides)`
+/// pairs match the scalar sampler bit for bit.
+fn prefix_lockstep(
+    n: u64,
+    uniforms: &[f64],
+    budgets: &[u64],
+    bulks: &mut [u64],
+    collides: &mut [bool],
+    survival: &mut Vec<f64>,
+) {
+    debug_assert!(n >= 2);
+    let denom = n as f64 * (n - 1) as f64;
+    if survival.is_empty() {
+        survival.push(1.0);
+    }
+    for i in 0..uniforms.len() {
+        let u = uniforms[i];
+        let budget = budgets[i];
+        debug_assert!(budget >= 1);
+        // Extend until some entry fails a lane's survival test or the
+        // budget is covered. Entries hit exact 0.0 once the fresh urn runs
+        // out (and `0.0 > u` is false for any uniform), so this terminates
+        // after at most ~n/2 entries even for `u = 0`.
+        while *survival.last().expect("seeded above") > u && survival.len() as u64 <= budget {
+            let m = survival.len() as u64 - 1;
+            let fresh = n - 2 * m.min(n / 2);
+            let step = if fresh >= 2 {
+                fresh as f64 * (fresh - 1) as f64 / denom
+            } else {
+                0.0
+            };
+            let next = survival[survival.len() - 1] * step;
+            survival.push(next);
+        }
+        if *survival.last().expect("seeded above") > u {
+            // Every product within the budget survives: the scalar loop
+            // exhausts the budget before any check fails.
+            bulks[i] = budget;
+            collides[i] = false;
+        } else {
+            // First failing index `j` means steps `0..j-1` were
+            // collision-free and step `j-1` (0-based `m = j-1`) collides —
+            // unless the scalar loop's budget check at `m = budget` fires
+            // first.
+            let j = 1 + survival[1..].partition_point(|&p| p > u);
+            if (j as u64) <= budget {
+                bulks[i] = j as u64 - 1;
+                collides[i] = true;
+            } else {
+                bulks[i] = budget;
+                collides[i] = false;
+            }
+        }
+    }
+}
+
+/// Fisher–Yates shuffles of the active lanes' round sequences, interleaved
+/// across lanes at the swap-index level in blocks of
+/// [`SHUFFLE_LANE_BLOCK`]. Every lane's own sequence of `index(i + 1)`
+/// draws runs in descending `i` — exactly the scalar [`Rng64::shuffle`]
+/// order — so per-lane RNG streams are untouched by the interleaving; it
+/// only turns serial dependency chains into independent work the core can
+/// overlap, and the block width caps the live working set at a few
+/// sequences so the swaps stay in L1.
+///
+/// `responders` picks which sequence shuffles; `walk_filter` (the
+/// initiator pass) restricts the pass to lanes running the exact walk.
+fn shuffle_lockstep<R: Rng64>(
+    lanes: &mut [Lane<R>],
+    active: &[usize],
+    scratches: &mut [BatchScratch],
+    responders: bool,
+    walk_filter: Option<&[bool]>,
+) {
+    let included = |k: usize| walk_filter.map_or(true, |f| f[k]);
+    for block in 0..active.len().div_ceil(SHUFFLE_LANE_BLOCK) {
+        let base = block * SHUFFLE_LANE_BLOCK;
+        let end = (base + SHUFFLE_LANE_BLOCK).min(active.len());
+        let max_len = (base..end)
+            .filter(|&k| included(k))
+            .map(|k| {
+                if responders {
+                    scratches[k].resp_seq.len()
+                } else {
+                    scratches[k].init_seq.len()
+                }
+            })
+            .max()
+            .unwrap_or(0);
+        if max_len < 2 {
+            continue;
+        }
+        for i in (1..max_len).rev() {
+            for k in base..end {
+                if !included(k) {
+                    continue;
+                }
+                let seq = if responders {
+                    &mut scratches[k].resp_seq
+                } else {
+                    &mut scratches[k].init_seq
+                };
+                if seq.len() > i {
+                    let j = lanes[active[k]].rng.index(i + 1);
+                    seq.swap(i, j);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! The wide lane engine's pinned policies must be **bit-identical**, lane
+//! by lane, to the scalar count engine: each lane consumes its own RNG
+//! stream in exactly the scalar draw order, so under
+//! [`WideTierPolicy::PinnedPerStep`] every lane must match a scalar run
+//! with the jump and batch tiers (and compaction) disabled, and under
+//! [`WideTierPolicy::PinnedBatch`] a scalar run under `force_batch_mode`.
+//!
+//! The suite pins that equivalence on fratricide and — via proptest — on
+//! randomly generated small protocols, through both fixed-budget runs
+//! (comparing exact per-lane configurations) and elections (comparing
+//! outcomes). Early retirement and the lane-dimension SoA compaction are
+//! exercised by staggered convergence and staggered budgets (mixed
+//! converged/budget-out retirement down to a single survivor), plus the
+//! W = 1 and all-converge-at-the-same-step edges. The auto policy's
+//! heuristic dispatch is covered in law by `tests/wide_law.rs`; here it
+//! gets determinism, spill-completion, and compaction-invariant coverage.
+
+use pp_engine::wide::{WideSimulation, WideTierPolicy};
+use pp_engine::{CountSimulation, EngineConfig, LeaderElection, Protocol, Role, RunOutcome};
+use pp_rand::{SeedSequence, Xoshiro256PlusPlus};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+struct Frat;
+
+impl Protocol for Frat {
+    type State = bool;
+    type Output = Role;
+    fn initial_state(&self) -> bool {
+        true
+    }
+    fn transition(&self, a: &bool, b: &bool) -> (bool, bool) {
+        if *a && *b {
+            (true, false)
+        } else {
+            (*a, *b)
+        }
+    }
+    fn output(&self, s: &bool) -> Role {
+        if *s {
+            Role::Leader
+        } else {
+            Role::Follower
+        }
+    }
+}
+
+impl LeaderElection for Frat {
+    fn monotone_leaders(&self) -> bool {
+        true
+    }
+}
+
+/// A protocol given by an explicit transition table over states `0..k`.
+#[derive(Debug, Clone)]
+struct TableProtocol {
+    k: u8,
+    /// `table[(a * k + b)] = (a', b')`.
+    table: Vec<(u8, u8)>,
+}
+
+impl Protocol for TableProtocol {
+    type State = u8;
+    type Output = Role;
+
+    fn initial_state(&self) -> u8 {
+        0
+    }
+
+    fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+        self.table[(*a as usize) * self.k as usize + (*b as usize)]
+    }
+
+    fn output(&self, s: &u8) -> Role {
+        if *s == 0 {
+            Role::Leader
+        } else {
+            Role::Follower
+        }
+    }
+}
+
+impl LeaderElection for TableProtocol {}
+
+/// Compaction renumbers scalar slots by count order while the pinned wide
+/// policies never compact, so the bit-identity comparison pins it off on
+/// the scalar twin (and, for symmetry, the wide side).
+fn pinned_config() -> EngineConfig {
+    EngineConfig {
+        compaction: false,
+        ..EngineConfig::default()
+    }
+}
+
+/// The scalar configuration a pinned wide policy is bit-identical to.
+fn scalar_twin<P: LeaderElection>(
+    protocol: P,
+    n: usize,
+    rng: Xoshiro256PlusPlus,
+    policy: WideTierPolicy,
+) -> CountSimulation<P, Xoshiro256PlusPlus> {
+    let mut sim = CountSimulation::with_config(protocol, n, rng, pinned_config()).expect("n >= 2");
+    match policy {
+        WideTierPolicy::PinnedPerStep => {
+            sim.set_jump_scheduler(false);
+            sim.set_batch_tier(false);
+        }
+        WideTierPolicy::PinnedBatch => sim.force_batch_mode(),
+        WideTierPolicy::Auto => unreachable!("auto has no scalar twin"),
+    }
+    sim
+}
+
+fn pinned_wide<P: LeaderElection + Clone>(
+    protocol: &P,
+    n: usize,
+    seq: &SeedSequence,
+    width: usize,
+    policy: WideTierPolicy,
+) -> WideSimulation<P, Xoshiro256PlusPlus> {
+    WideSimulation::with_config(
+        protocol.clone(),
+        n,
+        seq.rngs(width),
+        pinned_config(),
+        policy,
+    )
+    .expect("n >= 2")
+}
+
+#[test]
+fn pinned_elections_match_scalar_lane_by_lane() {
+    for (policy, n, salt) in [
+        (WideTierPolicy::PinnedPerStep, 192usize, 1u64),
+        (WideTierPolicy::PinnedBatch, 256, 2),
+    ] {
+        let width = 8;
+        let seq = SeedSequence::new(salt);
+        let mut wide = pinned_wide(&Frat, n, &seq, width, policy);
+        let election = wide.run_until_single_leader(u64::MAX);
+        assert!(election.spilled.is_empty(), "pinned policies never spill");
+        for lane in 0..width {
+            let mut scalar = scalar_twin(Frat, n, seq.rng_at(lane as u64), policy);
+            let out = scalar.run_until_single_leader(u64::MAX);
+            assert!(out.converged);
+            assert_eq!(
+                election.outcomes[lane],
+                Some(out),
+                "{policy:?} lane {lane} diverged from its scalar twin"
+            );
+        }
+    }
+}
+
+#[test]
+fn pinned_fixed_budget_runs_match_scalar_configurations() {
+    for policy in [WideTierPolicy::PinnedPerStep, WideTierPolicy::PinnedBatch] {
+        let (n, width, budget) = (160, 4, 5000u64);
+        let seq = SeedSequence::new(7);
+        let mut wide = pinned_wide(&Frat, n, &seq, width, policy);
+        wide.run(budget);
+        for lane in 0..width {
+            let mut scalar = scalar_twin(Frat, n, seq.rng_at(lane as u64), policy);
+            scalar.run(budget);
+            assert_eq!(wide.lane_steps(lane), scalar.steps(), "{policy:?}");
+            assert_eq!(
+                wide.lane_state_counts(lane),
+                scalar.state_counts(),
+                "{policy:?} lane {lane} configuration diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_lane_equals_scalar() {
+    for policy in [WideTierPolicy::PinnedPerStep, WideTierPolicy::PinnedBatch] {
+        let seq = SeedSequence::new(9);
+        let mut wide = pinned_wide(&Frat, 128, &seq, 1, policy);
+        let election = wide.run_until_single_leader(u64::MAX);
+        let mut scalar = scalar_twin(Frat, 128, seq.rng_at(0), policy);
+        let out = scalar.run_until_single_leader(u64::MAX);
+        assert_eq!(election.outcomes, vec![Some(out)], "{policy:?}");
+    }
+}
+
+#[test]
+fn all_lanes_converge_at_the_same_step() {
+    // n = 2 fratricide: the very first interaction is L,L → L,F in every
+    // lane, so the whole lane set retires in one retirement pass.
+    let seq = SeedSequence::new(3);
+    let mut wide = WideSimulation::new(Frat, 2, seq.rngs(6)).expect("n >= 2");
+    wide.set_spill(false);
+    let election = wide.run_until_single_leader(u64::MAX);
+    assert!(election.spilled.is_empty());
+    for outcome in election.outcomes {
+        assert_eq!(
+            outcome,
+            Some(RunOutcome {
+                steps: 1,
+                converged: true
+            })
+        );
+    }
+    assert_eq!(wide.lanes(), 0);
+}
+
+#[test]
+fn staggered_budgets_retire_lanes_exactly_like_scalar() {
+    // A budget between the lanes' scalar convergence times mixes converged
+    // and budget-out retirement and compacts the lane dimension down to a
+    // single survivor; every outcome must still match the scalar twin.
+    let (n, width) = (128, 6);
+    let seq = SeedSequence::new(11);
+    let scalar_steps: Vec<u64> = (0..width)
+        .map(|lane| {
+            let mut scalar = scalar_twin(
+                Frat,
+                n,
+                seq.rng_at(lane as u64),
+                WideTierPolicy::PinnedPerStep,
+            );
+            scalar.run_until_single_leader(u64::MAX).steps
+        })
+        .collect();
+    let mut sorted = scalar_steps.clone();
+    sorted.sort_unstable();
+    let budget = sorted[width - 2];
+    let mut wide = pinned_wide(&Frat, n, &seq, width, WideTierPolicy::PinnedPerStep);
+    let election = wide.run_until_single_leader(budget);
+    for lane in 0..width {
+        let mut scalar = scalar_twin(
+            Frat,
+            n,
+            seq.rng_at(lane as u64),
+            WideTierPolicy::PinnedPerStep,
+        );
+        let out = scalar.run_until_single_leader(budget);
+        assert_eq!(election.outcomes[lane], Some(out), "lane {lane}");
+    }
+    let unconverged = election
+        .outcomes
+        .iter()
+        .filter(|o| !o.expect("all lanes retired").converged)
+        .count();
+    assert!(unconverged >= 1, "budget retired no lane early");
+    assert!(unconverged < width, "budget retired every lane");
+}
+
+#[test]
+fn wide_runs_are_deterministic() {
+    // Same seeds, same policy → identical outcomes and identical spill
+    // exports, including under the heuristic auto policy.
+    let run = || {
+        let seq = SeedSequence::new(17);
+        let mut wide = WideSimulation::new(Frat, 1024, seq.rngs(4)).expect("n >= 2");
+        let election = wide.run_until_single_leader(u64::MAX);
+        type SpillKey = (usize, u64, Vec<(bool, u64)>);
+        let spills: Vec<SpillKey> = election
+            .spilled
+            .iter()
+            .map(|e| (e.index, e.steps, e.counts.clone()))
+            .collect();
+        (election.outcomes, spills)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn auto_spilled_lanes_complete_on_the_scalar_engine() {
+    // Fratricide's election tail is null-dominated (only L,L pairs act), so
+    // under the auto policy every lane eventually spills; the export must
+    // hand back the exact configuration, step counter, and RNG so the
+    // scalar engine (whose jump scheduler telescopes the tail) finishes it.
+    let (n, width) = (2048usize, 4);
+    let seq = SeedSequence::new(21);
+    let mut wide = WideSimulation::new(Frat, n, seq.rngs(width)).expect("n >= 2");
+    let election = wide.run_until_single_leader(u64::MAX);
+    assert!(
+        !election.spilled.is_empty(),
+        "fratricide lanes never became null-dominated"
+    );
+    let mut finished = vec![false; width];
+    for (lane, outcome) in election.outcomes.iter().enumerate() {
+        if let Some(outcome) = outcome {
+            assert!(outcome.converged);
+            finished[lane] = true;
+        }
+    }
+    for export in election.spilled {
+        let total: u64 = export.counts.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, n as u64, "spill lost agents");
+        let mut scalar =
+            CountSimulation::from_counts(Frat, export.counts, export.rng).expect("n >= 2");
+        let out = scalar.run_until_single_leader(u64::MAX);
+        assert!(out.converged);
+        assert_eq!(scalar.leader_count(), 1);
+        assert!(!finished[export.index], "lane finished twice");
+        finished[export.index] = true;
+    }
+    assert!(finished.iter().all(|&f| f), "a lane was lost");
+}
+
+#[test]
+fn auto_engages_batch_rounds_above_the_population_floor() {
+    // n ≥ batch_min_population with a 2-state support: the first review
+    // must switch the lane set into batch rounds; fratricide lanes then
+    // spill out of the null-dominated tail and finish on the scalar engine.
+    let (n, width) = (8192usize, 4);
+    let seq = SeedSequence::new(33);
+    let mut wide = WideSimulation::new(Frat, n, seq.rngs(width)).expect("n >= 2");
+    let election = wide.run_until_single_leader(u64::MAX);
+    assert!(wide.batch_stats().episodes > 0, "batch tier never engaged");
+    let mut finished = 0;
+    for outcome in election.outcomes.iter().flatten() {
+        assert!(outcome.converged);
+        finished += 1;
+    }
+    for export in election.spilled {
+        let mut scalar =
+            CountSimulation::from_counts(Frat, export.counts, export.rng).expect("n >= 2");
+        assert!(scalar.run_until_single_leader(u64::MAX).converged);
+        finished += 1;
+    }
+    assert_eq!(finished, width);
+}
+
+/// A state-unbounded "generation" protocol: agents adopt the max value
+/// they've seen, and two equal agents advance to the next generation. The
+/// live support stays tiny while hundreds of dead generations accumulate —
+/// the workload lane-slot and global-id compaction exist for.
+#[derive(Debug, Clone, Copy)]
+struct Generations;
+
+impl Protocol for Generations {
+    type State = u32;
+    type Output = Role;
+    fn initial_state(&self) -> u32 {
+        0
+    }
+    fn transition(&self, a: &u32, b: &u32) -> (u32, u32) {
+        if a == b {
+            (a + 1, *b)
+        } else {
+            let m = *a.max(b);
+            (m, m)
+        }
+    }
+    fn output(&self, _s: &u32) -> Role {
+        Role::Follower
+    }
+}
+
+#[test]
+fn lane_and_global_compaction_keep_lanes_exact() {
+    // Auto policy with compaction live: each lane interns hundreds of
+    // generation states while its support stays a handful, forcing lane
+    // slot compaction and global id reclamation. The observable contract:
+    // every lane's configuration still sums to n, every count is reachable,
+    // and the live id space stays far below the states seen.
+    let (n, width, budget) = (64usize, 3, 200_000u64);
+    let seq = SeedSequence::new(41);
+    let mut wide = WideSimulation::new(Generations, n, seq.rngs(width)).expect("n >= 2");
+    wide.run(budget);
+    assert!(
+        wide.distinct_states_seen() > 128,
+        "workload too small to exercise compaction: {} states",
+        wide.distinct_states_seen()
+    );
+    assert!(
+        wide.live_states() < wide.distinct_states_seen() / 2,
+        "global id space was never compacted: {} live ids for {} states seen",
+        wide.live_states(),
+        wide.distinct_states_seen()
+    );
+    for lane in 0..width {
+        assert_eq!(wide.lane_steps(lane), budget);
+        let counts = wide.lane_state_counts(lane);
+        let total: u64 = counts.values().sum();
+        assert_eq!(total, n as u64, "lane {lane} lost agents");
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_protocols_match_scalar_lane_by_lane(
+        k in 2u8..6,
+        table_seed in 0u64..1_000_000,
+        salt in 0u64..1_000_000,
+        n in 8usize..64,
+        width in 1usize..5,
+        pinned_batch in any::<bool>(),
+    ) {
+        // Build a random transition table from the seed (deterministic).
+        let mut t = Xoshiro256PlusPlus::seed_from_u64(table_seed);
+        use pp_rand::Rng64;
+        let table: Vec<(u8, u8)> = (0..(k as usize * k as usize))
+            .map(|_| ((t.below(k as u64)) as u8, (t.below(k as u64)) as u8))
+            .collect();
+        let protocol = TableProtocol { k, table };
+        let policy = if pinned_batch {
+            WideTierPolicy::PinnedBatch
+        } else {
+            WideTierPolicy::PinnedPerStep
+        };
+
+        let seq = SeedSequence::new(salt);
+        let mut wide = pinned_wide(&protocol, n, &seq, width, policy);
+        wide.run(512);
+        for lane in 0..width {
+            prop_assert_eq!(wide.lane_steps(lane), 512);
+        }
+        let election = wide.run_until_single_leader(2048);
+        prop_assert!(election.spilled.is_empty());
+        for lane in 0..width {
+            let mut scalar = scalar_twin(protocol.clone(), n, seq.rng_at(lane as u64), policy);
+            scalar.run(512);
+            let out = scalar.run_until_single_leader(2048);
+            prop_assert_eq!(election.outcomes[lane], Some(out));
+        }
+    }
+}

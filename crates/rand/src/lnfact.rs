@@ -12,13 +12,35 @@
 /// `ln(2π) / 2`.
 const HALF_LN_TWO_PI: f64 = 0.918_938_533_204_672_8;
 
+/// Arguments below this bound are served from a precomputed table. The
+/// samplers' small arguments (a hypergeometric draw count and the sampled
+/// value, both bounded by the batch tier's `Θ(√n)` round length) land here
+/// on nearly every call, turning two of the four `ln` evaluations per
+/// acceptance test into loads.
+const TABLE_LEN: usize = 1024;
+
+/// Lazily computed `ln k!` for `k < TABLE_LEN`, filled by [`ln_factorial_uncached`]
+/// itself so cached and uncached answers are bit-identical.
+static SMALL: std::sync::OnceLock<Vec<f64>> = std::sync::OnceLock::new();
+
 /// `ln(k!)`.
 ///
 /// Exact (one correctly-rounded `ln` of an exact integer) for `k < 16`;
 /// Stirling's series with four correction terms beyond, with error below
-/// `1e-13` relative at the crossover and falling as `k⁻⁹`.
+/// `1e-13` relative at the crossover and falling as `k⁻⁹`. Values below
+/// [`TABLE_LEN`] are served from a table precomputed by the same code
+/// path, so caching never changes a result bit.
 #[inline]
 pub(crate) fn ln_factorial(k: u64) -> f64 {
+    if k < TABLE_LEN as u64 {
+        return SMALL.get_or_init(|| (0..TABLE_LEN as u64).map(ln_factorial_uncached).collect())
+            [k as usize];
+    }
+    ln_factorial_uncached(k)
+}
+
+/// The direct evaluation behind [`ln_factorial`].
+fn ln_factorial_uncached(k: u64) -> f64 {
     if k < 16 {
         // 15! = 1_307_674_368_000 is exactly representable.
         let mut f = 1u64;
@@ -83,6 +105,16 @@ mod tests {
                     c = c * (n - k) / (k + 1);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn table_is_bit_identical_to_direct_evaluation() {
+        for k in 0..TABLE_LEN as u64 {
+            assert_eq!(
+                ln_factorial(k).to_bits(),
+                ln_factorial_uncached(k).to_bits()
+            );
         }
     }
 

@@ -4,9 +4,11 @@
 //! Runs the engine benchmark through cargo with `BENCH_JSON_DIR` pointed at
 //! a scratch directory, then assembles the per-group JSON the criterion
 //! stand-in emits into the tracked snapshot: machine/harness metadata, the
-//! per-group benchmark records, and the two headline numbers (the `P_LL`
-//! step-rate workload on the batch tier, and the whole-election jump
-//! workload) with their speedups against the frozen pre-PR-2 baseline.
+//! per-group benchmark records, and the headline numbers (the `P_LL`
+//! step-rate workload on the batch tier, the wide lane engine's per-seed
+//! rate with its lane-scaling curve, and the whole-election jump workload)
+//! with their speedups against the frozen pre-PR-2 baseline and the scalar
+//! batch tier.
 //!
 //! ```text
 //! cargo run --release -p pp-sim --bin bench_snapshot           # full samples
@@ -77,6 +79,10 @@ fn main() {
     assert!(
         groups.contains_key("engine/count_steps_batch"),
         "batch tier group missing from bench output"
+    );
+    assert!(
+        groups.contains_key("engine/count_steps_wide"),
+        "wide lane group missing from bench output"
     );
 
     let snapshot = render_snapshot(&groups, quick);
@@ -184,6 +190,9 @@ fn today() -> String {
         .unwrap_or_else(|| "unknown".into())
 }
 
+/// Lane widths the wide group's scaling curve covers (mirrors the bench).
+const WIDE_LANE_WIDTHS: [usize; 4] = [1, 4, 8, 16];
+
 fn render_snapshot(groups: &BTreeMap<String, Vec<Record>>, quick: bool) -> String {
     let batch_pll = find(groups, "engine/count_steps_batch", "pll/1048576");
     let compiled_pll = find(groups, "engine/count_steps_compiled", "pll/1048576");
@@ -192,6 +201,27 @@ fn render_snapshot(groups: &BTreeMap<String, Vec<Record>>, quick: bool) -> Strin
     let compiled_rate = compiled_pll.elements_per_second.expect("throughput group");
     let election_secs = election.median_secs;
     let effective = ELECTION_SIM_INTERACTIONS / election_secs;
+    let wide_rate_at = |lanes: usize| {
+        find(
+            groups,
+            "engine/count_steps_wide",
+            &format!("pll/1048576/lanes/{lanes}"),
+        )
+        .elements_per_second
+        .expect("throughput group")
+    };
+    let wide8_rate = wide_rate_at(8);
+    // The scalar batch tier re-measured inside the wide group, back-to-back
+    // with the lanes/8 row: on a drifting shared machine the wide-vs-scalar
+    // ratio is only meaningful between adjacent measurements (the batch
+    // group's own row runs minutes earlier).
+    let wide_scalar_rate = find(
+        groups,
+        "engine/count_steps_wide",
+        "pll/1048576/scalar_batch",
+    )
+    .elements_per_second
+    .expect("throughput group");
 
     let mut out = String::new();
     out.push_str("{\n");
@@ -226,6 +256,33 @@ fn render_snapshot(groups: &BTreeMap<String, Vec<Record>>, quick: bool) -> Strin
         "      \"compiled_tier_interactions_per_second\": {compiled_rate},\n"
     ));
     out.push_str("      \"note\": \"The batch tier processes collision-free Theta(sqrt(n))-length rounds through multivariate hypergeometric draws, so P_LL's ~0.56 null fraction (which keeps the jump scheduler disengaged) no longer matters: per-interaction cost is O((support + sqrt(n))/sqrt(n)) amortized. This clears the PR-2 acceptance target (>= 5x the pre-compiled baseline, i.e. >= 24M int/s) that the compiled and jump tiers had missed twice. State-id compaction also shrinks the sampler tree and pair table to the live support, which is what lifts the state-unbounded lottery onto the fast tiers.\"\n");
+    out.push_str("    },\n");
+    out.push_str("    \"wide_lane_workload\": {\n");
+    out.push_str("      \"case\": \"WideSimulation / Pll / n = 2^20, 8 lanes in lockstep, mid-election steps (engine/count_steps_wide, pinned batch rounds)\",\n");
+    out.push_str(&format!(
+        "      \"per_seed_interactions_per_second\": {wide8_rate},\n"
+    ));
+    out.push_str(&format!(
+        "      \"scalar_batch_adjacent_interactions_per_second\": {wide_scalar_rate},\n"
+    ));
+    out.push_str(&format!(
+        "      \"speedup_vs_scalar_batch_tier\": {:.2},\n",
+        wide8_rate / wide_scalar_rate
+    ));
+    out.push_str("      \"lane_scaling_per_seed_interactions_per_second\": {\n");
+    for (i, &lanes) in WIDE_LANE_WIDTHS.iter().enumerate() {
+        out.push_str(&format!(
+            "        \"{lanes}\": {}{}\n",
+            wide_rate_at(lanes),
+            if i + 1 < WIDE_LANE_WIDTHS.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("      },\n");
+    out.push_str("      \"note\": \"W same-n seeds advance in lockstep through one shared compiled pair cache with structure-of-arrays counts (counts[state][lane]), one RNG stream per lane, and fixed-width lane chunking in the bulk-delta / hypergeometric-split / convergence loops. Throughput is per seed, and the speedup is against the scalar_batch row measured back-to-back inside the same group (machine drift across minutes exceeds the ratio itself). Per-lane bit-identity with the scalar engine pins each lane's RNG sequence, so the hypergeometric sampling and multiset shuffles (~80% of a batch round) cost the same wide or scalar; what lockstep amortizes is per-seed overhead (run-length prefix table, cache warmup, tier reviews, dedup'd bulk apply), which lands the per-seed ratio at parity — 0.9-1.15x run-to-run on this container — rather than scaling with W. The shared half of the optimization pass behind it (order-reusing round setup, ln-factorial table, bulk multiset expansion) benefits the scalar tier equally. Table-1 style sweeps (hundreds of seeds per n) run on exactly this path via stabilization_sweep's thread x lane bundles.\"\n");
     out.push_str("    },\n");
     out.push_str("    \"election_workload\": {\n");
     out.push_str("      \"case\": \"CountSimulation / Fratricide / n = 2^20, whole election (engine/election_jump)\",\n");

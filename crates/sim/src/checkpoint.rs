@@ -8,6 +8,24 @@
 //! last journal append / snapshot; rerunning the same sweep with the same
 //! checkpoint directory picks up where it left off.
 //!
+//! # Journal format (`ppsweep v2`)
+//!
+//! The header line fingerprints the sweep parameters **and the execution
+//! mode**. Two record kinds follow:
+//!
+//! * `done <job> <0|1> <f64-bits-hex>` — one completed job (one lane).
+//! * `wide <start> <len>` — a lane-bundle marker: the `len` `done` records
+//!   of bundle `[start, start + len)` follow as one appended block.
+//!
+//! In the default lane-bundle mode (no snapshot interval) the unit of
+//! crash recovery is the **bundle**: each [`parallel_map`] worker runs a
+//! whole [`WideSimulation`] lane bundle and journals its block in a single
+//! buffered append. A bundle missing *any* lane record (e.g. its block was
+//! torn by a crash mid-append) reruns whole on resume — wide runs are
+//! deterministic, so rerun lanes rewrite identical records. The job limit
+//! is bundle-granular: pending bundles are taken until the planned fresh
+//! lanes reach the limit (overshooting by at most `lanes − 1`).
+//!
 //! # Determinism contract
 //!
 //! A killed-then-resumed sweep aggregates into [`SweepPoint`]s that are
@@ -16,24 +34,30 @@
 //! job-index order, so every mean, variance, and quantile string downstream
 //! comes out byte-for-byte equal.
 //!
-//! With `snapshot_interval: None` each job is driven by a single
-//! `run_until_single_leader` call — exactly like [`stabilization_sweep`] —
-//! so the checkpointed sweep equals the plain sweep bit-for-bit too. With
-//! `snapshot_interval: Some(i)` jobs are driven in segments that end at fixed
-//! absolute step multiples of `i`; segment boundaries are a function of the
-//! step counter alone, so a job resumed from a snapshot replays the same
+//! With `snapshot_interval: None` each bundle is driven exactly like
+//! [`stabilization_sweep`] drives it, so the checkpointed sweep equals the
+//! plain sweep *at the same lane width* bit-for-bit too. With
+//! `snapshot_interval: Some(i)` jobs fall back to scalar single-lane
+//! [`CountSimulation`] runs driven in segments that end at fixed absolute
+//! step multiples of `i` (mid-job snapshots of a lane bundle would couple
+//! the lanes' recovery); segment boundaries are a function of the step
+//! counter alone, so a job resumed from a snapshot replays the same
 //! boundaries and stays bit-identical to the same job run without the kill
-//! *at the same interval*. (Engine tiers that cap step budgets discard
-//! in-flight draws at segment ends, so runs at *different* intervals agree
-//! in law but not bit-for-bit — compare like with like.)
+//! *at the same interval*. The two modes sample the same law but are not
+//! bit-comparable to each other, so the mode (and, in bundle mode, the
+//! lane width) is part of the journal fingerprint — resuming under a
+//! different mode or width is an `InvalidData` error, not a silent
+//! law-only answer.
 //!
 //! [`stabilization_sweep`]: crate::stabilization_sweep
+//! [`parallel_map`]: crate::parallel_map
+//! [`WideSimulation`]: pp_engine::WideSimulation
 
-use crate::runner::{sweep_jobs, SweepPoint};
+use crate::runner::{aggregate_points, run_bundle, sweep_bundles, sweep_jobs, SweepPoint};
 use pp_engine::{CountSimulation, LeaderElection, SnapshotState};
 use pp_rand::Xoshiro256PlusPlus;
-use pp_stats::Summary;
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -41,8 +65,9 @@ use std::sync::Mutex;
 /// Journal file name inside a sweep's checkpoint directory.
 const JOURNAL_FILE: &str = "journal.txt";
 
-/// Journal header prefix; the version is part of the format.
-const HEADER_PREFIX: &str = "ppsweep v1";
+/// Journal header prefix; the version is part of the format. `v2` added
+/// lane-bundle blocks and the execution mode in the fingerprint.
+const HEADER_PREFIX: &str = "ppsweep v2";
 
 /// Where and how a sweep checkpoints.
 #[derive(Debug, Clone)]
@@ -51,13 +76,17 @@ pub struct CheckpointConfig {
     /// Created if absent. One directory per sweep — sweeps must not share.
     pub dir: PathBuf,
     /// Snapshot in-flight jobs every this many simulation steps (rounded to
-    /// the next absolute multiple). `None` journals only completed jobs,
-    /// which keeps the sweep bit-identical to the uncheckpointed one.
+    /// the next absolute multiple). `None` — the default — journals only
+    /// completed lane bundles, which keeps the sweep bit-identical to the
+    /// uncheckpointed one; `Some` falls back to scalar single-lane jobs so
+    /// each snapshot captures exactly one run.
     pub snapshot_interval: Option<u64>,
     /// Stop after completing this many *fresh* (not journaled) jobs and
     /// report [`SweepStatus::Suspended`]. `None` runs to completion. Used to
     /// bound a shard's work — and by the tests to simulate crashes at
-    /// deterministic points.
+    /// deterministic points. In lane-bundle mode the limit is
+    /// bundle-granular: the last bundle taken may overshoot it by up to
+    /// `lanes − 1` jobs.
     pub job_limit: Option<usize>,
 }
 
@@ -95,13 +124,16 @@ pub enum SweepStatus {
 }
 
 /// [`crate::stabilization_sweep`] with crash recovery: journals every
-/// completed job under `ckpt.dir` and resumes from whatever a previous
-/// invocation left there.
+/// completed lane bundle under `ckpt.dir` and resumes from whatever a
+/// previous invocation left there. The lane width is
+/// [`crate::sweep_lane_width`] (the `PP_SIM_LANES` override), matching the
+/// plain sweep's.
 ///
 /// See the [module docs](self) for the determinism contract. The sweep
-/// parameters are fingerprinted into the journal header; reusing a
-/// checkpoint directory with different parameters is an error
-/// (`InvalidData`), not a silent wrong answer.
+/// parameters — including the execution mode and lane width — are
+/// fingerprinted into the journal header; reusing a checkpoint directory
+/// with different parameters is an error (`InvalidData`), not a silent
+/// wrong answer.
 ///
 /// # Errors
 ///
@@ -120,92 +152,158 @@ where
     P::State: SnapshotState,
     F: Fn(usize) -> P + Sync,
 {
+    stabilization_sweep_checkpointed_wide(
+        make,
+        ns,
+        seeds,
+        master_seed,
+        max_steps,
+        ckpt,
+        crate::sweep_lane_width(),
+    )
+}
+
+/// [`stabilization_sweep_checkpointed`] with an explicit lane-bundle width
+/// (ignoring `PP_SIM_LANES`), bit-identical to
+/// [`crate::stabilization_sweep_wide`] at the same width. `lanes` is
+/// ignored in snapshot-interval mode (scalar single-lane jobs).
+///
+/// # Errors
+///
+/// Any journal / snapshot I/O error, or a journal whose fingerprint does not
+/// match the given parameters.
+#[allow(clippy::too_many_arguments)]
+pub fn stabilization_sweep_checkpointed_wide<P, F>(
+    make: F,
+    ns: &[usize],
+    seeds: u64,
+    master_seed: u64,
+    max_steps: u64,
+    ckpt: &CheckpointConfig,
+    lanes: usize,
+) -> io::Result<SweepStatus>
+where
+    P: LeaderElection,
+    P::State: SnapshotState,
+    F: Fn(usize) -> P + Sync,
+{
     let jobs = sweep_jobs(ns, seeds, master_seed);
-    let fp = fingerprint(ns, seeds, master_seed, max_steps);
+    let lane_mode = ckpt.snapshot_interval.is_none().then_some(lanes);
+    let fp = fingerprint(ns, seeds, master_seed, max_steps, lane_mode);
     std::fs::create_dir_all(&ckpt.dir)?;
     let journal_path = ckpt.dir.join(JOURNAL_FILE);
     let mut done = load_journal(&journal_path, fp, jobs.len())?;
 
-    let pending: Vec<usize> = (0..jobs.len()).filter(|i| !done.contains_key(i)).collect();
-    let budget = ckpt.job_limit.unwrap_or(usize::MAX).min(pending.len());
-    let to_run = &pending[..budget];
-
-    if !to_run.is_empty() {
-        let journal = Mutex::new(open_journal_for_append(&journal_path, fp)?);
-        let fresh = crate::parallel_map(to_run, |&i| {
-            let (n, seed) = jobs[i];
-            let snapshot_path = job_snapshot_path(&ckpt.dir, i);
-            let (converged, time) = run_job(
-                &make,
-                n,
-                seed,
-                max_steps,
-                ckpt.snapshot_interval,
-                &snapshot_path,
-            );
-            // Journal the result before discarding the snapshot, so a crash
-            // between the two at worst redoes a completed job.
-            {
-                let mut file = journal.lock().expect("journal writers do not panic");
-                writeln!(
-                    file,
-                    "done {i} {} {:016x}",
-                    u8::from(converged),
-                    time.to_bits()
-                )
-                .and_then(|()| file.flush())
-                .expect("journal append failed");
+    let fresh_jobs = match ckpt.snapshot_interval {
+        Some(interval) => {
+            let pending: Vec<usize> = (0..jobs.len()).filter(|i| !done.contains_key(i)).collect();
+            let budget = ckpt.job_limit.unwrap_or(usize::MAX).min(pending.len());
+            let to_run = &pending[..budget];
+            if !to_run.is_empty() {
+                let journal = Mutex::new(open_journal_for_append(&journal_path, fp)?);
+                let fresh = crate::parallel_map(to_run, |&i| {
+                    let (n, seed) = jobs[i];
+                    let snapshot_path = job_snapshot_path(&ckpt.dir, i);
+                    let (converged, time) =
+                        run_job(&make, n, seed, max_steps, interval, &snapshot_path);
+                    // Journal the result before discarding the snapshot, so a
+                    // crash between the two at worst redoes a completed job.
+                    {
+                        let mut file = journal.lock().expect("journal writers do not panic");
+                        writeln!(
+                            file,
+                            "done {i} {} {:016x}",
+                            u8::from(converged),
+                            time.to_bits()
+                        )
+                        .and_then(|()| file.flush())
+                        .expect("journal append failed");
+                    }
+                    let _ = std::fs::remove_file(&snapshot_path);
+                    (i, (converged, time))
+                });
+                done.extend(fresh);
             }
-            let _ = std::fs::remove_file(&snapshot_path);
-            (i, (converged, time))
-        });
-        done.extend(fresh);
-    }
+            to_run.len()
+        }
+        None => {
+            let bundles = sweep_bundles(ns, seeds, master_seed, lanes);
+            let limit = ckpt.job_limit.unwrap_or(usize::MAX);
+            let mut to_run = Vec::new();
+            let mut planned = 0;
+            for bundle in &bundles {
+                let range = bundle.start..bundle.start + bundle.seeds.len();
+                if range.clone().all(|i| done.contains_key(&i)) {
+                    continue;
+                }
+                if planned >= limit {
+                    break;
+                }
+                // A bundle with any lane missing reruns whole: lanes share
+                // one lockstep execution, so there is no per-lane resume —
+                // but the rerun is deterministic and rewrites identical
+                // records for lanes whose block was partially journaled.
+                planned += bundle.seeds.len();
+                to_run.push(bundle);
+            }
+            if !to_run.is_empty() {
+                let journal = Mutex::new(open_journal_for_append(&journal_path, fp)?);
+                let fresh = crate::parallel_map(&to_run, |bundle| {
+                    let results = run_bundle(&make, bundle.n, &bundle.seeds, max_steps);
+                    // One buffered append per bundle: the bundle marker plus
+                    // its lane records land in a single write, so a crash
+                    // tears at most the final block (tolerated on load).
+                    let mut block = format!("wide {} {}\n", bundle.start, bundle.seeds.len());
+                    for (k, &(converged, time)) in results.iter().enumerate() {
+                        let _ = writeln!(
+                            block,
+                            "done {} {} {:016x}",
+                            bundle.start + k,
+                            u8::from(converged),
+                            time.to_bits()
+                        );
+                    }
+                    {
+                        let mut file = journal.lock().expect("journal writers do not panic");
+                        file.write_all(block.as_bytes())
+                            .and_then(|()| file.flush())
+                            .expect("journal append failed");
+                    }
+                    (bundle.start, results)
+                });
+                for (start, results) in fresh {
+                    for (k, result) in results.into_iter().enumerate() {
+                        done.insert(start + k, result);
+                    }
+                }
+            }
+            planned
+        }
+    };
 
     if done.len() < jobs.len() {
-        return Ok(SweepStatus::Suspended {
-            fresh_jobs: to_run.len(),
-        });
+        return Ok(SweepStatus::Suspended { fresh_jobs });
     }
 
     // Aggregate by contiguous job range in job-index order — the exact
     // traversal of the uncheckpointed sweep, so the summaries match it
     // bit-for-bit no matter which jobs came from the journal.
-    let points = ns
-        .iter()
-        .enumerate()
-        .map(|(ni, &n)| {
-            let mut times = Summary::new();
-            let mut unconverged = 0;
-            for i in ni * seeds as usize..(ni + 1) * seeds as usize {
-                let (converged, t) = done[&i];
-                if converged {
-                    times.push(t);
-                } else {
-                    unconverged += 1;
-                }
-            }
-            SweepPoint {
-                n,
-                times,
-                unconverged,
-            }
-        })
-        .collect();
+    let flat: Vec<(bool, f64)> = (0..jobs.len()).map(|i| done[&i]).collect();
     Ok(SweepStatus::Complete {
-        points,
-        fresh_jobs: to_run.len(),
+        points: aggregate_points(ns, seeds, &flat),
+        fresh_jobs,
     })
 }
 
-/// Runs one sweep job, resuming from its snapshot file when a readable one
-/// exists and writing fresh snapshots at every interval boundary.
+/// Runs one scalar (snapshot-interval mode) sweep job, resuming from its
+/// snapshot file when a readable one exists and writing fresh snapshots at
+/// every interval boundary.
 fn run_job<P, F>(
     make: &F,
     n: usize,
     seed: u64,
     max_steps: u64,
-    interval: Option<u64>,
+    interval: u64,
     snapshot_path: &Path,
 ) -> (bool, f64)
 where
@@ -224,28 +322,19 @@ where
             .expect("population sizes are >= 2 by construction")
     });
 
-    match interval {
-        None => {
-            let out = sim.run_until_single_leader(max_steps);
-            (out.converged, out.parallel_time(n))
+    let interval = interval.max(1);
+    loop {
+        // Next absolute boundary strictly above the current step
+        // count — identical whether this job runs straight through
+        // or resumes from any snapshot.
+        let target = (sim.steps() / interval + 1)
+            .saturating_mul(interval)
+            .min(max_steps);
+        let out = sim.run_until_single_leader(target);
+        if out.converged || sim.steps() >= max_steps {
+            return (out.converged, out.parallel_time(n));
         }
-        Some(interval) => {
-            let interval = interval.max(1);
-            loop {
-                // Next absolute boundary strictly above the current step
-                // count — identical whether this job runs straight through
-                // or resumes from any snapshot.
-                let target = (sim.steps() / interval + 1)
-                    .saturating_mul(interval)
-                    .min(max_steps);
-                let out = sim.run_until_single_leader(target);
-                if out.converged || sim.steps() >= max_steps {
-                    return (out.converged, out.parallel_time(n));
-                }
-                write_atomically(snapshot_path, &sim.snapshot())
-                    .expect("job snapshot write failed");
-            }
-        }
+        write_atomically(snapshot_path, &sim.snapshot()).expect("job snapshot write failed");
     }
 }
 
@@ -262,8 +351,19 @@ fn write_atomically(path: &Path, bytes: &[u8]) -> io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
-/// FNV-1a 64 over the sweep parameters: the journal's compatibility check.
-fn fingerprint(ns: &[usize], seeds: u64, master_seed: u64, max_steps: u64) -> u64 {
+/// FNV-1a 64 over the sweep parameters plus the execution mode: the
+/// journal's compatibility check. `lane_mode` is `Some(width)` in
+/// lane-bundle mode and `None` in snapshot-interval (scalar) mode — the
+/// two modes' results agree in law but not bit-for-bit, and neither do
+/// bundle runs at different widths, so mixing them in one journal must be
+/// rejected.
+fn fingerprint(
+    ns: &[usize],
+    seeds: u64,
+    master_seed: u64,
+    max_steps: u64,
+    lane_mode: Option<usize>,
+) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     let mut eat = |word: u64| {
         for b in word.to_le_bytes() {
@@ -278,6 +378,13 @@ fn fingerprint(ns: &[usize], seeds: u64, master_seed: u64, max_steps: u64) -> u6
     eat(seeds);
     eat(master_seed);
     eat(max_steps);
+    match lane_mode {
+        None => eat(0),
+        Some(width) => {
+            eat(1);
+            eat(width as u64);
+        }
+    }
     h
 }
 
@@ -310,6 +417,12 @@ fn load_journal(path: &Path, fp: u64, job_count: usize) -> io::Result<HashMap<us
             Some((index, result)) => {
                 done.insert(index, result);
             }
+            // Bundle markers delimit appended blocks; the lane results live
+            // in the `done` records that follow, so the marker itself
+            // carries no data — it is validated and skipped. A bundle whose
+            // block was cut short simply ends up with missing lane records
+            // and reruns.
+            None if parse_bundle_marker(line, job_count).is_some() => {}
             // Only the final record may be torn; anything else is corruption.
             None if k + 1 == records.len() => {}
             None => {
@@ -341,6 +454,21 @@ fn parse_record(line: &str, job_count: usize) -> Option<(usize, (bool, f64))> {
     }
     let time = f64::from_bits(u64::from_str_radix(bits_field, 16).ok()?);
     Some((index, (converged, time)))
+}
+
+/// Parses `wide <start> <len>`; `None` on any malformation, including a
+/// bundle range that overruns the job list.
+fn parse_bundle_marker(line: &str, job_count: usize) -> Option<()> {
+    let mut fields = line.split_ascii_whitespace();
+    if fields.next()? != "wide" {
+        return None;
+    }
+    let start: usize = fields.next()?.parse().ok()?;
+    let len: usize = fields.next()?.parse().ok()?;
+    if fields.next().is_some() || len == 0 || start.checked_add(len)? > job_count {
+        return None;
+    }
+    Some(())
 }
 
 /// Opens the journal for appending, writing the header first when the file
@@ -437,6 +565,8 @@ mod tests {
 
     #[test]
     fn uninterrupted_checkpointed_sweep_matches_plain_sweep() {
+        // Both sides read the same PP_SIM_LANES default, so the bundle
+        // compositions — and therefore every draw — coincide.
         let scratch = Scratch::new("plain_equiv");
         let ns = [16usize, 32];
         let plain = crate::stabilization_sweep(|_| Fratricide, &ns, 4, 11, u64::MAX);
@@ -454,37 +584,52 @@ mod tests {
     fn killed_and_resumed_sweep_is_bit_identical_to_clean() {
         let scratch = Scratch::new("kill_resume");
         let ns = [16usize, 24];
-        let (seeds, master) = (5u64, 77u64);
-        let plain = crate::stabilization_sweep(|_| Fratricide, &ns, seeds, master, u64::MAX);
+        let (seeds, master, width) = (5u64, 77u64, 2);
+        let plain =
+            crate::stabilization_sweep_wide(|_| Fratricide, &ns, seeds, master, u64::MAX, width);
 
-        // Crash after every 3 fresh jobs until the sweep completes.
+        // Crash after every 3 fresh jobs until the sweep completes. At
+        // width 2 each size's 5 seeds bundle as [2, 2, 1]; the
+        // bundle-granular limit takes bundles until planned fresh jobs
+        // reach 3, so the rounds complete [4, 3, 3] fresh jobs.
         let mut shard = CheckpointConfig::new(&scratch.0);
         shard.job_limit = Some(3);
-        let mut rounds = 0;
+        let mut fresh_per_round = Vec::new();
         let points = loop {
-            rounds += 1;
-            assert!(rounds < 20, "sweep failed to make progress");
-            match stabilization_sweep_checkpointed(
+            assert!(fresh_per_round.len() < 20, "sweep failed to make progress");
+            match stabilization_sweep_checkpointed_wide(
                 |_| Fratricide,
                 &ns,
                 seeds,
                 master,
                 u64::MAX,
                 &shard,
+                width,
             )
             .expect("sweep checkpoints")
             {
-                SweepStatus::Complete { points, .. } => break points,
-                SweepStatus::Suspended { fresh_jobs } => assert_eq!(fresh_jobs, 3),
+                SweepStatus::Complete { points, fresh_jobs } => {
+                    fresh_per_round.push(fresh_jobs);
+                    break points;
+                }
+                SweepStatus::Suspended { fresh_jobs } => fresh_per_round.push(fresh_jobs),
             }
         };
-        assert_eq!(rounds, 4, "10 jobs at 3 per round");
+        assert_eq!(fresh_per_round, vec![4, 3, 3], "10 jobs in width-2 bundles");
         assert_points_bit_identical(&plain, &points);
 
         // Re-invoking a finished sweep replays the journal: zero fresh jobs,
         // same points.
-        match stabilization_sweep_checkpointed(|_| Fratricide, &ns, seeds, master, u64::MAX, &shard)
-            .expect("sweep checkpoints")
+        match stabilization_sweep_checkpointed_wide(
+            |_| Fratricide,
+            &ns,
+            seeds,
+            master,
+            u64::MAX,
+            &shard,
+            width,
+        )
+        .expect("sweep checkpoints")
         {
             SweepStatus::Complete {
                 points: replayed,
@@ -556,26 +701,84 @@ mod tests {
     }
 
     #[test]
+    fn journal_rejects_mismatched_execution_modes() {
+        // Bundle-mode results at different widths — or scalar
+        // snapshot-interval results — agree in law but not bit-for-bit, so
+        // a journal written under one execution mode must refuse the others.
+        let scratch = Scratch::new("mode_mismatch");
+        let ckpt = CheckpointConfig::new(&scratch.0);
+        stabilization_sweep_checkpointed_wide(|_| Fratricide, &[16], 2, 1, u64::MAX, &ckpt, 2)
+            .expect("sweep checkpoints");
+        let err =
+            stabilization_sweep_checkpointed_wide(|_| Fratricide, &[16], 2, 1, u64::MAX, &ckpt, 3)
+                .expect_err("width mismatch must error");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let mut scalar = ckpt.clone();
+        scalar.snapshot_interval = Some(512);
+        let err = stabilization_sweep_checkpointed_wide(
+            |_| Fratricide,
+            &[16],
+            2,
+            1,
+            u64::MAX,
+            &scalar,
+            2,
+        )
+        .expect_err("mode mismatch must error");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
     fn journal_tolerates_a_torn_final_record() {
         let scratch = Scratch::new("torn_tail");
         let ckpt = CheckpointConfig::new(&scratch.0);
         let mut limited = ckpt.clone();
         limited.job_limit = Some(2);
-        stabilization_sweep_checkpointed(|_| Fratricide, &[16], 3, 9, u64::MAX, &limited)
+        stabilization_sweep_checkpointed_wide(|_| Fratricide, &[16], 3, 9, u64::MAX, &limited, 1)
             .expect("sweep checkpoints");
         // Simulate a crash mid-append: a record cut off halfway through.
         let journal = scratch.0.join(JOURNAL_FILE);
         let mut text = std::fs::read_to_string(&journal).unwrap();
         text.push_str("done 2 1 3ff");
         std::fs::write(&journal, &text).unwrap();
-        let status = stabilization_sweep_checkpointed(|_| Fratricide, &[16], 3, 9, u64::MAX, &ckpt)
-            .expect("torn tail is tolerated");
+        let status =
+            stabilization_sweep_checkpointed_wide(|_| Fratricide, &[16], 3, 9, u64::MAX, &ckpt, 1)
+                .expect("torn tail is tolerated");
         let SweepStatus::Complete { points, fresh_jobs } = status else {
             panic!("sweep must complete");
         };
         // The torn record was discarded, so its job reran.
         assert_eq!(fresh_jobs, 1);
-        let plain = crate::stabilization_sweep(|_| Fratricide, &[16], 3, 9, u64::MAX);
+        let plain = crate::stabilization_sweep_wide(|_| Fratricide, &[16], 3, 9, u64::MAX, 1);
+        assert_points_bit_identical(&plain, &points);
+    }
+
+    #[test]
+    fn torn_bundle_block_reruns_the_whole_bundle() {
+        // Cut a width-2 bundle's block after its first lane record: the
+        // bundle is incomplete, so both of its lanes rerun — and, being
+        // deterministic, land on the same points as the clean sweep.
+        let scratch = Scratch::new("torn_bundle");
+        let ckpt = CheckpointConfig::new(&scratch.0);
+        let mut limited = ckpt.clone();
+        limited.job_limit = Some(1);
+        stabilization_sweep_checkpointed_wide(|_| Fratricide, &[16], 4, 13, u64::MAX, &limited, 2)
+            .expect("sweep checkpoints");
+        let journal = scratch.0.join(JOURNAL_FILE);
+        let text = std::fs::read_to_string(&journal).unwrap();
+        // header + "wide 0 2" + two done lines: drop the final done line.
+        let mut lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "unexpected journal shape:\n{text}");
+        lines.pop();
+        std::fs::write(&journal, lines.join("\n") + "\n").unwrap();
+        let status =
+            stabilization_sweep_checkpointed_wide(|_| Fratricide, &[16], 4, 13, u64::MAX, &ckpt, 2)
+                .expect("incomplete bundles rerun");
+        let SweepStatus::Complete { points, fresh_jobs } = status else {
+            panic!("sweep must complete");
+        };
+        assert_eq!(fresh_jobs, 4, "the cut bundle plus the remaining one");
+        let plain = crate::stabilization_sweep_wide(|_| Fratricide, &[16], 4, 13, u64::MAX, 2);
         assert_points_bit_identical(&plain, &points);
     }
 
@@ -584,20 +787,21 @@ mod tests {
         let scratch = Scratch::new("corrupt_interior");
         let mut limited = CheckpointConfig::new(&scratch.0);
         limited.job_limit = Some(2);
-        stabilization_sweep_checkpointed(|_| Fratricide, &[16], 3, 9, u64::MAX, &limited)
+        stabilization_sweep_checkpointed_wide(|_| Fratricide, &[16], 3, 9, u64::MAX, &limited, 1)
             .expect("sweep checkpoints");
         let journal = scratch.0.join(JOURNAL_FILE);
         let text = std::fs::read_to_string(&journal).unwrap();
         let mut lines: Vec<&str> = text.lines().collect();
         lines.insert(1, "done garbage");
         std::fs::write(&journal, lines.join("\n") + "\n").unwrap();
-        let err = stabilization_sweep_checkpointed(
+        let err = stabilization_sweep_checkpointed_wide(
             |_| Fratricide,
             &[16],
             3,
             9,
             u64::MAX,
             &CheckpointConfig::new(&scratch.0),
+            1,
         )
         .expect_err("interior corruption must error");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
@@ -615,6 +819,22 @@ mod tests {
             "",
         ] {
             assert!(parse_record(line, 4).is_none(), "accepted `{line}`");
+        }
+    }
+
+    #[test]
+    fn bundle_marker_parser_rejects_malformed_lines() {
+        assert!(parse_bundle_marker("wide 0 2", 4).is_some());
+        assert!(parse_bundle_marker("wide 2 2", 4).is_some());
+        for line in [
+            "wide 3 2",   // overruns the job list (job_count 4)
+            "wide 0 0",   // empty bundle
+            "wide 0",     // missing length
+            "wide 0 2 x", // trailing field
+            "done 0 2",   // wrong verb
+            "",
+        ] {
+            assert!(parse_bundle_marker(line, 4).is_none(), "accepted `{line}`");
         }
     }
 }

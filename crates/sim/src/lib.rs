@@ -39,9 +39,13 @@ pub mod experiments;
 mod runner;
 
 pub use checkpoint::{
-    stabilization_sweep_checkpointed, CheckpointConfig, ExperimentCheckpoint, SweepStatus,
+    stabilization_sweep_checkpointed, stabilization_sweep_checkpointed_wide, CheckpointConfig,
+    ExperimentCheckpoint, SweepStatus,
 };
-pub use runner::{parallel_map, stabilization_sweep, stabilization_sweep_agents, SweepPoint};
+pub use runner::{
+    parallel_map, stabilization_sweep, stabilization_sweep_agents, stabilization_sweep_wide,
+    sweep_lane_width, SweepPoint,
+};
 
 use pp_stats::Table;
 

@@ -1,9 +1,88 @@
 //! Parallel execution of embarrassingly parallel experiment jobs.
+//!
+//! Two levels of parallelism compose here: [`parallel_map`] fans jobs out
+//! across worker **threads**, and [`stabilization_sweep`] packs same-`n`
+//! seeds into wide **lane bundles** (one [`WideSimulation`] advancing many
+//! seeds in lockstep through a shared pair cache) so each thread's job
+//! amortizes compilation, tier reviews, and sampling across its whole
+//! bundle. Both knobs have env overrides for reproducible benchmarking:
+//! `PP_SIM_THREADS` pins the worker count and `PP_SIM_LANES` the lanes per
+//! bundle.
 
-use pp_engine::{CountSimulation, LeaderElection, Simulation, UniformScheduler};
+use pp_engine::{
+    CountSimulation, LeaderElection, RunOutcome, Simulation, UniformScheduler, WideSimulation,
+};
 use pp_rand::{SeedSequence, Xoshiro256PlusPlus};
 use pp_stats::Summary;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::io::{IsTerminal, Write as _};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Hard cap on the `PP_SIM_THREADS` override (clamped, `EngineConfig`
+/// style, rather than erroring).
+const MAX_WORKERS: usize = 1024;
+
+/// Hard cap on the `PP_SIM_LANES` override.
+const MAX_LANES: usize = 64;
+
+/// Default lanes per wide sweep bundle. Eight keeps the SoA count rows
+/// within one cache line while the per-seed win from sharing the pair
+/// cache and amortizing reviews has already saturated.
+const DEFAULT_LANES: usize = 8;
+
+/// `PP_SIM_THREADS` resolution: a parseable override is clamped to
+/// `1..=MAX_WORKERS` (validation in the `EngineConfig::validated` style —
+/// out-of-range values clamp, they don't error); anything else falls back
+/// to the detected parallelism.
+fn worker_override(raw: Option<&str>, detected: usize) -> usize {
+    match raw.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(v) => v.clamp(1, MAX_WORKERS),
+        None => detected.clamp(1, MAX_WORKERS),
+    }
+}
+
+/// Worker threads for `jobs` jobs: the `PP_SIM_THREADS` override if set,
+/// else [`std::thread::available_parallelism`], never more than the jobs.
+fn worker_count(jobs: usize) -> usize {
+    let detected = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let threads = std::env::var("PP_SIM_THREADS");
+    worker_override(threads.as_deref().ok(), detected).min(jobs.max(1))
+}
+
+/// `PP_SIM_LANES` resolution: parseable overrides clamp to
+/// `1..=MAX_LANES`; anything else is the default width.
+fn lane_override(raw: Option<&str>) -> usize {
+    match raw.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(v) => v.clamp(1, MAX_LANES),
+        None => DEFAULT_LANES,
+    }
+}
+
+/// Lanes per wide sweep bundle: the `PP_SIM_LANES` override (clamped to
+/// `1..=64`), default 8.
+pub fn sweep_lane_width() -> usize {
+    let lanes = std::env::var("PP_SIM_LANES");
+    lane_override(lanes.as_deref().ok())
+}
+
+/// Whether [`parallel_map`] should report live progress: stderr is a
+/// terminal and `PP_SIM_PROGRESS` is not `0`.
+fn progress_enabled(jobs: usize) -> bool {
+    jobs > 1
+        && std::io::stderr().is_terminal()
+        && std::env::var("PP_SIM_PROGRESS").map_or(true, |v| v != "0")
+}
+
+/// Sets the flag on drop, so the progress monitor stops even when a worker
+/// panic unwinds the scope.
+struct StopOnDrop<'a>(&'a AtomicBool);
+
+impl Drop for StopOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
 
 /// Applies `f` to every job on all available cores, preserving job order.
 ///
@@ -14,6 +93,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// `(index, result)` pairs locally; the buffers are collected through each
 /// worker's join handle and scattered into place — no locks anywhere, and no
 /// synchronization on the results beyond the joins themselves.
+///
+/// The worker count is [`std::thread::available_parallelism`], overridable
+/// through `PP_SIM_THREADS` (clamped to `1..=1024`) so bench and CI runs can
+/// pin it for reproducible throughput numbers. When stderr is a terminal a
+/// monitor thread repaints a `claimed/done` progress line a few times a
+/// second (suppressed with `PP_SIM_PROGRESS=0`, and entirely absent when
+/// output is piped — progress never lands in redirected logs).
 ///
 /// # Panics
 ///
@@ -36,24 +122,40 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(jobs.len().max(1));
+    let workers = worker_count(jobs.len());
+    let total = jobs.len();
     let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<R>> = Vec::with_capacity(jobs.len());
-    results.resize_with(jobs.len(), || None);
+    let finished = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(total);
+    results.resize_with(total, || None);
     std::thread::scope(|scope| {
+        let _stop_guard = StopOnDrop(&stop);
+        if progress_enabled(total) {
+            scope.spawn(|| {
+                while !stop.load(Ordering::Acquire) {
+                    let claimed = next.load(Ordering::Relaxed).min(total);
+                    let done = finished.load(Ordering::Relaxed);
+                    eprint!("\r  sweep: {done}/{total} jobs done, {claimed} claimed");
+                    let _ = std::io::stderr().flush();
+                    std::thread::sleep(std::time::Duration::from_millis(200));
+                }
+                // Clear the line so the next stderr write starts clean.
+                eprint!("\r{:64}\r", "");
+                let _ = std::io::stderr().flush();
+            });
+        }
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs.len() {
+                        if i >= total {
                             break;
                         }
                         local.push((i, f(&jobs[i])));
+                        finished.fetch_add(1, Ordering::Relaxed);
                     }
                     local
                 })
@@ -92,13 +194,19 @@ pub struct SweepPoint {
 /// below `2^32` — far beyond any realistic sweep; asserted at entry rather
 /// than silently reusing seed streams across sizes.
 ///
-/// Runs on the exact count engine
-/// ([`CountSimulation`]) — the compiled-pair fast path with the null-skipping
-/// jump scheduler engaged wherever null interactions dominate — which
-/// simulates the uniformly random scheduler exactly, so the measured
+/// Each [`parallel_map`] worker receives a **lane bundle** — up to
+/// [`sweep_lane_width`] same-`n` seeds advanced in lockstep by one
+/// [`WideSimulation`] through a shared compiled pair cache (threads ×
+/// lanes composition; `PP_SIM_LANES` overrides the width). Lanes the wide
+/// engine spills out of its null-dominated tail finish on a scalar
+/// [`CountSimulation`] continuation, whose jump scheduler telescopes the
+/// nulls (a fratricide sweep point at `n = 2^28` telescopes `~10^16` null
+/// interactions and completes in seconds). Every lane is an exact
+/// simulation of the uniformly random scheduler, so the measured
 /// distribution is the same law as the per-agent engine's at a vanishing
-/// fraction of the cost (a fratricide sweep point at `n = 2^28` telescopes
-/// `~10^16` null interactions and completes in seconds). Use
+/// fraction of the cost; results are deterministic for a fixed
+/// `(master_seed, width)` but — like the engine's own heuristic tiers —
+/// not bit-comparable across different widths. Use
 /// [`stabilization_sweep_agents`] to drive the per-agent reference engine
 /// instead (e.g. to cross-validate the engines against each other).
 ///
@@ -115,14 +223,32 @@ where
     P: LeaderElection,
     F: Fn(usize) -> P + Sync,
 {
-    sweep_impl(ns, seeds, master_seed, |n, seed| {
-        let protocol = make(n);
-        let rng = Xoshiro256PlusPlus::seed_from_u64(seed);
-        let mut sim = CountSimulation::new(protocol, n, rng)
-            .expect("population sizes are >= 2 by construction");
-        let outcome = sim.run_until_single_leader(max_steps);
-        (outcome.converged, outcome.parallel_time(n))
-    })
+    stabilization_sweep_wide(make, ns, seeds, master_seed, max_steps, sweep_lane_width())
+}
+
+/// [`stabilization_sweep`] with an explicit lane-bundle width (ignoring
+/// `PP_SIM_LANES`), for callers pinning reproducible bundle compositions.
+pub fn stabilization_sweep_wide<P, F>(
+    make: F,
+    ns: &[usize],
+    seeds: u64,
+    master_seed: u64,
+    max_steps: u64,
+    lanes: usize,
+) -> Vec<SweepPoint>
+where
+    P: LeaderElection,
+    F: Fn(usize) -> P + Sync,
+{
+    let bundles = sweep_bundles(ns, seeds, master_seed, lanes);
+    let outcomes = parallel_map(&bundles, |bundle| {
+        run_bundle(&make, bundle.n, &bundle.seeds, max_steps)
+    });
+    // Bundles partition the flat job list in order and each yields its
+    // lanes in seed order, so flattening restores the per-job order the
+    // aggregation slices by.
+    let flat: Vec<(bool, f64)> = outcomes.into_iter().flatten().collect();
+    aggregate_points(ns, seeds, &flat)
 }
 
 /// [`stabilization_sweep`] on the per-agent reference engine
@@ -176,18 +302,106 @@ pub(crate) fn sweep_jobs(ns: &[usize], seeds: u64, master_seed: u64) -> Vec<(usi
     jobs
 }
 
-fn sweep_impl<R>(ns: &[usize], seeds: u64, master_seed: u64, run: R) -> Vec<SweepPoint>
-where
-    R: Fn(usize, u64) -> (bool, f64) + Sync,
-{
+/// One wide sweep job: a contiguous block of same-`n` seed-stream jobs,
+/// advanced in lockstep by a single [`WideSimulation`].
+#[derive(Debug, Clone)]
+pub(crate) struct SweepBundle {
+    /// Population size shared by every lane.
+    pub n: usize,
+    /// Flat job index of the bundle's first lane (the aggregation order).
+    pub start: usize,
+    /// Per-lane RNG seeds, in job order.
+    pub seeds: Vec<u64>,
+}
+
+/// Partitions the flat job list of [`sweep_jobs`] into lane bundles of up
+/// to `lanes` same-`n` jobs. Bundles never span two entries of `ns` (each
+/// size's seed range chunks independently), so aggregation ranges stay
+/// contiguous.
+pub(crate) fn sweep_bundles(
+    ns: &[usize],
+    seeds: u64,
+    master_seed: u64,
+    lanes: usize,
+) -> Vec<SweepBundle> {
+    let lanes = lanes.clamp(1, MAX_LANES);
     let jobs = sweep_jobs(ns, seeds, master_seed);
-    let outcomes = parallel_map(&jobs, |&(n, seed)| {
-        let (converged, t) = run(n, seed);
-        (converged, t)
-    });
-    // Aggregate by contiguous job range, not by population-size value: a
-    // repeated n in `ns` must yield independent points instead of
-    // double-counting every run of that size into each of them.
+    let per_size = seeds as usize;
+    let mut bundles = Vec::new();
+    for (ni, &n) in ns.iter().enumerate() {
+        let base = ni * per_size;
+        let mut offset = 0;
+        while offset < per_size {
+            let width = lanes.min(per_size - offset);
+            let start = base + offset;
+            bundles.push(SweepBundle {
+                n,
+                start,
+                seeds: jobs[start..start + width]
+                    .iter()
+                    .map(|&(_, seed)| seed)
+                    .collect(),
+            });
+            offset += width;
+        }
+    }
+    bundles
+}
+
+/// Runs one lane bundle to stabilization: a wide auto-policy election,
+/// with spilled (null-dominated) lanes finished on scalar
+/// [`CountSimulation`] continuations that inherit the lane's exact counts,
+/// RNG, and step counter. Returns `(converged, parallel_time)` per lane in
+/// job order.
+pub(crate) fn run_bundle<P, F>(
+    make: &F,
+    n: usize,
+    seeds: &[u64],
+    max_steps: u64,
+) -> Vec<(bool, f64)>
+where
+    P: LeaderElection,
+    F: Fn(usize) -> P,
+{
+    let rngs = seeds
+        .iter()
+        .map(|&seed| Xoshiro256PlusPlus::seed_from_u64(seed))
+        .collect();
+    let mut wide =
+        WideSimulation::new(make(n), n, rngs).expect("population sizes are >= 2 by construction");
+    let election = wide.run_until_single_leader(max_steps);
+    let mut results: Vec<Option<(bool, f64)>> = election
+        .outcomes
+        .iter()
+        .map(|outcome| outcome.map(|o| (o.converged, o.parallel_time(n))))
+        .collect();
+    for export in election.spilled {
+        let lane = export.index;
+        let start = export.steps;
+        let mut scalar = CountSimulation::from_counts(make(n), export.counts, export.rng)
+            .expect("spilled lanes keep their full population");
+        let out = scalar.run_until_single_leader(max_steps - start);
+        let total = RunOutcome {
+            steps: start + out.steps,
+            converged: out.converged,
+        };
+        results[lane] = Some((total.converged, total.parallel_time(n)));
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every lane is finished or spilled"))
+        .collect()
+}
+
+/// Aggregates flat per-job outcomes into one [`SweepPoint`] per entry of
+/// `ns`, by contiguous job range, not by population-size value: a repeated
+/// n in `ns` must yield independent points instead of double-counting
+/// every run of that size into each of them.
+pub(crate) fn aggregate_points(
+    ns: &[usize],
+    seeds: u64,
+    outcomes: &[(bool, f64)],
+) -> Vec<SweepPoint> {
     ns.iter()
         .enumerate()
         .map(|(ni, &n)| {
@@ -208,6 +422,18 @@ where
             }
         })
         .collect()
+}
+
+fn sweep_impl<R>(ns: &[usize], seeds: u64, master_seed: u64, run: R) -> Vec<SweepPoint>
+where
+    R: Fn(usize, u64) -> (bool, f64) + Sync,
+{
+    let jobs = sweep_jobs(ns, seeds, master_seed);
+    let outcomes = parallel_map(&jobs, |&(n, seed)| {
+        let (converged, t) = run(n, seed);
+        (converged, t)
+    });
+    aggregate_points(ns, seeds, &outcomes)
 }
 
 #[cfg(test)]
@@ -243,6 +469,51 @@ mod tests {
     }
 
     #[test]
+    fn worker_override_clamps_like_engine_config() {
+        // Parseable values clamp into 1..=MAX_WORKERS; garbage and absence
+        // fall back to the detected parallelism (itself clamped).
+        assert_eq!(worker_override(Some("4"), 8), 4);
+        assert_eq!(worker_override(Some(" 12 "), 8), 12);
+        assert_eq!(worker_override(Some("0"), 8), 1);
+        assert_eq!(worker_override(Some("9999999"), 8), MAX_WORKERS);
+        assert_eq!(worker_override(Some("two"), 8), 8);
+        assert_eq!(worker_override(Some(""), 8), 8);
+        assert_eq!(worker_override(None, 8), 8);
+        assert_eq!(worker_override(None, 0), 1);
+    }
+
+    #[test]
+    fn lane_override_clamps_like_engine_config() {
+        assert_eq!(lane_override(Some("4")), 4);
+        assert_eq!(lane_override(Some("0")), 1);
+        assert_eq!(lane_override(Some("500")), MAX_LANES);
+        assert_eq!(lane_override(Some("wide")), DEFAULT_LANES);
+        assert_eq!(lane_override(None), DEFAULT_LANES);
+    }
+
+    #[test]
+    fn sweep_bundles_partition_the_job_list() {
+        // 5 seeds at width 2 → [2, 2, 1] per size; bundles never span
+        // sizes, starts are the flat job indices, seeds match sweep_jobs.
+        let ns = [16usize, 32];
+        let (seeds, master) = (5u64, 3u64);
+        let jobs = sweep_jobs(&ns, seeds, master);
+        let bundles = sweep_bundles(&ns, seeds, master, 2);
+        assert_eq!(bundles.len(), 6);
+        let widths: Vec<usize> = bundles.iter().map(|b| b.seeds.len()).collect();
+        assert_eq!(widths, vec![2, 2, 1, 2, 2, 1]);
+        let mut flat = 0;
+        for bundle in &bundles {
+            assert_eq!(bundle.start, flat);
+            for (k, &seed) in bundle.seeds.iter().enumerate() {
+                assert_eq!((bundle.n, seed), jobs[flat + k]);
+            }
+            flat += bundle.seeds.len();
+        }
+        assert_eq!(flat, jobs.len());
+    }
+
+    #[test]
     fn sweep_is_deterministic_and_converges() {
         let ns = [16usize, 32];
         let a = stabilization_sweep(|_| Fratricide, &ns, 5, 42, u64::MAX);
@@ -258,9 +529,9 @@ mod tests {
 
     #[test]
     fn engine_sweeps_agree_distributionally() {
-        // The count-engine sweep and the agent-engine sweep sample the same
-        // Markov chain: over enough seeds their means must agree loosely
-        // (fratricide at n=32 has E[parallel time] ≈ n).
+        // The wide count-engine sweep and the agent-engine sweep sample the
+        // same Markov chain: over enough seeds their means must agree
+        // loosely (fratricide at n=32 has E[parallel time] ≈ n).
         let ns = [32usize];
         let fast = stabilization_sweep(|_| Fratricide, &ns, 24, 7, u64::MAX);
         let slow = stabilization_sweep_agents(|_| Fratricide, &ns, 24, 7, u64::MAX);
@@ -268,6 +539,20 @@ mod tests {
         assert_eq!(slow[0].unconverged, 0);
         let (a, b) = (fast[0].times.mean(), slow[0].times.mean());
         assert!((a / b - 1.0).abs() < 0.5, "count {a} vs agent {b}");
+    }
+
+    #[test]
+    fn bundle_widths_agree_distributionally() {
+        // Lane width is a law-preserving execution knob, like the engine's
+        // heuristic tiers: different widths draw differently but must
+        // sample the same stabilization-time distribution.
+        let ns = [32usize];
+        let narrow = stabilization_sweep_wide(|_| Fratricide, &ns, 24, 7, u64::MAX, 1);
+        let wide = stabilization_sweep_wide(|_| Fratricide, &ns, 24, 7, u64::MAX, 6);
+        assert_eq!(narrow[0].unconverged, 0);
+        assert_eq!(wide[0].unconverged, 0);
+        let (a, b) = (narrow[0].times.mean(), wide[0].times.mean());
+        assert!((a / b - 1.0).abs() < 0.5, "width 1 {a} vs width 6 {b}");
     }
 
     #[test]
@@ -303,9 +588,10 @@ mod tests {
     #[test]
     fn sweep_rides_the_jump_scheduler_at_scale() {
         // 2^14 fratricide takes Θ(n²) ≈ 2.7e8 interactions per run — hours
-        // of debug-build stepping without the jump scheduler, milliseconds
-        // with it. Completing at all (under an effectively unbounded budget)
-        // is the assertion.
+        // of debug-build stepping without null telescoping, milliseconds
+        // with it. The wide engine spills its null-dominated lanes onto
+        // scalar jump-scheduler continuations; completing at all (under an
+        // effectively unbounded budget) is the assertion.
         let points = stabilization_sweep(|_| Fratricide, &[1 << 14], 2, 5, u64::MAX);
         assert_eq!(points[0].unconverged, 0);
         assert_eq!(points[0].times.count(), 2);

@@ -1,0 +1,144 @@
+//! The wide engine's **auto policy** — heuristic batch engage/exit over
+//! the whole lane set, lane/global compaction, and spill-out of
+//! null-dominated lanes to the scalar engine — must execute the same law
+//! as the scalar auto-tier engine: identical stabilization-time
+//! distributions, pinned by chi-square homogeneity over pooled-quantile
+//! bins (the same methodology as the four-tier scalar suite in
+//! `tests/batch_equivalence.rs`).
+//!
+//! Three workloads cover the three heuristic regimes: fratricide at `n =
+//! 64` (per-step chunks, spill into the `Θ(n²)` null tail), the paper's
+//! `P_LL` at `n = 128` (per-step chunks, no spill — the protocol recycles
+//! leaders), and fratricide at `n = 4096` (above the batch-tier population
+//! floor: lockstep hypergeometric rounds, then spill). Spilled lanes
+//! complete on a scalar `CountSimulation::from_counts` continuation — the
+//! composite is the wide engine's production configuration, so the law
+//! suite measures exactly what sweeps run.
+
+use population_protocols::core::Pll;
+use population_protocols::engine::{CountSimulation, LeaderElection, WideSimulation};
+use population_protocols::rand::SeedSequence;
+use population_protocols::stats::{chi_square_samples, wilson95};
+
+const WIDTH: usize = 4;
+
+/// Stabilization parallel times over `seeds` scalar auto-tier runs.
+fn scalar_sample<P: LeaderElection + Clone>(
+    protocol: &P,
+    n: usize,
+    seeds: usize,
+    salt: u64,
+) -> Vec<f64> {
+    let seq = SeedSequence::new(salt);
+    (0..seeds)
+        .map(|seed| {
+            let mut sim =
+                CountSimulation::new(protocol.clone(), n, seq.rng_at(seed as u64)).expect("n >= 2");
+            let out = sim.run_until_single_leader(u64::MAX);
+            assert!(out.converged, "scalar seed {seed} did not converge");
+            assert_eq!(sim.leader_count(), 1);
+            out.steps as f64 / n as f64
+        })
+        .collect()
+}
+
+/// Stabilization parallel times over `seeds` lanes run through wide auto
+/// bundles of `WIDTH`, spilled lanes finished on the scalar engine.
+fn wide_sample<P: LeaderElection + Clone>(
+    protocol: &P,
+    n: usize,
+    seeds: usize,
+    salt: u64,
+) -> Vec<f64> {
+    assert_eq!(seeds % WIDTH, 0);
+    let seq = SeedSequence::new(salt);
+    let mut times = vec![f64::NAN; seeds];
+    for bundle in 0..seeds / WIDTH {
+        let rngs = (0..WIDTH)
+            .map(|lane| seq.rng_at((bundle * WIDTH + lane) as u64))
+            .collect();
+        let mut wide = WideSimulation::new(protocol.clone(), n, rngs).expect("n >= 2");
+        let election = wide.run_until_single_leader(u64::MAX);
+        for (lane, outcome) in election.outcomes.iter().enumerate() {
+            if let Some(outcome) = outcome {
+                assert!(outcome.converged, "bundle {bundle} lane {lane}");
+                times[bundle * WIDTH + lane] = outcome.steps as f64 / n as f64;
+            }
+        }
+        for export in election.spilled {
+            let lane = export.index;
+            let start = export.steps;
+            let mut scalar =
+                CountSimulation::from_counts(protocol.clone(), export.counts, export.rng)
+                    .expect("n >= 2");
+            let out = scalar.run_until_single_leader(u64::MAX);
+            assert!(out.converged, "bundle {bundle} spilled lane {lane}");
+            assert_eq!(scalar.leader_count(), 1);
+            times[bundle * WIDTH + lane] = (start + out.steps) as f64 / n as f64;
+        }
+    }
+    assert!(times.iter().all(|t| t.is_finite()), "a lane was lost");
+    times
+}
+
+/// Chi-square homogeneity of the scalar and wide stabilization samples,
+/// plus a Wilson-interval cross-check at the scalar median.
+fn assert_wide_law_equivalence<P: LeaderElection + Clone>(
+    protocol: P,
+    n: usize,
+    seeds: usize,
+    salt: u64,
+    bins: usize,
+) {
+    let scalar = scalar_sample(&protocol, n, seeds, salt);
+    let wide = wide_sample(&protocol, n, seeds, salt + 1_000_000);
+    let c = chi_square_samples(&[&scalar, &wide], bins);
+    assert!(
+        c.accepts(0.001),
+        "scalar/wide histograms diverge: chi2 = {:.2}, df = {}",
+        c.statistic,
+        c.df
+    );
+
+    // Binomial cross-check at a sensitive quantile: P(T <= scalar median)
+    // must agree between the engines.
+    let mut pooled = scalar.clone();
+    pooled.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let budget = pooled[pooled.len() / 2];
+    let hit = |sample: &[f64]| sample.iter().filter(|&&t| t <= budget).count() as u64;
+    let (lo, hi) = wilson95(hit(&scalar), seeds as u64);
+    let p_wide = hit(&wide) as f64 / seeds as f64;
+    let slack = 1.96 * (p_wide * (1.0 - p_wide) / seeds as f64).sqrt();
+    assert!(
+        p_wide + slack >= lo && p_wide - slack <= hi,
+        "P(T <= {budget}) wide = {p_wide:.3} outside Wilson interval [{lo:.3}, {hi:.3}]"
+    );
+}
+
+#[test]
+fn wide_auto_matches_scalar_law_on_fratricide() {
+    // Per-step regime with a spill-heavy Θ(n²) null tail: every lane exits
+    // through the export path and a scalar jump-tier continuation.
+    assert_wide_law_equivalence(population_protocols::protocols::Fratricide, 64, 120, 0, 6);
+}
+
+#[test]
+fn wide_auto_matches_scalar_law_on_pll() {
+    let n = 128;
+    assert_wide_law_equivalence(Pll::for_population(n).expect("n >= 2"), n, 120, 10_000, 6);
+}
+
+#[test]
+fn wide_auto_matches_scalar_law_on_fratricide_batch_regime() {
+    // Above the batch population floor: the lane set runs lockstep
+    // hypergeometric rounds before spilling into the null tail, covering
+    // the staged round (prefix lockstep, interleaved shuffles, collision
+    // draws) in law, not just under the pinned bit-identity suite.
+    assert_wide_law_equivalence(
+        population_protocols::protocols::Fratricide,
+        4096,
+        60,
+        20_000,
+        5,
+    );
+}
