@@ -16,7 +16,11 @@
 //! step). `engine/count_steps_wide` runs the `WideSimulation` lane engine
 //! on the batch group's workload at lane widths 1/4/8/16 with **per-seed**
 //! element throughput, tracing the lane-scaling curve against the scalar
-//! batch row. The step groups run mid-election workloads where null
+//! batch row (plus a `lawonly_lanes/8` row for the shared-round law-equal
+//! wide mode). `engine/count_steps_round` pits the batch tier's three
+//! round laws (`sequence` / `contingency` / `multiround`) against each
+//! other in adjacent rows on a small-support workload (fratricide) and a
+//! wide-support control (`P_LL`). The step groups run mid-election workloads where null
 //! interactions never dominate — the regime the batch tier was built for
 //! (`P_LL`'s timer ticks pin its null fraction near 0.56, so jumping never
 //! engages there). The jump scheduler's own regime is measured by
@@ -33,8 +37,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use pp_bench::fast_criterion;
 use pp_core::Pll;
 use pp_engine::{
-    CountSimulation, EngineConfig, LeaderElection, Simulation, UniformScheduler, WideSimulation,
-    WideTierPolicy,
+    CountSimulation, EngineConfig, LawMode, LeaderElection, Simulation, UniformScheduler,
+    WideSimulation, WideTierPolicy,
 };
 use pp_protocols::{Fratricide, UnboundedLottery};
 use pp_rand::{SeedSequence, Xoshiro256PlusPlus};
@@ -165,6 +169,64 @@ fn bench_count_engine_reference(c: &mut Criterion) {
     bench_count_engine_at("engine/count_steps_reference", Tier::Reference, c);
 }
 
+/// The batch tier's round laws measured against each other on the same
+/// pinned-batch windowed workload: for each protocol the three
+/// [`LawMode`] rows run back-to-back, so the contingency-vs-sequence
+/// ratio — the figure the round-law refactor exists for — comes from
+/// adjacent measurements (machine drift across a full bench run exceeds
+/// the ratio; see the wide group's note). `fratricide` is the
+/// small-support workload (two live states, so the per-ordered-pair table
+/// has ≤ 4 cells and the contingency law skips the `O(√n)` responder
+/// shuffle outright); `pll` is the wide-support control where the table
+/// overflows its cap and the law falls back to expand-and-shuffle per
+/// segment, bounding the overhead of the dispatch itself.
+fn bench_count_engine_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/count_steps_round");
+    group.throughput(Throughput::Elements(STEPS));
+    let n = 1usize << 20;
+    macro_rules! bench_laws {
+        ($label:literal, $make:expr) => {
+            for law in [
+                LawMode::SequenceExpansion,
+                LawMode::Contingency,
+                LawMode::MultiRound,
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}/{n}", $label), law),
+                    &law,
+                    |b, &law| {
+                        let make_protocol = $make;
+                        let config = EngineConfig {
+                            law_mode: law,
+                            ..EngineConfig::default()
+                        };
+                        let make = || {
+                            let rng = Xoshiro256PlusPlus::seed_from_u64(1);
+                            let mut sim =
+                                CountSimulation::with_config(make_protocol(n), n, rng, config)
+                                    .expect("n >= 2");
+                            sim.force_batch_mode();
+                            sim.run(WINDOW_FROM * n as u64);
+                            sim
+                        };
+                        let mut sim = make();
+                        b.iter(|| {
+                            if sim.steps() > WINDOW_TO * n as u64 {
+                                sim = make();
+                            }
+                            sim.run(STEPS);
+                            black_box(sim.steps())
+                        });
+                    },
+                );
+            }
+        };
+    }
+    bench_laws!("fratricide", |_| Fratricide);
+    bench_laws!("pll", |n| Pll::for_population(n).expect("n >= 2"));
+    group.finish();
+}
+
 /// The wide lane engine on the batch group's exact workload: `W` seeds of
 /// `P_LL@2^20` advanced in lockstep through one shared pair cache, batch
 /// rounds pinned, measured inside the same mid-election window. One element
@@ -208,22 +270,24 @@ fn bench_count_engine_wide(c: &mut Criterion) {
         },
     );
 
-    for &lanes in &[8usize, 1, 4, 16] {
-        // One element = one interaction of one seed: an iteration advances
-        // every lane by STEPS, so rates are aggregate across the bundle and
-        // the scalar rows are the lanes = 1 baseline of the same metric.
-        group.throughput(Throughput::Elements(STEPS * lanes as u64));
-        group.bench_with_input(
-            BenchmarkId::new(format!("pll/{n}/lanes"), lanes),
-            &lanes,
-            |b, &lanes| {
+    // One element = one interaction of one seed: an iteration advances
+    // every lane by STEPS, so rates are aggregate across the bundle and
+    // the scalar rows are the lanes = 1 baseline of the same metric. Row
+    // order keeps the comparisons the gates read adjacent to the
+    // scalar_batch row above: `lanes/8` (bit-identical lockstep) first,
+    // then `lawonly_lanes/8` (the shared-round law-equal mode), then the
+    // rest of the scaling curve.
+    macro_rules! wide_row {
+        ($id:expr, $lanes:expr, $policy:expr) => {
+            group.throughput(Throughput::Elements(STEPS * $lanes as u64));
+            group.bench_with_input(BenchmarkId::new($id, $lanes), &$lanes, |b, &lanes| {
                 let make = || {
                     let mut sim = WideSimulation::with_config(
                         Pll::for_population(n).expect("n >= 2"),
                         n,
                         SeedSequence::new(1).rngs(lanes),
                         EngineConfig::default(),
-                        WideTierPolicy::PinnedBatch,
+                        $policy,
                     )
                     .expect("n >= 2");
                     sim.run(WINDOW_FROM * n as u64);
@@ -237,8 +301,21 @@ fn bench_count_engine_wide(c: &mut Criterion) {
                     sim.run(STEPS);
                     black_box(sim.steps())
                 });
-            },
-        );
+            });
+        };
+    }
+    wide_row!(
+        format!("pll/{n}/lanes"),
+        8usize,
+        WideTierPolicy::PinnedBatch
+    );
+    wide_row!(
+        format!("pll/{n}/lawonly_lanes"),
+        8usize,
+        WideTierPolicy::LawOnly
+    );
+    for &lanes in &[1usize, 4, 16] {
+        wide_row!(format!("pll/{n}/lanes"), lanes, WideTierPolicy::PinnedBatch);
     }
     group.finish();
 }
@@ -270,7 +347,8 @@ criterion_group! {
     name = benches;
     config = fast_criterion();
     targets = bench_agent_engine, bench_count_engine, bench_count_engine_batch,
-        bench_count_engine_wide, bench_count_engine_compiled,
-        bench_count_engine_reference, bench_election_jump
+        bench_count_engine_wide, bench_count_engine_round,
+        bench_count_engine_compiled, bench_count_engine_reference,
+        bench_election_jump
 }
 criterion_main!(benches);

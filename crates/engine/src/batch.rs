@@ -14,24 +14,26 @@
 //!    collision-free, given `u` agents already used, is
 //!    `(n−u)(n−u−1) / (n(n−1))`; the maximal collision-free prefix length is
 //!    sampled exactly by inverting the running product of these ratios with
-//!    a single uniform ([`collision_free_prefix`]). Its expectation is the
-//!    birthday bound `≈ √(πn/8)` — the `Θ(√n)` round length.
+//!    a single uniform ([`crate::round::collision_free_prefix_from`]). Its
+//!    expectation is the birthday bound `≈ √(πn/8)` — the `Θ(√n)` round
+//!    length.
 //! 2. **Who interacts.** The `2L` agents of a collision-free run of length
 //!    `L` are a uniform without-replacement sample of the population. By
 //!    exchangeability, the initiator states are a multivariate
 //!    hypergeometric draw of `L` from the counts, the responder states an
-//!    `L`-draw from what remains, and pairing a uniformly permuted responder
-//!    sequence against the initiators realizes the uniformly random
-//!    matching. Each conditional draw is one
-//!    [`Hypergeometric`](pp_rand::Hypergeometric) sample, visiting states in
-//!    descending-count order so the decomposition exhausts its draws after
-//!    `O(live support)` samples.
+//!    `L`-draw from what remains. *How* the two multisets pair into ordered
+//!    interactions is the round's [`RoundLaw`](crate::round::RoundLaw) —
+//!    a permuted responder sequence (the bit-identical default) or a direct
+//!    contingency-table draw (see [`crate::round`] for the pipeline and the
+//!    bit-identical-vs-law-equal contract).
 //! 3. **Collisions, exactly.** The run ends because the *next* interaction
 //!    touches a used agent. Used agents are exchangeable given their state
 //!    counts, so the colliding interaction is executed individually from a
 //!    two-urn (fresh/used) configuration with exact integer category
 //!    weights — the sampled schedule stays distributionally identical to
-//!    sequential stepping, collision included.
+//!    sequential stepping, collision included. Multi-round episodes keep
+//!    the urns alive and chain further segments from the continuation
+//!    run-length law.
 //!
 //! Convergence detection stays **step-exact**: conditioned on the run's pair
 //! multiset, the true process orders the interactions as a uniformly random
@@ -44,26 +46,39 @@
 //! Like the jump scheduler, the batch tier changes no distribution — it
 //! consumes the RNG stream differently, so executions are equal in law, not
 //! bit-identical; the 4-tier chi-square suite (`tests/batch_equivalence.rs`)
-//! pins the law.
+//! and the round-law suite (`tests/round_law.rs`) pin the law.
 //!
-//! This module owns the statistical machinery and the urn scratch state; the
-//! episode orchestration (which needs the pair cache and interning) lives in
+//! This module owns the tier's public stats and ride-along state; the
+//! statistical machinery (urn scratch, run-length inversion, the round
+//! laws) lives in [`crate::round`], and the episode orchestration (which
+//! needs the pair cache and interning) in
 //! [`CountSimulation`](crate::CountSimulation).
 
-use pp_rand::{Hypergeometric, Rng64};
+use crate::round::BatchScratch;
 
 /// Throughput counters of the batch tier (see
 /// [`CountSimulation::batch_stats`](crate::CountSimulation::batch_stats)).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BatchStats {
-    /// Batch rounds executed.
+    /// Batch episodes executed (one per `begin`/merge cycle; a multi-round
+    /// episode spans several collision-free segments).
     pub episodes: u64,
     /// Interactions applied through collision-free bulk rounds.
     pub bulk_interactions: u64,
-    /// Collision interactions executed individually at round boundaries.
+    /// Collision interactions executed individually at segment boundaries.
     pub collision_interactions: u64,
-    /// Rounds resolved by the exact shuffled walk (leader count near 1).
+    /// Segments resolved by the exact shuffled walk (leader count near 1).
     pub exact_walks: u64,
+    /// Conditional draws spent pairing margins into contingency cells
+    /// (margin draws are common to every law and not counted).
+    pub contingency_draws: u64,
+    /// Segments whose responder shuffle was replaced by a contingency
+    /// table.
+    pub shuffle_skips: u64,
+    /// Collision-free segments executed (equals `episodes` for
+    /// single-round laws; the per-episode average `episode_segments /
+    /// episodes` is the multi-round chain length).
+    pub episode_segments: u64,
 }
 
 /// Batch-tier state riding along the count engine.
@@ -88,382 +103,6 @@ impl BatchState {
             forced: false,
             stats: BatchStats::default(),
             scratch: BatchScratch::default(),
-        }
-    }
-}
-
-/// Samples the length of the maximal collision-free interaction prefix,
-/// capped at `budget`: returns `(min(L, budget), L < budget)` where the flag
-/// says a collision interaction terminates the run inside the budget.
-///
-/// Exact single-uniform inversion of `P(L ≥ m) = Π_{j<m} (n−2j)(n−2j−1) /
-/// (n(n−1))`; the product is accumulated incrementally, so the cost is
-/// `O(min(L, budget))` multiplications. The first step is always
-/// collision-free (`P(L ≥ 1) = 1`), so the returned length is at least 1
-/// for any positive budget.
-pub(crate) fn collision_free_prefix<R: Rng64 + ?Sized>(
-    rng: &mut R,
-    n: u64,
-    budget: u64,
-) -> (u64, bool) {
-    debug_assert!(n >= 2 && budget >= 1);
-    let u = rng.unit_f64();
-    let denom = n as f64 * (n - 1) as f64;
-    let mut survive = 1.0f64;
-    let mut m = 0u64;
-    loop {
-        if m == budget {
-            return (budget, false);
-        }
-        let fresh = n - 2 * m.min(n / 2);
-        let step = if fresh >= 2 {
-            fresh as f64 * (fresh - 1) as f64 / denom
-        } else {
-            0.0
-        };
-        survive *= step;
-        if u >= survive {
-            // The first m steps are collision-free; step m+1 collides.
-            return (m, true);
-        }
-        m += 1;
-    }
-}
-
-/// Reusable per-round urn state: the **fresh** urn (agents untouched this
-/// round, initialized from the engine counts) and the **used** urn (agents
-/// that already interacted this round, holding their *post*-transition
-/// states), plus the expansion buffers of the initiator/responder sequences.
-#[derive(Debug, Clone, Default)]
-pub(crate) struct BatchScratch {
-    /// Per-state counts of untouched agents.
-    pub fresh: Vec<u64>,
-    /// Per-state counts of agents already used this round.
-    pub used: Vec<u64>,
-    pub fresh_total: u64,
-    pub used_total: u64,
-    /// Occupied state ids in descending-count order (the decomposition
-    /// visiting order; any pre-round-measurable order is law-correct, and
-    /// largest-first exhausts the draws soonest).
-    order: Vec<u32>,
-    /// Initiator state sequence of the round (expanded multiset).
-    pub init_seq: Vec<u32>,
-    /// Responder state sequence of the round (expanded multiset).
-    pub resp_seq: Vec<u32>,
-}
-
-impl BatchScratch {
-    /// Resets the urns for a new round over the given per-state counts.
-    ///
-    /// The visiting order is the total order `(count desc, id asc)` — a
-    /// pure function of the counts, so *how* it is sorted can never change
-    /// a draw. Counts move little between consecutive rounds, which makes
-    /// the previous round's order an almost-sorted starting point:
-    /// carrying it over and repairing with insertion sort (`O(classes +
-    /// displacements)`) replaces the full re-sort on the hot path.
-    pub(crate) fn begin(&mut self, counts: &[u64]) {
-        self.fresh.clear();
-        self.fresh.extend_from_slice(counts);
-        self.used.clear();
-        self.used.resize(counts.len(), 0);
-        self.fresh_total = counts.iter().sum();
-        self.used_total = 0;
-        // Rebuild the candidate list seeded by the previous order: retain
-        // its still-occupied ids, then append newly occupied ids (tracked
-        // via the used urn, zeroed above, as a scratch membership flag).
-        for &id in &self.order {
-            if let Some(f) = self.used.get_mut(id as usize) {
-                *f = 1;
-            }
-        }
-        {
-            let fresh = &self.fresh;
-            self.order
-                .retain(|&id| fresh.get(id as usize).copied().unwrap_or(0) > 0);
-        }
-        for (id, &c) in counts.iter().enumerate() {
-            if c > 0 && self.used[id] == 0 {
-                self.order.push(id as u32);
-            }
-        }
-        self.used[..counts.len()].fill(0);
-        let fresh = &self.fresh;
-        let order = &mut self.order;
-        // Insertion sort: linear on the carried-over prefix, and the
-        // comparator's total order guarantees the same permutation any
-        // sort would produce.
-        for i in 1..order.len() {
-            let id = order[i];
-            let key = (std::cmp::Reverse(fresh[id as usize]), id);
-            let mut j = i;
-            while j > 0 {
-                let prev = order[j - 1];
-                if (std::cmp::Reverse(fresh[prev as usize]), prev) <= key {
-                    break;
-                }
-                order[j] = prev;
-                j -= 1;
-            }
-            order[j] = id;
-        }
-        self.init_seq.clear();
-        self.resp_seq.clear();
-    }
-
-    /// Grows the urns after mid-round interning of fresh states.
-    pub(crate) fn ensure_states(&mut self, states: usize) {
-        if self.fresh.len() < states {
-            self.fresh.resize(states, 0);
-            self.used.resize(states, 0);
-        }
-    }
-
-    /// Draws a `draws`-element multiset from the fresh urn (without
-    /// replacement) by conditional hypergeometric decomposition, appending
-    /// the expanded state sequence to `init_seq` or `resp_seq` and removing
-    /// the drawn agents from the urn.
-    pub(crate) fn draw_multiset<R: Rng64 + ?Sized>(
-        &mut self,
-        rng: &mut R,
-        draws: u64,
-        responders: bool,
-    ) {
-        debug_assert!(draws <= self.fresh_total);
-        let seq = if responders {
-            &mut self.resp_seq
-        } else {
-            &mut self.init_seq
-        };
-        let mut remaining = draws;
-        // Classes not yet visited form the conditioning population.
-        let mut pop = self.fresh_total;
-        for &id in &self.order {
-            if remaining == 0 {
-                break;
-            }
-            let c = self.fresh[id as usize];
-            if c == 0 {
-                pop -= c;
-                continue;
-            }
-            let x = if pop == c {
-                remaining
-            } else {
-                Hypergeometric::new(pop, c, remaining)
-                    .expect("class within remaining population")
-                    .sample(rng)
-            };
-            // Run-length fill (no RNG involved; only the expansion speed).
-            seq.resize(seq.len() + x as usize, id);
-            self.fresh[id as usize] -= x;
-            remaining -= x;
-            pop -= c;
-        }
-        debug_assert_eq!(remaining, 0, "classes must exhaust the draws");
-        self.fresh_total -= draws;
-    }
-
-    /// Draws one agent's state from the fresh or used urn (uniformly over
-    /// the urn's agents) and removes it. `O(live support)` scan — collision
-    /// handling only, never on the bulk path.
-    pub(crate) fn draw_one<R: Rng64 + ?Sized>(&mut self, rng: &mut R, from_used: bool) -> usize {
-        let (urn, total) = if from_used {
-            (&mut self.used, &mut self.used_total)
-        } else {
-            (&mut self.fresh, &mut self.fresh_total)
-        };
-        debug_assert!(*total > 0);
-        let mut target = rng.below(*total);
-        for (id, c) in urn.iter_mut().enumerate() {
-            if target < *c {
-                *c -= 1;
-                *total -= 1;
-                return id;
-            }
-            target -= *c;
-        }
-        unreachable!("target below the urn total");
-    }
-
-    /// Adds one agent in state `id` to the used urn.
-    pub(crate) fn add_used(&mut self, id: usize) {
-        self.used[id] += 1;
-        self.used_total += 1;
-    }
-
-    /// Adds `k` agents in state `id` to the used urn at once — the wide
-    /// engine's category-deduplicated bulk apply (`k` identical
-    /// interactions collapse to one cache lookup and one urn update).
-    pub(crate) fn add_used_n(&mut self, id: usize, k: u64) {
-        self.used[id] += k;
-        self.used_total += k;
-    }
-
-    /// Returns one reserved-but-unexecuted agent to the fresh urn (exact
-    /// walks that hit convergence mid-round put the tail draws back).
-    pub(crate) fn return_fresh(&mut self, id: usize) {
-        self.fresh[id] += 1;
-        self.fresh_total += 1;
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use pp_rand::Xoshiro256PlusPlus;
-
-    fn rng(seed: u64) -> Xoshiro256PlusPlus {
-        Xoshiro256PlusPlus::seed_from_u64(seed)
-    }
-
-    #[test]
-    fn prefix_always_at_least_one_step() {
-        let mut r = rng(1);
-        for n in [2u64, 3, 10, 1 << 20] {
-            for budget in [1u64, 5, 1000] {
-                let (len, collide) = collision_free_prefix(&mut r, n, budget);
-                assert!((1..=budget).contains(&len), "n={n} budget={budget}: {len}");
-                if collide {
-                    assert!(len < budget);
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn prefix_never_exceeds_half_the_population() {
-        // With all agents used a collision is certain: L ≤ n/2.
-        let mut r = rng(2);
-        for _ in 0..500 {
-            let (len, collide) = collision_free_prefix(&mut r, 10, 1000);
-            assert!(len <= 5);
-            assert!(collide);
-        }
-    }
-
-    #[test]
-    fn prefix_law_matches_brute_force_at_n4() {
-        // P(L ≥ 2) = (2·1)/(4·3) = 1/6; budget 2 makes len ∈ {1, 2}.
-        let mut r = rng(3);
-        let runs = 200_000;
-        let mut two = 0u64;
-        for _ in 0..runs {
-            let (len, _) = collision_free_prefix(&mut r, 4, 2);
-            if len == 2 {
-                two += 1;
-            }
-        }
-        let p = two as f64 / runs as f64;
-        assert!((p - 1.0 / 6.0).abs() < 0.005, "P(L >= 2) = {p}");
-    }
-
-    #[test]
-    fn prefix_mean_matches_birthday_bound() {
-        let n = 1u64 << 16;
-        let mut r = rng(4);
-        let runs = 2000;
-        let total: u64 = (0..runs)
-            .map(|_| collision_free_prefix(&mut r, n, u64::MAX).0)
-            .sum();
-        let mean = total as f64 / runs as f64;
-        let expect = (std::f64::consts::PI * n as f64 / 8.0).sqrt();
-        assert!(
-            (mean / expect - 1.0).abs() < 0.1,
-            "mean {mean} vs birthday {expect}"
-        );
-    }
-
-    #[test]
-    fn multiset_draws_partition_the_round() {
-        let counts = [100u64, 50, 0, 25];
-        let mut s = BatchScratch::default();
-        let mut r = rng(5);
-        for _ in 0..200 {
-            s.begin(&counts);
-            s.draw_multiset(&mut r, 40, false);
-            s.draw_multiset(&mut r, 40, true);
-            assert_eq!(s.init_seq.len(), 40);
-            assert_eq!(s.resp_seq.len(), 40);
-            assert_eq!(s.fresh_total, 175 - 80);
-            // Drawn + remaining reconstruct the original counts.
-            let mut back = s.fresh.clone();
-            for &id in s.init_seq.iter().chain(&s.resp_seq) {
-                back[id as usize] += 1;
-            }
-            assert_eq!(&back[..], &counts[..]);
-            assert!(s.init_seq.iter().all(|&id| id != 2), "empty class drawn");
-        }
-    }
-
-    #[test]
-    fn draw_one_moves_between_urns() {
-        let mut s = BatchScratch::default();
-        s.begin(&[3, 2]);
-        let mut r = rng(6);
-        s.draw_multiset(&mut r, 2, false);
-        s.add_used(0);
-        s.add_used(1);
-        assert_eq!(s.used_total, 2);
-        assert_eq!(s.fresh_total, 3);
-        let id = s.draw_one(&mut r, true);
-        assert!(id < 2);
-        assert_eq!(s.used_total, 1);
-        let id = s.draw_one(&mut r, false);
-        assert!(id < 2);
-        assert_eq!(s.fresh_total, 2);
-        s.return_fresh(id);
-        assert_eq!(s.fresh_total, 3);
-    }
-
-    #[test]
-    fn draw_multiset_matches_reference_decomposition_draw_for_draw() {
-        // `draw_multiset` inlines (order-optimized) the conditional
-        // decomposition that `pp_rand::multivariate_hypergeometric` is the
-        // reference implementation of. With counts already in descending
-        // order the visiting orders coincide, so the same RNG stream must
-        // produce the exact same per-class counts — pinning the two
-        // implementations against drifting apart.
-        use pp_rand::multivariate_hypergeometric;
-        let counts = [500u64, 300, 200, 200, 7, 1, 0];
-        let mut s = BatchScratch::default();
-        for seed in 0..50 {
-            let mut r1 = rng(seed);
-            let mut r2 = rng(seed);
-            let draws = 1 + (seed % 200);
-            s.begin(&counts);
-            s.draw_multiset(&mut r1, draws, false);
-            let mut drawn = vec![0u64; counts.len()];
-            for &id in &s.init_seq {
-                drawn[id as usize] += 1;
-            }
-            let mut reference = vec![0u64; counts.len()];
-            multivariate_hypergeometric(&mut r2, &counts, draws, &mut reference);
-            assert_eq!(drawn, reference, "seed {seed}");
-        }
-    }
-
-    #[test]
-    fn multiset_marginals_match_hypergeometric_means() {
-        let counts = [500u64, 300, 200];
-        let draws = 100u64;
-        let mut s = BatchScratch::default();
-        let mut r = rng(7);
-        let runs = 5000;
-        let mut sums = [0u64; 3];
-        for _ in 0..runs {
-            s.begin(&counts);
-            s.draw_multiset(&mut r, draws, false);
-            for &id in &s.init_seq {
-                sums[id as usize] += 1;
-            }
-        }
-        for (i, &c) in counts.iter().enumerate() {
-            let expect = runs as f64 * draws as f64 * c as f64 / 1000.0;
-            let got = sums[i] as f64;
-            assert!(
-                (got / expect - 1.0).abs() < 0.05,
-                "class {i}: {got} vs {expect}"
-            );
         }
     }
 }

@@ -65,8 +65,11 @@
 //! stays exact even when a dead state is later revisited. Compaction is what
 //! keeps the fast tiers engaged past the cache's addressable-id cap.
 
-use crate::batch::{self, BatchStats};
+use crate::batch::BatchStats;
 use crate::compiled::{self, PairCache};
+use crate::round::{
+    self, ContingencyLaw, LawMode, MultiRoundLaw, RoundLaw, SegmentDraw, SequenceExpansionLaw,
+};
 use crate::snapshot::{self, SnapshotError, SnapshotReader, SnapshotState, SnapshotWriter};
 use crate::tier::{self, EngineConfig, EngineTier, JumpStats, TierController};
 use crate::{EngineError, LeaderElection, Protocol, Role, RunOutcome, CONVERGENCE_BATCH};
@@ -763,7 +766,7 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
             .collect();
         // Largest counts first: a saturated cache then covers the heavy
         // states, and the sampler tree's hot descents shorten.
-        live.sort_unstable_by_key(|&i| (std::cmp::Reverse(weights[i as usize]), i));
+        round::sort_descending(&mut live, |i| weights[i as usize]);
         let mut map = vec![DEAD_ID; self.states.len()];
         for (new, &old) in live.iter().enumerate() {
             map[old as usize] = new as u32;
@@ -909,93 +912,150 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
         (skip + 1, delta)
     }
 
-    /// Executes one batch round (see [`crate::batch`]): samples the maximal
-    /// collision-free prefix (capped at `max`, which must be positive),
-    /// applies it in bulk from the two-urn decomposition, and executes the
-    /// terminating collision interaction individually when it falls inside
-    /// the budget. Returns `(consumed, hit)`; with `leaders` supplied the
-    /// running count is maintained exactly, and a round that could touch a
-    /// count of 1 is resolved by the exact shuffled walk, stopping (and
-    /// discarding the unexecuted tail) at the precise hitting step.
-    fn batch_episode(&mut self, max: u64, mut leaders: Option<&mut i64>) -> (u64, bool) {
+    /// Executes one batch episode (see [`crate::batch`] and
+    /// [`crate::round`]): samples the maximal collision-free prefix (capped
+    /// at `max`, which must be positive), applies it in bulk from the
+    /// two-urn decomposition, and executes the terminating collision
+    /// interaction individually when it falls inside the budget —
+    /// dispatched through the [`RoundLaw`] selected by
+    /// [`EngineConfig::law_mode`]. Returns `(consumed, hit)`; with
+    /// `leaders` supplied the running count is maintained exactly, and a
+    /// segment that could touch a count of 1 is resolved by the exact
+    /// shuffled walk, stopping (and discarding the unexecuted tail) at the
+    /// precise hitting step.
+    fn batch_episode(&mut self, max: u64, leaders: Option<&mut i64>) -> (u64, bool) {
+        match self.tiers.config.law_mode {
+            LawMode::SequenceExpansion => self.law_episode::<SequenceExpansionLaw>(max, leaders),
+            LawMode::Contingency => self.law_episode::<ContingencyLaw>(max, leaders),
+            LawMode::MultiRound => self.law_episode::<MultiRoundLaw>(max, leaders),
+        }
+    }
+
+    /// The law-generic episode body behind [`batch_episode`](Self::
+    /// batch_episode): chains up to `L::SEGMENTS` collision-free segments
+    /// through one urn lifetime (`begin` once, merge once), drawing each
+    /// segment's structure from the law and its length from the
+    /// continuation run-length law conditioned on every agent used so far.
+    fn law_episode<L: RoundLaw>(&mut self, max: u64, mut leaders: Option<&mut i64>) -> (u64, bool) {
         debug_assert!(max > 0);
-        let (bulk, collide) = batch::collision_free_prefix(&mut self.rng, self.n, max);
         let mut scratch = std::mem::take(&mut self.tiers.batch.scratch);
         scratch.begin(self.sampler.weights());
-        scratch.draw_multiset(&mut self.rng, bulk, false);
-        scratch.draw_multiset(&mut self.rng, bulk, true);
-        // Pairing: a uniformly permuted responder sequence against the
-        // initiators realizes the uniformly random matching.
-        self.rng.shuffle(&mut scratch.resp_seq);
-        // The leader count can touch 1 inside the round only within ±2 per
-        // interaction of its entry value; rounds that provably cannot skip
-        // the walk and apply pure bulk deltas.
-        let walk = leaders
-            .as_deref()
-            .is_some_and(|&l| (l - 1).unsigned_abs() <= 2 * bulk);
-        if walk {
-            // Both sequences uniformly permuted makes the round's pair
-            // sequence a uniformly random interleaving — the conditional law
-            // of the true process given the drawn multisets.
-            self.rng.shuffle(&mut scratch.init_seq);
-            self.tiers.batch.stats.exact_walks += 1;
-        }
-        let mut executed = 0u64;
+        let mut consumed = 0u64;
+        let mut bulk_total = 0u64;
         let mut hit = false;
-        for i in 0..bulk as usize {
-            let s = scratch.init_seq[i] as usize;
-            let t = scratch.resp_seq[i] as usize;
-            let (a, b, delta, _) = self.pair_effect(s, t);
-            scratch.ensure_states(self.states.len());
-            scratch.add_used(a);
-            scratch.add_used(b);
-            executed += 1;
-            if let Some(l) = leaders.as_deref_mut() {
-                *l += i64::from(delta);
-                if walk && delta != 0 && *l == 1 {
-                    hit = true;
-                    // Return the reserved-but-unexecuted tail to the fresh
-                    // urn; those agents never interacted.
-                    for j in i + 1..bulk as usize {
-                        let init = scratch.init_seq[j] as usize;
-                        scratch.return_fresh(init);
-                        let resp = scratch.resp_seq[j] as usize;
-                        scratch.return_fresh(resp);
+        let mut segment = 0u32;
+        loop {
+            segment += 1;
+            let (bulk, collide) = round::collision_free_prefix_from(
+                &mut self.rng,
+                self.n,
+                scratch.used_total,
+                max - consumed,
+            );
+            self.tiers.batch.stats.episode_segments += 1;
+            // The leader count can touch 1 inside the segment only within
+            // ±2 per interaction of its entry value; segments that provably
+            // cannot skip the walk and apply pure bulk deltas.
+            let walk = leaders
+                .as_deref()
+                .is_some_and(|&l| (l - 1).unsigned_abs() <= 2 * bulk);
+            if walk {
+                self.tiers.batch.stats.exact_walks += 1;
+            }
+            let draw = L::draw_segment(
+                &mut scratch,
+                &mut self.rng,
+                bulk,
+                walk,
+                &mut self.tiers.batch.stats,
+            );
+            let mut executed = 0u64;
+            match draw {
+                SegmentDraw::Sequences => {
+                    for i in 0..bulk as usize {
+                        let s = scratch.init_seq[i] as usize;
+                        let t = scratch.resp_seq[i] as usize;
+                        let (a, b, delta, _) = self.pair_effect(s, t);
+                        scratch.ensure_states(self.states.len());
+                        scratch.add_used(a);
+                        scratch.add_used(b);
+                        executed += 1;
+                        if let Some(l) = leaders.as_deref_mut() {
+                            *l += i64::from(delta);
+                            if walk && delta != 0 && *l == 1 {
+                                hit = true;
+                                // Return the reserved-but-unexecuted tail to
+                                // the fresh urn; those agents never
+                                // interacted.
+                                for j in i + 1..bulk as usize {
+                                    let init = scratch.init_seq[j] as usize;
+                                    scratch.return_fresh(init);
+                                    let resp = scratch.resp_seq[j] as usize;
+                                    scratch.return_fresh(resp);
+                                }
+                                break;
+                            }
+                        }
                     }
-                    break;
+                }
+                SegmentDraw::Cells => {
+                    // Aggregated apply: `c` identical interactions collapse
+                    // into one cache lookup and one urn update per side.
+                    // `walk` forces Sequences, so no hitting-step check is
+                    // needed here — the count provably stays away from 1.
+                    debug_assert!(!walk);
+                    for idx in 0..scratch.cells.len() {
+                        let (s, t, c) = scratch.cells[idx];
+                        let (a, b, delta, _) = self.pair_effect(s as usize, t as usize);
+                        scratch.ensure_states(self.states.len());
+                        scratch.add_used_n(a, c);
+                        scratch.add_used_n(b, c);
+                        executed += c;
+                        if let Some(l) = leaders.as_deref_mut() {
+                            *l += i64::from(delta) * c as i64;
+                        }
+                    }
                 }
             }
-        }
-        let mut consumed = executed;
-        if collide && !hit {
-            // The terminating interaction touches at least one used agent.
-            // Used agents are exchangeable given their counts, so the
-            // participants are drawn from exact integer category weights
-            // over (used, fresh) ordered pairs, excluding fresh-fresh.
-            debug_assert_eq!(executed, bulk);
-            let used = scratch.used_total;
-            let fresh = scratch.fresh_total;
-            let w_uu = used * (used - 1);
-            let w_uf = used * fresh;
-            let pick = self.rng.below(w_uu + 2 * w_uf);
-            let (iu, ru) = if pick < w_uu {
-                (true, true)
-            } else if pick < w_uu + w_uf {
-                (true, false)
-            } else {
-                (false, true)
-            };
-            let s = scratch.draw_one(&mut self.rng, iu);
-            let t = scratch.draw_one(&mut self.rng, ru);
-            let (a, b, delta, _) = self.pair_effect(s, t);
-            scratch.ensure_states(self.states.len());
-            scratch.add_used(a);
-            scratch.add_used(b);
-            consumed += 1;
-            self.tiers.batch.stats.collision_interactions += 1;
-            if let Some(l) = leaders {
-                *l += i64::from(delta);
-                hit = *l == 1 && delta != 0;
+            consumed += executed;
+            bulk_total += executed;
+            if collide && !hit {
+                // The terminating interaction touches at least one used
+                // agent. Used agents are exchangeable given their counts, so
+                // the participants are drawn from exact integer category
+                // weights over (used, fresh) ordered pairs, excluding
+                // fresh-fresh.
+                debug_assert_eq!(executed, bulk);
+                let used = scratch.used_total;
+                let fresh = scratch.fresh_total;
+                let w_uu = used * (used - 1);
+                let w_uf = used * fresh;
+                let pick = self.rng.below(w_uu + 2 * w_uf);
+                let (iu, ru) = if pick < w_uu {
+                    (true, true)
+                } else if pick < w_uu + w_uf {
+                    (true, false)
+                } else {
+                    (false, true)
+                };
+                let s = scratch.draw_one(&mut self.rng, iu);
+                let t = scratch.draw_one(&mut self.rng, ru);
+                let (a, b, delta, _) = self.pair_effect(s, t);
+                scratch.ensure_states(self.states.len());
+                scratch.add_used(a);
+                scratch.add_used(b);
+                consumed += 1;
+                self.tiers.batch.stats.collision_interactions += 1;
+                if let Some(l) = leaders.as_deref_mut() {
+                    *l += i64::from(delta);
+                    hit = *l == 1 && delta != 0;
+                }
+            }
+            // Chain another segment only if a collision (not budget
+            // exhaustion) ended this one, the law allows it, convergence
+            // wasn't hit, and budget remains to spend.
+            if !collide || hit || segment >= L::SEGMENTS || consumed >= max {
+                break;
             }
         }
         // Merge the urns back into the sampler counts.
@@ -1014,7 +1074,7 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
         self.steps += consumed;
         let stats = &mut self.tiers.batch.stats;
         stats.episodes += 1;
-        stats.bulk_interactions += executed;
+        stats.bulk_interactions += bulk_total;
         self.tiers.batch.scratch = scratch;
         // Counts changed wholesale behind the jump ledger's back.
         if !self.tiers.jump.ledger.is_empty() {
@@ -1279,6 +1339,7 @@ where
         w.put_u64(c.batch_support_divisor);
         w.put_u64(c.batch_min_population);
         w.put_bool(c.compaction);
+        w.put_u8(c.law_mode.tag());
         w.end_section();
 
         w.begin_section(snapshot::TAG_POPULATION);
@@ -1341,6 +1402,9 @@ where
         w.put_u64(batch.stats.bulk_interactions);
         w.put_u64(batch.stats.collision_interactions);
         w.put_u64(batch.stats.exact_walks);
+        w.put_u64(batch.stats.contingency_draws);
+        w.put_u64(batch.stats.shuffle_skips);
+        w.put_u64(batch.stats.episode_segments);
         w.end_section();
 
         w.begin_section(snapshot::TAG_RNG);
@@ -1385,6 +1449,8 @@ where
             batch_support_divisor: sec.get_u64()?,
             batch_min_population: sec.get_u64()?,
             compaction: sec.get_bool()?,
+            law_mode: LawMode::from_tag(sec.get_u8()?)
+                .ok_or(Corrupt("unknown round-law mode tag"))?,
         };
         sec.expect_end("config section has trailing bytes")?;
 
@@ -1432,6 +1498,9 @@ where
             bulk_interactions: sec.get_u64()?,
             collision_interactions: sec.get_u64()?,
             exact_walks: sec.get_u64()?,
+            contingency_draws: sec.get_u64()?,
+            shuffle_skips: sec.get_u64()?,
+            episode_segments: sec.get_u64()?,
         };
         sec.expect_end("tier section has trailing bytes")?;
 
@@ -2070,10 +2139,10 @@ mod tests {
         let mut sim = CountSimulation::new(Frat, 256, rng(42)).unwrap();
         sim.run(1_000);
         let hash = crate::snapshot::fnv1a64(&sim.snapshot());
-        const GOLDEN: u64 = 0x6f8f_fb5c_e0d0_47c4;
+        const GOLDEN: u64 = 0x9db5_6573_7c48_363b;
         assert!(
-            hash == GOLDEN || crate::snapshot::SNAPSHOT_VERSION > 1,
-            "snapshot bytes changed under version 1 (hash {hash:#018x}); \
+            hash == GOLDEN || crate::snapshot::SNAPSHOT_VERSION > 2,
+            "snapshot bytes changed under version 2 (hash {hash:#018x}); \
              bump SNAPSHOT_VERSION and update GOLDEN"
         );
     }

@@ -79,6 +79,7 @@ pub mod epidemic;
 mod error;
 mod jump;
 mod protocol;
+mod round;
 mod scheduler;
 pub mod snapshot;
 mod tier;
@@ -91,6 +92,7 @@ pub use count_engine::CountSimulation;
 pub use engine::{RunOutcome, Simulation};
 pub use error::EngineError;
 pub use protocol::{check_symmetry, LeaderElection, Protocol, Role};
+pub use round::LawMode;
 pub use scheduler::{
     Interaction, ReplayScheduler, RoundRobinScheduler, Scheduler, UniformScheduler,
 };

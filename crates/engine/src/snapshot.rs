@@ -52,7 +52,9 @@
 use std::fmt;
 
 /// Version tag written after the magic; bump on any byte-layout change.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Version 2 appended the round-law mode to the config section and the
+/// contingency/segment counters to the tier section.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// 8-byte magic prefix identifying count-engine snapshots.
 pub(crate) const MAGIC: [u8; 8] = *b"PPENGSNP";
@@ -211,6 +213,10 @@ impl SnapshotWriter {
 
     pub(crate) fn put_bool(&mut self, v: bool) {
         self.buf.push(u8::from(v));
+    }
+
+    pub(crate) fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
     }
 
     pub(crate) fn put_u16(&mut self, v: u16) {

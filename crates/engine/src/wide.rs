@@ -70,8 +70,8 @@
 //! [`CountSimulation`](crate::CountSimulation), whose jump scheduler
 //! telescopes the null tail in `O(1)` expected work per real transition.
 
-use crate::batch::BatchScratch;
 use crate::compiled::{self, PairCache};
+use crate::round::{self, BatchScratch, SegmentDraw};
 use crate::tier::{self, EngineConfig};
 use crate::{
     BatchStats, EngineError, LeaderElection, Protocol, Role, RunOutcome, CONVERGENCE_BATCH,
@@ -125,6 +125,18 @@ pub enum WideTierPolicy {
     /// `n ≤ u32::MAX` (exact integer category weights), like the scalar
     /// batch tier.
     PinnedBatch,
+    /// Batch rounds with **law-only** cross-lane sampling: one shared
+    /// run-length inversion and one shared responder-permutation index
+    /// stream serve the whole lane set, and each lane pairs its margins
+    /// through the contingency cells of [`crate::round::ContingencyLaw`]
+    /// where the support allows. Every lane's *marginal* law is exactly
+    /// the scalar engine's (uniform inputs stay uniform when reused), so
+    /// per-seed statistics are unbiased — but lanes within one wide run
+    /// are **correlated** (they share round lengths), so the `W` lanes are
+    /// not independent seeds. Not bit-identical to any scalar
+    /// configuration; pinned by the chi-square suite (`tests/round_law.rs`).
+    /// Requires `n ≤ u32::MAX` like [`PinnedBatch`](Self::PinnedBatch).
+    LawOnly,
 }
 
 /// A lane extracted from a wide run so the caller can finish it on the
@@ -414,7 +426,10 @@ impl<P: Protocol, R: Rng64> WideSimulation<P, R> {
         if n < 2 {
             return Err(EngineError::PopulationTooSmall { n });
         }
-        if policy == WideTierPolicy::PinnedBatch {
+        if matches!(
+            policy,
+            WideTierPolicy::PinnedBatch | WideTierPolicy::LawOnly
+        ) {
             assert!(
                 n as u64 <= tier::BATCH_MAX_POPULATION,
                 "the batch tier supports populations up to u32::MAX"
@@ -459,7 +474,10 @@ impl<P: Protocol, R: Rng64> WideSimulation<P, R> {
             shared,
             lanes,
             config,
-            batch_mode: policy == WideTierPolicy::PinnedBatch,
+            batch_mode: matches!(
+                policy,
+                WideTierPolicy::PinnedBatch | WideTierPolicy::LawOnly
+            ),
             policy,
             review_at: 0,
             spill: policy == WideTierPolicy::Auto,
@@ -667,7 +685,11 @@ impl<P: Protocol, R: Rng64> WideSimulation<P, R> {
                     .zip(&targets)
                     .map(|(l, &t)| t.saturating_sub(l.steps))
                     .collect();
-                self.batch_round(&budgets, false);
+                if self.policy == WideTierPolicy::LawOnly {
+                    self.law_only_round(&budgets, false);
+                } else {
+                    self.batch_round(&budgets, false);
+                }
             } else {
                 for (pos, &target) in targets.iter().enumerate() {
                     let remaining = target.saturating_sub(self.lanes[pos].steps);
@@ -754,7 +776,7 @@ impl<P: Protocol, R: Rng64> WideSimulation<P, R> {
         let mut live: Vec<u32> = (0..lane.slots() as u32)
             .filter(|&s| counts[s as usize] > 0)
             .collect();
-        live.sort_unstable_by_key(|&s| (std::cmp::Reverse(counts[s as usize]), s));
+        round::sort_descending(&mut live, |s| counts[s as usize]);
         let slot_gid: Vec<u32> = live
             .iter()
             .map(|&old| lane.slot_gid[old as usize])
@@ -796,10 +818,9 @@ impl<P: Protocol, R: Rng64> WideSimulation<P, R> {
             .collect();
         {
             let counts = &self.shared.counts;
-            live.sort_unstable_by_key(|&g| {
+            round::sort_descending(&mut live, |g| {
                 let row = g as usize * w;
-                let total: u64 = counts[row..row + w].iter().sum();
-                (std::cmp::Reverse(total), g)
+                counts[row..row + w].iter().sum()
             });
         }
         let mut map = vec![DEAD_GID; states];
@@ -929,10 +950,42 @@ impl<P: Protocol, R: Rng64> WideSimulation<P, R> {
         // cache, the exact collision interaction, then merge the urns into
         // the lane's SoA column.
         for (k, &pos) in active.iter().enumerate() {
-            let mut scratch = std::mem::take(&mut scratches[k]);
+            let scratch = std::mem::take(&mut scratches[k]);
             let bulk = self.round.bulks[k];
             let collide = self.round.collides[k];
-            let walk = walks[k];
+            self.finish_lane_round(
+                pos,
+                scratch,
+                bulk,
+                collide,
+                walks[k],
+                track,
+                SegmentDraw::Sequences,
+            );
+        }
+    }
+
+    /// Phases D and E of one lane's round, shared by [`batch_round`]
+    /// (always sequences) and [`law_only_round`] (sequences or contingency
+    /// cells): apply the drawn structure through the shared cache, execute
+    /// the exact collision interaction, then merge the urns into the lane's
+    /// SoA column and hand the scratch back to the lane.
+    ///
+    /// [`batch_round`]: Self::batch_round
+    /// [`law_only_round`]: Self::law_only_round
+    #[allow(clippy::too_many_arguments)]
+    fn finish_lane_round(
+        &mut self,
+        pos: usize,
+        mut scratch: BatchScratch,
+        bulk: u64,
+        collide: bool,
+        walk: bool,
+        track: bool,
+        draw: SegmentDraw,
+    ) {
+        let w = self.shared.width;
+        {
             if walk {
                 self.stats.exact_walks += 1;
             }
@@ -948,11 +1001,36 @@ impl<P: Protocol, R: Rng64> WideSimulation<P, R> {
             // interning order) and the urn/leader updates stay additive.
             // Exact walks keep the per-interaction loop: they track the
             // leader count through every single interaction and may stop
-            // mid-bulk.
-            let dedup = !walk
+            // mid-bulk. Contingency cells arrive pre-aggregated and apply
+            // directly; `walk` forces sequences, so no hitting-step check
+            // is needed on that path.
+            let dedup = draw == SegmentDraw::Sequences
+                && !walk
                 && bulk >= CAT_DEDUP_MIN_BULK
                 && known_slots.saturating_mul(known_slots) <= CAT_TABLE_CAP;
-            if dedup {
+            if draw == SegmentDraw::Cells {
+                debug_assert!(!walk);
+                for idx in 0..scratch.cells.len() {
+                    let (s, t, c) = scratch.cells[idx];
+                    let (a, b, delta, _) = self.shared.lane_effect(
+                        &mut self.lanes[pos],
+                        s as usize,
+                        t as usize,
+                        false,
+                    );
+                    let slots = self.lanes[pos].slots();
+                    if slots != known_slots {
+                        scratch.ensure_states(slots);
+                        known_slots = slots;
+                    }
+                    scratch.add_used_n(a, c);
+                    scratch.add_used_n(b, c);
+                    executed += c;
+                    if track {
+                        leaders += i64::from(delta) * c as i64;
+                    }
+                }
+            } else if dedup {
                 let round = &mut self.round;
                 let table = known_slots * known_slots;
                 if round.cat_stamp.len() < table {
@@ -1083,7 +1161,136 @@ impl<P: Protocol, R: Rng64> WideSimulation<P, R> {
             lane.leaders = leaders;
             lane.scratch = scratch;
             self.stats.episodes += 1;
+            self.stats.episode_segments += 1;
             self.stats.bulk_interactions += executed;
+        }
+    }
+
+    /// One staged **law-only** round (see [`WideTierPolicy::LawOnly`]):
+    /// like [`batch_round`](Self::batch_round), but the expensive per-lane
+    /// draws are shared across the lane set wherever sharing preserves
+    /// each lane's marginal law:
+    ///
+    /// * **One run-length inversion.** A single uniform (drawn from the
+    ///   first active lane's RNG) is inverted once at the largest budget;
+    ///   every lane's `(bulk, collides)` is the deterministic truncation
+    ///   of that one length to its own budget. Per lane this is exactly
+    ///   [`round::invert_prefix`] applied to a uniform input — the scalar
+    ///   law — but lanes share their round length.
+    /// * **Per-lane margins, cells where small.** Each lane draws its own
+    ///   hypergeometric margins (they condition on the lane's counts) and
+    ///   pairs them through contingency cells when its support is small —
+    ///   the [`crate::round::ContingencyLaw`] decision, per lane.
+    /// * **One shuffle index stream.** Lanes that fall back to expanded
+    ///   sequences share one Fisher–Yates index stream (drawn from the
+    ///   first such lane's RNG): each swap index `jᵢ ~ U[0, i]` applied to
+    ///   every lane still induces a uniform permutation per lane.
+    ///
+    /// Exact-walk lanes (leader count near 1 under `track`) opt out of all
+    /// sharing: they draw their own sequences and shuffles, preserving the
+    /// scalar walk semantics exactly.
+    fn law_only_round(&mut self, budgets: &[u64], track: bool) {
+        let n = self.n;
+        let w = self.shared.width;
+        debug_assert!(self.batch_mode);
+        let active: Vec<usize> = (0..self.lanes.len())
+            .filter(|&pos| budgets[pos] > 0 && !(track && self.lanes[pos].leaders == 1))
+            .collect();
+        if active.is_empty() {
+            return;
+        }
+        // Phase A: one shared uniform, inverted once at the largest budget;
+        // each lane truncates the shared length to its own budget.
+        let max_budget = active
+            .iter()
+            .map(|&pos| budgets[pos])
+            .max()
+            .expect("nonempty");
+        let u = self.lanes[active[0]].rng.unit_f64();
+        let (shared_bulk, shared_collide) = round::invert_prefix(u, n, 0, max_budget);
+        {
+            let round = &mut self.round;
+            round.bulks.clear();
+            round.collides.clear();
+            for &pos in &active {
+                round.bulks.push(shared_bulk.min(budgets[pos]));
+                round
+                    .collides
+                    .push(shared_collide && shared_bulk < budgets[pos]);
+            }
+        }
+        // Phase B: per-lane draws — sequences (own shuffles) for walk
+        // lanes, margins → cells or expansion otherwise.
+        let mut scratches: Vec<BatchScratch> = Vec::with_capacity(active.len());
+        let mut draws: Vec<SegmentDraw> = Vec::with_capacity(active.len());
+        let mut walks: Vec<bool> = Vec::with_capacity(active.len());
+        let mut shared_shuffle: Vec<usize> = Vec::new();
+        for (k, &pos) in active.iter().enumerate() {
+            let mut scratch = std::mem::take(&mut self.lanes[pos].scratch);
+            self.round.gather.clear();
+            for &gid in &self.lanes[pos].slot_gid {
+                self.round
+                    .gather
+                    .push(self.shared.counts[gid as usize * w + pos]);
+            }
+            scratch.begin(&self.round.gather);
+            let bulk = self.round.bulks[k];
+            let walk = track && (self.lanes[pos].leaders - 1).unsigned_abs() <= 2 * bulk;
+            walks.push(walk);
+            let lane = &mut self.lanes[pos];
+            if walk {
+                scratch.init_seq.clear();
+                scratch.resp_seq.clear();
+                scratch.draw_multiset(&mut lane.rng, bulk, false);
+                scratch.draw_multiset(&mut lane.rng, bulk, true);
+                lane.rng.shuffle(&mut scratch.resp_seq);
+                lane.rng.shuffle(&mut scratch.init_seq);
+                draws.push(SegmentDraw::Sequences);
+            } else {
+                scratch.draw_margins(&mut lane.rng, bulk, false);
+                scratch.draw_margins(&mut lane.rng, bulk, true);
+                let table = scratch.init_margin.len() as u64 * scratch.resp_margin.len() as u64;
+                if table > round::CELL_FALLBACK_FACTOR * bulk {
+                    scratch.expand_margins();
+                    shared_shuffle.push(k);
+                    draws.push(SegmentDraw::Sequences);
+                } else {
+                    let d = scratch.draw_cells(&mut lane.rng);
+                    self.stats.contingency_draws += d;
+                    self.stats.shuffle_skips += 1;
+                    draws.push(SegmentDraw::Cells);
+                }
+            }
+            scratches.push(scratch);
+        }
+        // Phase C: one responder-permutation index stream for every lane
+        // that expanded. Swap `i ↔ jᵢ` with the same `jᵢ ~ U[0, i]` in
+        // every lane: per lane this is a textbook Fisher–Yates (uniform
+        // permutation); across lanes the permutations are shared — law-only
+        // correlation, like the round length.
+        if let Some(&first) = shared_shuffle.first() {
+            let src = active[first];
+            let max_len = shared_shuffle
+                .iter()
+                .map(|&k| scratches[k].resp_seq.len())
+                .max()
+                .unwrap_or(0);
+            for i in (1..max_len).rev() {
+                let j = self.lanes[src].rng.index(i + 1);
+                for &k in &shared_shuffle {
+                    let seq = &mut scratches[k].resp_seq;
+                    if seq.len() > i {
+                        seq.swap(i, j);
+                    }
+                }
+            }
+        }
+        // Phases D and E, per lane, shared with the pinned batch round.
+        for (k, &pos) in active.iter().enumerate() {
+            let scratch = std::mem::take(&mut scratches[k]);
+            let bulk = self.round.bulks[k];
+            let collide = self.round.collides[k];
+            self.finish_lane_round(pos, scratch, bulk, collide, walks[k], track, draws[k]);
         }
     }
 
@@ -1222,7 +1429,11 @@ impl<P: LeaderElection, R: Rng64> WideSimulation<P, R> {
             }
             if self.batch_mode {
                 let budgets: Vec<u64> = self.lanes.iter().map(|l| max_steps - l.steps).collect();
-                self.batch_round(&budgets, true);
+                if self.policy == WideTierPolicy::LawOnly {
+                    self.law_only_round(&budgets, true);
+                } else {
+                    self.batch_round(&budgets, true);
+                }
             } else {
                 for pos in 0..self.lanes.len() {
                     let lane_steps = self.lanes[pos].steps;

@@ -106,7 +106,9 @@ fn scalar_twin<P: LeaderElection>(
             sim.set_batch_tier(false);
         }
         WideTierPolicy::PinnedBatch => sim.force_batch_mode(),
-        WideTierPolicy::Auto => unreachable!("auto has no scalar twin"),
+        WideTierPolicy::Auto | WideTierPolicy::LawOnly => {
+            unreachable!("only pinned policies have a scalar twin")
+        }
     }
     sim
 }

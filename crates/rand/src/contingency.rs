@@ -1,0 +1,326 @@
+//! Contingency-table sampling with fixed margins — the round structure
+//! behind the count engine's contingency batch law.
+//!
+//! A collision-free batch round pairs `T` initiator slots with `T`
+//! responder slots by a uniformly random bijection. When only the
+//! *per-ordered-pair interaction counts* matter (no exact leader walk), the
+//! round is fully described by the contingency table `M` with
+//! `M[i][j] =` number of slots pairing initiator class `i` with responder
+//! class `j` — distributed as the multivariate hypergeometric law on tables
+//! with fixed margins:
+//!
+//! ```text
+//! P(M = m) = (∏ᵢ rᵢ!)(∏ⱼ cⱼ!) / (T! ∏ᵢⱼ mᵢⱼ!)
+//! ```
+//!
+//! [`contingency_table`] samples that law exactly by the row-conditional
+//! decomposition: reveal the uniform bijection one initiator class at a
+//! time — given the previous rows, the responders matched to row `i` are a
+//! uniform without-replacement sample of the remaining responder pool, so
+//! row `i` is one [`multivariate_hypergeometric`] draw over the *remaining*
+//! column margins. `O(R·C)` conditional [`Hypergeometric`] draws worst
+//! case, far fewer in practice (each row stops once its margin is
+//! exhausted) — versus the `Θ(T)` index draws of a full Fisher–Yates
+//! shuffle of the responder multiset. That gap is the point: for
+//! small-support protocols `R·C ≪ T ≈ √n` and the table replaces the
+//! shuffle outright.
+
+use crate::hypergeom::Hypergeometric;
+use crate::Rng64;
+
+/// Samples a contingency table with fixed margins: the per-cell counts of a
+/// uniformly random bijection between `rows.iter().sum()` row items
+/// (classes of sizes `rows`) and the same number of column items (classes
+/// of sizes `cols`). Writes the table row-major into `out` (which must hold
+/// `rows.len() * cols.len()` entries) and returns the number of
+/// [`Hypergeometric`] draws consumed — the caller's cost model for deciding
+/// when the table beats a shuffle.
+///
+/// Row `i` is the conditional multivariate hypergeometric draw of `rows[i]`
+/// items from the column margins left over by rows `0..i`; any fixed row
+/// order yields the same joint law (exchangeability of the uniform
+/// bijection). Iterating large columns first within a row exhausts the row
+/// margin sooner, so callers that can present `cols` in descending order
+/// pay fewer conditional draws; correctness does not depend on the order.
+///
+/// # Panics
+///
+/// Panics if the row and column totals differ or `out` is shorter than
+/// `rows.len() * cols.len()`.
+pub fn contingency_table<R: Rng64 + ?Sized>(
+    rng: &mut R,
+    rows: &[u64],
+    cols: &[u64],
+    out: &mut [u64],
+) -> u64 {
+    let cells = rows.len() * cols.len();
+    assert!(out.len() >= cells, "output slice too short");
+    let row_total: u64 = rows.iter().sum();
+    let col_total: u64 = cols.iter().sum();
+    assert_eq!(row_total, col_total, "row/column totals must match");
+    out[..cells].fill(0);
+    // Remaining column margins, consumed as rows are revealed. (The count
+    // engine keeps an equivalent buffer in its round scratch; this is the
+    // allocation-per-call reference implementation, like
+    // `multivariate_hypergeometric`.)
+    let mut rem: Vec<u64> = cols.to_vec();
+    let mut pool = col_total;
+    let mut draws = 0u64;
+    for (i, &r) in rows.iter().enumerate() {
+        let mut remaining = r;
+        let mut sub_pool = pool;
+        for j in 0..cols.len() {
+            if remaining == 0 {
+                break;
+            }
+            let c = rem[j];
+            if c == 0 {
+                continue;
+            }
+            let x = if sub_pool == c {
+                remaining
+            } else {
+                draws += 1;
+                Hypergeometric::new(sub_pool, c, remaining)
+                    .expect("column margin within remaining pool")
+                    .sample(rng)
+            };
+            out[i * cols.len() + j] = x;
+            rem[j] -= x;
+            remaining -= x;
+            sub_pool -= c;
+        }
+        debug_assert_eq!(remaining, 0, "row margin must be exhausted");
+        pool -= r;
+    }
+    draws
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{multivariate_hypergeometric, Xoshiro256PlusPlus};
+
+    fn rng(seed: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(seed)
+    }
+
+    fn margins(out: &[u64], r: usize, c: usize) -> (Vec<u64>, Vec<u64>) {
+        let row_sums = (0..r)
+            .map(|i| out[i * c..(i + 1) * c].iter().sum())
+            .collect();
+        let col_sums = (0..c)
+            .map(|j| (0..r).map(|i| out[i * c + j]).sum())
+            .collect();
+        (row_sums, col_sums)
+    }
+
+    #[test]
+    fn preserves_margins() {
+        let rows = [500u64, 130, 0, 70];
+        let cols = [300u64, 250, 150];
+        let mut out = [0u64; 12];
+        let mut r = rng(1);
+        for _ in 0..500 {
+            contingency_table(&mut r, &rows, &cols, &mut out);
+            let (rs, cs) = margins(&out, 4, 3);
+            assert_eq!(rs, rows);
+            assert_eq!(cs, cols);
+        }
+    }
+
+    #[test]
+    fn degenerate_tables() {
+        let mut r = rng(2);
+        let mut out = [0u64; 4];
+        // Empty round.
+        contingency_table(&mut r, &[0, 0], &[0, 0], &mut out);
+        assert_eq!(out, [0; 4]);
+        // Single row: exactly one multivariate hypergeometric draw — here
+        // forced, all items land per column margin.
+        contingency_table(&mut r, &[10], &[4, 6], &mut out);
+        assert_eq!(&out[..2], &[4, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "totals must match")]
+    fn rejects_mismatched_margins() {
+        let mut r = rng(0);
+        let mut out = [0u64; 4];
+        contingency_table(&mut r, &[3, 1], &[1, 2], &mut out);
+    }
+
+    /// rows = [2, 1], cols = [1, 2]: the exact table law puts mass 2/3 on
+    /// m₀₀ = 1 and 1/3 on m₀₀ = 0 (Fisher's hypergeometric table law).
+    #[test]
+    fn tiny_table_exact_law() {
+        let mut r = rng(7);
+        let mut out = [0u64; 4];
+        let runs = 60_000;
+        let mut m00_one = 0u64;
+        for _ in 0..runs {
+            contingency_table(&mut r, &[2, 1], &[1, 2], &mut out);
+            if out[0] == 1 {
+                m00_one += 1;
+            }
+        }
+        let p = m00_one as f64 / runs as f64;
+        assert!((p - 2.0 / 3.0).abs() < 0.01, "P[m00 = 1] = {p}");
+    }
+
+    /// The m₀₀ marginal of any table is Hypergeometric(T, r₀, c₀); pin the
+    /// full pmf for rows = [3, 2], cols = [2, 3]: P(m₀₀ = 0, 1, 2) =
+    /// (0.1, 0.6, 0.3).
+    #[test]
+    fn corner_cell_marginal_law() {
+        let mut r = rng(8);
+        let mut out = [0u64; 4];
+        let runs = 60_000;
+        let mut hits = [0u64; 3];
+        for _ in 0..runs {
+            contingency_table(&mut r, &[3, 2], &[2, 3], &mut out);
+            hits[out[0] as usize] += 1;
+        }
+        for (k, &expect) in [0.1, 0.6, 0.3].iter().enumerate() {
+            let p = hits[k] as f64 / runs as f64;
+            assert!((p - expect).abs() < 0.01, "P[m00 = {k}] = {p} vs {expect}");
+        }
+    }
+
+    /// Cell means match E[mᵢⱼ] = rᵢ·cⱼ/T and cell variances match
+    /// Var(mᵢⱼ) = rᵢcⱼ(T−rᵢ)(T−cⱼ)/(T²(T−1)) — the batch-regime moment
+    /// check at margins the engine actually draws (support ~4, T ~ √n).
+    #[test]
+    fn cell_moments_match_theory() {
+        let rows = [400u64, 150, 80, 10];
+        let cols = [300u64, 200, 140];
+        let t: u64 = rows.iter().sum();
+        let runs = 4000usize;
+        let mut r = rng(9);
+        let mut out = [0u64; 12];
+        let mut sums = [0f64; 12];
+        let mut sums2 = [0f64; 12];
+        for _ in 0..runs {
+            contingency_table(&mut r, &rows, &cols, &mut out);
+            for (k, &v) in out.iter().enumerate() {
+                sums[k] += v as f64;
+                sums2[k] += (v * v) as f64;
+            }
+        }
+        let tf = t as f64;
+        for (i, &ri) in rows.iter().enumerate() {
+            for (j, &cj) in cols.iter().enumerate() {
+                let k = i * cols.len() + j;
+                let mean = sums[k] / runs as f64;
+                let var = (sums2[k] - sums[k] * sums[k] / runs as f64) / (runs - 1) as f64;
+                let e = ri as f64 * cj as f64 / tf;
+                let v = ri as f64 * cj as f64 * (tf - ri as f64) * (tf - cj as f64)
+                    / (tf * tf * (tf - 1.0));
+                let se = (v / runs as f64).sqrt();
+                assert!(
+                    (mean - e).abs() < 5.0 * se + 1e-9,
+                    "cell ({i},{j}): mean {mean} vs {e}"
+                );
+                assert!(
+                    (var / v.max(1e-12) - 1.0).abs() < 0.2 || v < 1.0,
+                    "cell ({i},{j}): var {var} vs {v}"
+                );
+            }
+        }
+    }
+
+    /// The first row of a table is exactly one multivariate hypergeometric
+    /// draw over the column margins: pin the two samplers draw-for-draw on
+    /// identically seeded RNG streams. (Fresh streams per iteration — the
+    /// table's remaining rows consume extra randomness.)
+    #[test]
+    fn first_row_matches_multivariate() {
+        let cols = [50u64, 30, 0, 20];
+        let draws = 60u64;
+        let mut table = [0u64; 8];
+        let mut mv = [0u64; 4];
+        for seed in 0..200 {
+            contingency_table(
+                &mut rng(1000 + seed),
+                &[draws, 100 - draws],
+                &cols,
+                &mut table,
+            );
+            multivariate_hypergeometric(&mut rng(1000 + seed), &cols, draws, &mut mv);
+            assert_eq!(&table[..4], &mv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::Xoshiro256PlusPlus;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Margins are preserved exactly for arbitrary layouts (including
+        /// zero classes), and every cell stays within both of its margins.
+        #[test]
+        fn margins_are_invariant(
+            rows in proptest::collection::vec(0u64..400, 1..8),
+            cols_shape in proptest::collection::vec(1u64..=1000, 1..8),
+            seed in 0u64..1 << 48,
+        ) {
+            // Scale the column shape to the row total so margins match.
+            let total: u64 = rows.iter().sum();
+            let shape: u64 = cols_shape.iter().sum();
+            let mut cols: Vec<u64> =
+                cols_shape.iter().map(|&w| total * w / shape).collect();
+            let assigned: u64 = cols.iter().sum();
+            cols[0] += total - assigned;
+            let mut out = vec![0u64; rows.len() * cols.len()];
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+            contingency_table(&mut rng, &rows, &cols, &mut out);
+            for (i, &r) in rows.iter().enumerate() {
+                let row: u64 = out[i * cols.len()..(i + 1) * cols.len()].iter().sum();
+                prop_assert!(row == r, "row {} margin: {} vs {}", i, row, r);
+            }
+            for (j, &c) in cols.iter().enumerate() {
+                let col: u64 = (0..rows.len()).map(|i| out[i * cols.len() + j]).sum();
+                prop_assert!(col == c, "col {} margin: {} vs {}", j, col, c);
+            }
+        }
+
+        /// Cell means track rᵢ·cⱼ/T for random margins — the marginal-law
+        /// check the round-law suite leans on.
+        #[test]
+        fn cell_means_match_marginal_law(
+            rows in proptest::collection::vec(1u64..200, 2..5),
+            seed in 0u64..1 << 48,
+        ) {
+            let total: u64 = rows.iter().sum();
+            // Two columns splitting the total near-evenly.
+            let cols = [total / 2, total - total / 2];
+            let mut out = vec![0u64; rows.len() * 2];
+            let mut sums = vec![0f64; rows.len() * 2];
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+            let runs = 400usize;
+            for _ in 0..runs {
+                contingency_table(&mut rng, &rows, &cols, &mut out);
+                for (k, &v) in out.iter().enumerate() {
+                    sums[k] += v as f64;
+                }
+            }
+            let tf = total as f64;
+            for (i, &ri) in rows.iter().enumerate() {
+                for (j, &cj) in cols.iter().enumerate() {
+                    let e = ri as f64 * cj as f64 / tf;
+                    let v = ri as f64 * cj as f64 * (tf - ri as f64) * (tf - cj as f64)
+                        / (tf * tf * (tf - 1.0));
+                    let got = sums[i * 2 + j] / runs as f64;
+                    let tol = 6.0 * (v / runs as f64).sqrt() + 1e-9;
+                    prop_assert!(
+                        (got - e).abs() <= tol,
+                        "cell ({}, {}): {} vs {}", i, j, got, e
+                    );
+                }
+            }
+        }
+    }
+}

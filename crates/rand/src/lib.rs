@@ -24,7 +24,9 @@
 //!   [`Binomial`] (inverse-CDF / BTRD), plus
 //!   [`multivariate_hypergeometric`], the reference implementation of the
 //!   conditional decomposition (the engine inlines an order-optimized copy;
-//!   the two are pinned draw-for-draw equivalent by its tests),
+//!   the two are pinned draw-for-draw equivalent by its tests), and
+//!   [`contingency_table`], the fixed-margin table law behind the count
+//!   engine's contingency round mode (nested conditional rows),
 //! * weighted samplers: [`FenwickSampler`] (dynamic weights, `O(log k)`
 //!   updates and draws), [`SumTreeSampler`] (same queries on a complete
 //!   binary sum tree whose fixed-depth branch-free walks feed the count
@@ -48,6 +50,7 @@
 #![forbid(unsafe_code)]
 
 mod binomial;
+mod contingency;
 mod geometric;
 mod hypergeom;
 mod lnfact;
@@ -61,6 +64,7 @@ mod weighted;
 mod xoshiro;
 
 pub use binomial::Binomial;
+pub use contingency::contingency_table;
 pub use geometric::Geometric;
 pub use hypergeom::{multivariate_hypergeometric, Hypergeometric};
 pub use pcg::Pcg32;

@@ -84,6 +84,10 @@ fn main() {
         groups.contains_key("engine/count_steps_wide"),
         "wide lane group missing from bench output"
     );
+    assert!(
+        groups.contains_key("engine/count_steps_round"),
+        "round-law group missing from bench output"
+    );
 
     let snapshot = render_snapshot(&groups, quick);
     // Quick mode is a pipeline sanity pass: its reduced-sample medians must
@@ -222,6 +226,22 @@ fn render_snapshot(groups: &BTreeMap<String, Vec<Record>>, quick: bool) -> Strin
     )
     .elements_per_second
     .expect("throughput group");
+    let lawonly8_rate = find(
+        groups,
+        "engine/count_steps_wide",
+        "pll/1048576/lawonly_lanes/8",
+    )
+    .elements_per_second
+    .expect("throughput group");
+    let round_rate = |protocol: &str, law: &str| {
+        find(
+            groups,
+            "engine/count_steps_round",
+            &format!("{protocol}/1048576/{law}"),
+        )
+        .elements_per_second
+        .expect("throughput group")
+    };
 
     let mut out = String::new();
     out.push_str("{\n");
@@ -257,6 +277,32 @@ fn render_snapshot(groups: &BTreeMap<String, Vec<Record>>, quick: bool) -> Strin
     ));
     out.push_str("      \"note\": \"The batch tier processes collision-free Theta(sqrt(n))-length rounds through multivariate hypergeometric draws, so P_LL's ~0.56 null fraction (which keeps the jump scheduler disengaged) no longer matters: per-interaction cost is O((support + sqrt(n))/sqrt(n)) amortized. This clears the PR-2 acceptance target (>= 5x the pre-compiled baseline, i.e. >= 24M int/s) that the compiled and jump tiers had missed twice. State-id compaction also shrinks the sampler tree and pair table to the live support, which is what lifts the state-unbounded lottery onto the fast tiers.\"\n");
     out.push_str("    },\n");
+    out.push_str("    \"round_law_workload\": {\n");
+    out.push_str("      \"case\": \"CountSimulation / Fratricide + Pll / n = 2^20, mid-election steps under each batch round law (engine/count_steps_round, batch pinned, adjacent rows)\",\n");
+    out.push_str("      \"fratricide_interactions_per_second\": {\n");
+    for (i, law) in ["sequence", "contingency", "multiround"].iter().enumerate() {
+        out.push_str(&format!(
+            "        \"{law}\": {}{}\n",
+            round_rate("fratricide", law),
+            if i < 2 { "," } else { "" }
+        ));
+    }
+    out.push_str("      },\n");
+    out.push_str(&format!(
+        "      \"contingency_speedup_vs_sequence_small_support\": {:.2},\n",
+        round_rate("fratricide", "contingency") / round_rate("fratricide", "sequence")
+    ));
+    out.push_str("      \"pll_interactions_per_second\": {\n");
+    for (i, law) in ["sequence", "contingency", "multiround"].iter().enumerate() {
+        out.push_str(&format!(
+            "        \"{law}\": {}{}\n",
+            round_rate("pll", law),
+            if i < 2 { "," } else { "" }
+        ));
+    }
+    out.push_str("      },\n");
+    out.push_str("      \"note\": \"On a small-support protocol (fratricide: two live states, so the per-ordered-pair table has <= 4 cells) the contingency law replaces the O(sqrt n) responder expansion + shuffle and the per-interaction apply loop with a handful of nested-hypergeometric cell draws and bulk count deltas — the speedup over the bit-identical sequence-expansion law is the headline ratio above, measured in adjacent rows of one group. On the wide-support control (P_LL, ~130 live states mid-election) the table overflows its cap (cells > bulk), the law falls back to expand-and-shuffle per segment, and the three rows agree within noise — the dispatch itself costs nothing measurable. Multi-round episodes chain collision-free segments across collisions through the same contingency cells; the win shows at small n where per-round fixed costs dominate (the chi-square suite tests/round_law.rs pins all laws to the reference distribution).\"\n");
+    out.push_str("    },\n");
     out.push_str("    \"wide_lane_workload\": {\n");
     out.push_str("      \"case\": \"WideSimulation / Pll / n = 2^20, 8 lanes in lockstep, mid-election steps (engine/count_steps_wide, pinned batch rounds)\",\n");
     out.push_str(&format!(
@@ -268,6 +314,13 @@ fn render_snapshot(groups: &BTreeMap<String, Vec<Record>>, quick: bool) -> Strin
     out.push_str(&format!(
         "      \"speedup_vs_scalar_batch_tier\": {:.2},\n",
         wide8_rate / wide_scalar_rate
+    ));
+    out.push_str(&format!(
+        "      \"lawonly_per_seed_interactions_per_second\": {lawonly8_rate},\n"
+    ));
+    out.push_str(&format!(
+        "      \"lawonly_speedup_vs_scalar_batch_tier\": {:.2},\n",
+        lawonly8_rate / wide_scalar_rate
     ));
     out.push_str("      \"lane_scaling_per_seed_interactions_per_second\": {\n");
     for (i, &lanes) in WIDE_LANE_WIDTHS.iter().enumerate() {
@@ -282,7 +335,7 @@ fn render_snapshot(groups: &BTreeMap<String, Vec<Record>>, quick: bool) -> Strin
         ));
     }
     out.push_str("      },\n");
-    out.push_str("      \"note\": \"W same-n seeds advance in lockstep through one shared compiled pair cache with structure-of-arrays counts (counts[state][lane]), one RNG stream per lane, and fixed-width lane chunking in the bulk-delta / hypergeometric-split / convergence loops. Throughput is per seed, and the speedup is against the scalar_batch row measured back-to-back inside the same group (machine drift across minutes exceeds the ratio itself). Per-lane bit-identity with the scalar engine pins each lane's RNG sequence, so the hypergeometric sampling and multiset shuffles (~80% of a batch round) cost the same wide or scalar; what lockstep amortizes is per-seed overhead (run-length prefix table, cache warmup, tier reviews, dedup'd bulk apply), which lands the per-seed ratio at parity — 0.9-1.15x run-to-run on this container — rather than scaling with W. The shared half of the optimization pass behind it (order-reusing round setup, ln-factorial table, bulk multiset expansion) benefits the scalar tier equally. Table-1 style sweeps (hundreds of seeds per n) run on exactly this path via stabilization_sweep's thread x lane bundles.\"\n");
+    out.push_str("      \"note\": \"W same-n seeds advance in lockstep through one shared compiled pair cache with structure-of-arrays counts (counts[state][lane]), one RNG stream per lane, and fixed-width lane chunking in the bulk-delta / hypergeometric-split / convergence loops. Throughput is per seed, and the speedup is against the scalar_batch row measured back-to-back inside the same group (machine drift across minutes exceeds the ratio itself). Per-lane bit-identity with the scalar engine pins each lane's RNG sequence, so the hypergeometric sampling and multiset shuffles (~80% of a batch round) cost the same wide or scalar; what lockstep amortizes is per-seed overhead (run-length prefix table, cache warmup, tier reviews, dedup'd bulk apply), which lands the per-seed ratio at parity — 0.9-1.15x run-to-run on this container — rather than scaling with W. The shared half of the optimization pass behind it (order-reusing round setup, ln-factorial table, bulk multiset expansion) benefits the scalar tier equally. Table-1 style sweeps (hundreds of seeds per n) run on exactly this path via stabilization_sweep's thread x lane bundles. The lawonly_lanes/8 row drops per-lane bit-identity (WideTierPolicy::LawOnly): one shared run-length inversion and one shared responder-permutation index stream across the lane set, with per-lane contingency cells where the table fits. On P_LL's wide support the per-lane hypergeometric margin draws must stay conditionally exact per lane (pooling them would require a noncentral multivariate split with no cheap exact sampler), so sharing only amortizes the inversion and the index stream and the per-seed rate lands at parity with the bit-identical row — the genuine law-equal multiple lives in round_law_workload's small-support contingency ratio instead.\"\n");
     out.push_str("    },\n");
     out.push_str("    \"election_workload\": {\n");
     out.push_str("      \"case\": \"CountSimulation / Fratricide / n = 2^20, whole election (engine/election_jump)\",\n");

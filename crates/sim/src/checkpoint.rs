@@ -45,16 +45,17 @@
 //! boundaries and stays bit-identical to the same job run without the kill
 //! *at the same interval*. The two modes sample the same law but are not
 //! bit-comparable to each other, so the mode (and, in bundle mode, the
-//! lane width) is part of the journal fingerprint — resuming under a
-//! different mode or width is an `InvalidData` error, not a silent
-//! law-only answer.
+//! lane width) is part of the journal fingerprint, as is the batch tier's
+//! round law ([`crate::sweep_law_mode`], the `PP_SIM_LAW` override) —
+//! resuming under a different mode, width, or round law is an
+//! `InvalidData` error, not a silent law-only answer.
 //!
 //! [`stabilization_sweep`]: crate::stabilization_sweep
 //! [`parallel_map`]: crate::parallel_map
 //! [`WideSimulation`]: pp_engine::WideSimulation
 
 use crate::runner::{aggregate_points, run_bundle, sweep_bundles, sweep_jobs, SweepPoint};
-use pp_engine::{CountSimulation, LeaderElection, SnapshotState};
+use pp_engine::{CountSimulation, EngineConfig, LawMode, LeaderElection, SnapshotState};
 use pp_rand::Xoshiro256PlusPlus;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -189,7 +190,8 @@ where
 {
     let jobs = sweep_jobs(ns, seeds, master_seed);
     let lane_mode = ckpt.snapshot_interval.is_none().then_some(lanes);
-    let fp = fingerprint(ns, seeds, master_seed, max_steps, lane_mode);
+    let law = crate::sweep_law_mode();
+    let fp = fingerprint(ns, seeds, master_seed, max_steps, lane_mode, law);
     std::fs::create_dir_all(&ckpt.dir)?;
     let journal_path = ckpt.dir.join(JOURNAL_FILE);
     let mut done = load_journal(&journal_path, fp, jobs.len())?;
@@ -205,7 +207,7 @@ where
                     let (n, seed) = jobs[i];
                     let snapshot_path = job_snapshot_path(&ckpt.dir, i);
                     let (converged, time) =
-                        run_job(&make, n, seed, max_steps, interval, &snapshot_path);
+                        run_job(&make, n, seed, max_steps, interval, &snapshot_path, law);
                     // Journal the result before discarding the snapshot, so a
                     // crash between the two at worst redoes a completed job.
                     {
@@ -249,7 +251,7 @@ where
             if !to_run.is_empty() {
                 let journal = Mutex::new(open_journal_for_append(&journal_path, fp)?);
                 let fresh = crate::parallel_map(&to_run, |bundle| {
-                    let results = run_bundle(&make, bundle.n, &bundle.seeds, max_steps);
+                    let results = run_bundle(&make, bundle.n, &bundle.seeds, max_steps, law);
                     // One buffered append per bundle: the bundle marker plus
                     // its lane records land in a single write, so a crash
                     // tears at most the final block (tolerated on load).
@@ -298,6 +300,7 @@ where
 /// Runs one scalar (snapshot-interval mode) sweep job, resuming from its
 /// snapshot file when a readable one exists and writing fresh snapshots at
 /// every interval boundary.
+#[allow(clippy::too_many_arguments)]
 fn run_job<P, F>(
     make: &F,
     n: usize,
@@ -305,6 +308,7 @@ fn run_job<P, F>(
     max_steps: u64,
     interval: u64,
     snapshot_path: &Path,
+    law: LawMode,
 ) -> (bool, f64)
 where
     P: LeaderElection,
@@ -313,12 +317,17 @@ where
 {
     // An unreadable or corrupt snapshot degrades to restarting the job from
     // its seed — same trajectory, just recomputed (segment boundaries are a
-    // function of the step counter, so the replay takes the same path).
+    // function of the step counter, so the replay takes the same path; the
+    // snapshot carries the round law, which matches the fingerprinted one).
     let resumed = std::fs::read(snapshot_path)
         .ok()
         .and_then(|bytes| CountSimulation::resume(make(n), &bytes).ok());
     let mut sim = resumed.unwrap_or_else(|| {
-        CountSimulation::new(make(n), n, Xoshiro256PlusPlus::seed_from_u64(seed))
+        let config = EngineConfig {
+            law_mode: law,
+            ..EngineConfig::default()
+        };
+        CountSimulation::with_config(make(n), n, Xoshiro256PlusPlus::seed_from_u64(seed), config)
             .expect("population sizes are >= 2 by construction")
     });
 
@@ -355,7 +364,8 @@ fn write_atomically(path: &Path, bytes: &[u8]) -> io::Result<()> {
 /// journal's compatibility check. `lane_mode` is `Some(width)` in
 /// lane-bundle mode and `None` in snapshot-interval (scalar) mode — the
 /// two modes' results agree in law but not bit-for-bit, and neither do
-/// bundle runs at different widths, so mixing them in one journal must be
+/// bundle runs at different widths or under different round laws (`law` is
+/// the `PP_SIM_LAW` resolution), so mixing them in one journal must be
 /// rejected.
 fn fingerprint(
     ns: &[usize],
@@ -363,6 +373,7 @@ fn fingerprint(
     master_seed: u64,
     max_steps: u64,
     lane_mode: Option<usize>,
+    law: LawMode,
 ) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     let mut eat = |word: u64| {
@@ -385,6 +396,7 @@ fn fingerprint(
             eat(width as u64);
         }
     }
+    eat(u64::from(law.tag()));
     h
 }
 
@@ -726,6 +738,19 @@ mod tests {
         )
         .expect_err("mode mismatch must error");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn fingerprint_separates_round_laws() {
+        // Different round laws consume the RNG differently, so their
+        // journals are not interchangeable — the law tag must perturb the
+        // fingerprint in both execution modes.
+        for lane_mode in [Some(8), None] {
+            let base = fingerprint(&[16], 2, 1, u64::MAX, lane_mode, LawMode::SequenceExpansion);
+            for law in [LawMode::Contingency, LawMode::MultiRound] {
+                assert_ne!(base, fingerprint(&[16], 2, 1, u64::MAX, lane_mode, law));
+            }
+        }
     }
 
     #[test]

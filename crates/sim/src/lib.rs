@@ -44,7 +44,7 @@ pub use checkpoint::{
 };
 pub use runner::{
     parallel_map, stabilization_sweep, stabilization_sweep_agents, stabilization_sweep_wide,
-    sweep_lane_width, SweepPoint,
+    sweep_lane_width, sweep_law_mode, SweepPoint,
 };
 
 use pp_stats::Table;

@@ -7,10 +7,15 @@
 //! amortizes compilation, tier reviews, and sampling across its whole
 //! bundle. Both knobs have env overrides for reproducible benchmarking:
 //! `PP_SIM_THREADS` pins the worker count and `PP_SIM_LANES` the lanes per
-//! bundle.
+//! bundle. A third override, `PP_SIM_LAW`, selects the batch tier's
+//! [round law](pp_engine::LawMode) (`sequence` / `contingency` /
+//! `multiround`) for every engine a sweep constructs — law-equivalent
+//! execution modes, so measured distributions agree while RNG streams (and
+//! throughput) differ.
 
 use pp_engine::{
-    CountSimulation, LeaderElection, RunOutcome, Simulation, UniformScheduler, WideSimulation,
+    CountSimulation, EngineConfig, LawMode, LeaderElection, RunOutcome, Simulation,
+    UniformScheduler, WideSimulation, WideTierPolicy,
 };
 use pp_rand::{SeedSequence, Xoshiro256PlusPlus};
 use pp_stats::Summary;
@@ -64,6 +69,26 @@ fn lane_override(raw: Option<&str>) -> usize {
 pub fn sweep_lane_width() -> usize {
     let lanes = std::env::var("PP_SIM_LANES");
     lane_override(lanes.as_deref().ok())
+}
+
+/// `PP_SIM_LAW` resolution: a recognized round-law name selects that law;
+/// anything else (including absence) falls back to the bit-identical
+/// default, mirroring how [`lane_override`] treats garbage.
+fn law_override(raw: Option<&str>) -> LawMode {
+    match raw.map(str::trim) {
+        Some("sequence") => LawMode::SequenceExpansion,
+        Some("contingency") => LawMode::Contingency,
+        Some("multiround") => LawMode::MultiRound,
+        _ => LawMode::default(),
+    }
+}
+
+/// Batch-tier round law for every engine a sweep constructs: the
+/// `PP_SIM_LAW` override (`sequence` / `contingency` / `multiround`),
+/// default [`LawMode::SequenceExpansion`].
+pub fn sweep_law_mode() -> LawMode {
+    let law = std::env::var("PP_SIM_LAW");
+    law_override(law.as_deref().ok())
 }
 
 /// Whether [`parallel_map`] should report live progress: stderr is a
@@ -241,8 +266,9 @@ where
     F: Fn(usize) -> P + Sync,
 {
     let bundles = sweep_bundles(ns, seeds, master_seed, lanes);
+    let law = sweep_law_mode();
     let outcomes = parallel_map(&bundles, |bundle| {
-        run_bundle(&make, bundle.n, &bundle.seeds, max_steps)
+        run_bundle(&make, bundle.n, &bundle.seeds, max_steps, law)
     });
     // Bundles partition the flat job list in order and each yields its
     // lanes in seed order, so flattening restores the per-job order the
@@ -351,24 +377,30 @@ pub(crate) fn sweep_bundles(
 /// Runs one lane bundle to stabilization: a wide auto-policy election,
 /// with spilled (null-dominated) lanes finished on scalar
 /// [`CountSimulation`] continuations that inherit the lane's exact counts,
-/// RNG, and step counter. Returns `(converged, parallel_time)` per lane in
-/// job order.
+/// RNG, and step counter. Both the wide engine and the continuations draw
+/// their batch rounds from `law`. Returns `(converged, parallel_time)` per
+/// lane in job order.
 pub(crate) fn run_bundle<P, F>(
     make: &F,
     n: usize,
     seeds: &[u64],
     max_steps: u64,
+    law: LawMode,
 ) -> Vec<(bool, f64)>
 where
     P: LeaderElection,
     F: Fn(usize) -> P,
 {
+    let config = EngineConfig {
+        law_mode: law,
+        ..EngineConfig::default()
+    };
     let rngs = seeds
         .iter()
         .map(|&seed| Xoshiro256PlusPlus::seed_from_u64(seed))
         .collect();
-    let mut wide =
-        WideSimulation::new(make(n), n, rngs).expect("population sizes are >= 2 by construction");
+    let mut wide = WideSimulation::with_config(make(n), n, rngs, config, WideTierPolicy::Auto)
+        .expect("population sizes are >= 2 by construction");
     let election = wide.run_until_single_leader(max_steps);
     let mut results: Vec<Option<(bool, f64)>> = election
         .outcomes
@@ -378,8 +410,9 @@ where
     for export in election.spilled {
         let lane = export.index;
         let start = export.steps;
-        let mut scalar = CountSimulation::from_counts(make(n), export.counts, export.rng)
-            .expect("spilled lanes keep their full population");
+        let mut scalar =
+            CountSimulation::from_counts_with_config(make(n), export.counts, export.rng, config)
+                .expect("spilled lanes keep their full population");
         let out = scalar.run_until_single_leader(max_steps - start);
         let total = RunOutcome {
             steps: start + out.steps,
@@ -489,6 +522,47 @@ mod tests {
         assert_eq!(lane_override(Some("500")), MAX_LANES);
         assert_eq!(lane_override(Some("wide")), DEFAULT_LANES);
         assert_eq!(lane_override(None), DEFAULT_LANES);
+    }
+
+    #[test]
+    fn law_override_recognizes_round_laws() {
+        assert_eq!(law_override(Some("sequence")), LawMode::SequenceExpansion);
+        assert_eq!(law_override(Some(" contingency ")), LawMode::Contingency);
+        assert_eq!(law_override(Some("multiround")), LawMode::MultiRound);
+        // Garbage and absence fall back to the bit-identical default.
+        assert_eq!(law_override(Some("hypergeometric")), LawMode::default());
+        assert_eq!(law_override(Some("")), LawMode::default());
+        assert_eq!(law_override(None), LawMode::default());
+    }
+
+    #[test]
+    fn round_laws_agree_distributionally_in_sweeps() {
+        // The round law, like lane width, is a law-preserving execution
+        // knob: bundles run under each law draw differently but must sample
+        // the same stabilization-time distribution (pinned tightly by the
+        // chi-square suites; this is the sweep-level smoke check).
+        let ns = [32usize];
+        let bundles = sweep_bundles(&ns, 24, 7, 6);
+        let mut means = Vec::new();
+        for law in [
+            LawMode::SequenceExpansion,
+            LawMode::Contingency,
+            LawMode::MultiRound,
+        ] {
+            let flat: Vec<(bool, f64)> = bundles
+                .iter()
+                .flat_map(|b| run_bundle(&|_| Fratricide, b.n, &b.seeds, u64::MAX, law))
+                .collect();
+            let points = aggregate_points(&ns, 24, &flat);
+            assert_eq!(points[0].unconverged, 0, "{law} runs failed to converge");
+            means.push(points[0].times.mean());
+        }
+        for pair in means.windows(2) {
+            assert!(
+                (pair[0] / pair[1] - 1.0).abs() < 0.5,
+                "law means diverge: {means:?}"
+            );
+        }
     }
 
     #[test]
