@@ -20,7 +20,10 @@
 //! wide mode). `engine/count_steps_round` pits the batch tier's three
 //! round laws (`sequence` / `contingency` / `multiround`) against each
 //! other in adjacent rows on a small-support workload (fratricide) and a
-//! wide-support control (`P_LL`). The step groups run mid-election workloads where null
+//! wide-support control (`P_LL`). `engine/count_steps_obs` prices the
+//! observability layer: the pinned-batch workload with and without an
+//! attached `EngineObserver`, adjacent rows the CI smoke gate holds to a
+//! 2 % spread. The step groups run mid-election workloads where null
 //! interactions never dominate — the regime the batch tier was built for
 //! (`P_LL`'s timer ticks pin its null fraction near 0.56, so jumping never
 //! engages there). The jump scheduler's own regime is measured by
@@ -37,8 +40,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use pp_bench::fast_criterion;
 use pp_core::Pll;
 use pp_engine::{
-    CountSimulation, EngineConfig, LawMode, LeaderElection, Simulation, UniformScheduler,
-    WideSimulation, WideTierPolicy,
+    CountSimulation, EngineConfig, EngineObserver, LawMode, LeaderElection, Simulation,
+    UniformScheduler, WideSimulation, WideTierPolicy,
 };
 use pp_protocols::{Fratricide, UnboundedLottery};
 use pp_rand::{SeedSequence, Xoshiro256PlusPlus};
@@ -320,6 +323,48 @@ fn bench_count_engine_wide(c: &mut Criterion) {
     group.finish();
 }
 
+/// The observability layer's cost when attached but otherwise idle: the
+/// pinned-batch windowed `P_LL@2^20` workload (the same one the batch
+/// group measures) run twice back-to-back, `detached` with no observer and
+/// `attached` with an [`EngineObserver`] recording events and per-tier
+/// wall time. The contract is that observation touches the hot loop only
+/// at episode and review boundaries — one branch plus an `Instant` read
+/// when it fires — so the attached row must stay within a few percent of
+/// the detached row; the CI smoke gate holds the pair to 2 %. Rows are
+/// adjacent for the same drift reason as the wide group's scalar/lanes
+/// pair.
+fn bench_count_engine_obs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/count_steps_obs");
+    group.throughput(Throughput::Elements(STEPS));
+    let n = 1usize << 20;
+    macro_rules! obs_row {
+        ($id:literal, $observed:expr) => {
+            group.bench_with_input(BenchmarkId::new(format!("pll/{n}"), $id), &n, |b, &n| {
+                let make = || {
+                    let mut sim =
+                        count_sim(Pll::for_population(n).expect("n >= 2"), n, Tier::Batch);
+                    if $observed {
+                        sim.set_observer(EngineObserver::new());
+                    }
+                    sim.run(WINDOW_FROM * n as u64);
+                    sim
+                };
+                let mut sim = make();
+                b.iter(|| {
+                    if sim.steps() > WINDOW_TO * n as u64 {
+                        sim = make();
+                    }
+                    sim.run(STEPS);
+                    black_box(sim.steps())
+                });
+            });
+        };
+    }
+    obs_row!("detached", false);
+    obs_row!("attached", true);
+    group.finish();
+}
+
 /// Whole fratricide elections on the jump scheduler: `Θ(n²)` simulated
 /// interactions per run (≈10¹² at `n = 2^20`) telescoped into `O(n)`
 /// executed episodes. No per-step tier appears alongside because none could
@@ -348,7 +393,7 @@ criterion_group! {
     config = fast_criterion();
     targets = bench_agent_engine, bench_count_engine, bench_count_engine_batch,
         bench_count_engine_wide, bench_count_engine_round,
-        bench_count_engine_compiled, bench_count_engine_reference,
-        bench_election_jump
+        bench_count_engine_obs, bench_count_engine_compiled,
+        bench_count_engine_reference, bench_election_jump
 }
 criterion_main!(benches);

@@ -67,14 +67,16 @@
 
 use crate::batch::BatchStats;
 use crate::compiled::{self, PairCache};
+use crate::obs::{EngineEvent, EngineMetrics, EngineObserver};
 use crate::round::{
     self, ContingencyLaw, LawMode, MultiRoundLaw, RoundLaw, SegmentDraw, SequenceExpansionLaw,
 };
 use crate::snapshot::{self, SnapshotError, SnapshotReader, SnapshotState, SnapshotWriter};
-use crate::tier::{self, EngineConfig, EngineTier, JumpStats, TierController};
+use crate::tier::{self, EngineConfig, EngineTier, JumpStats, TierController, TierUsage};
 use crate::{EngineError, LeaderElection, Protocol, Role, RunOutcome, CONVERGENCE_BATCH};
 use pp_rand::{Geometric, Rng64, RngSnapshot, SumTreeSampler, Xoshiro256PlusPlus};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Sentinel id in the seen-state map for states that were interned at some
 /// point but currently hold no agents and no live slot (their old slot was
@@ -133,6 +135,15 @@ pub struct CountSimulation<P: Protocol, R = Xoshiro256PlusPlus> {
     tiers: TierController,
     n: u64,
     steps: u64,
+    /// Attached observability hook ([`set_observer`](Self::set_observer));
+    /// `None` (the default) costs one predictable branch at episode/review
+    /// boundaries and nothing per interaction. Observation consumes no RNG,
+    /// so attached and detached twins stay bit-identical.
+    obs: Option<Box<EngineObserver>>,
+    /// The step count [`resume`](Self::resume) restored, reported as a
+    /// [`EngineEvent::Resumed`] to the next attached observer. Transient:
+    /// never serialized.
+    resumed_at: Option<u64>,
 }
 
 impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
@@ -222,6 +233,8 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
             tiers,
             n: 0,
             steps: 0,
+            obs: None,
+            resumed_at: None,
         }
     }
 
@@ -381,6 +394,11 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
     }
 
     /// Episode/skip counters of the jump scheduler.
+    ///
+    /// Superseded by [`metrics`](Self::metrics), which reports the same
+    /// counters (field `jump`) alongside everything else the engine can
+    /// observe; this thin shim remains so existing callers compile
+    /// unchanged.
     pub fn jump_stats(&self) -> JumpStats {
         self.tiers.jump.stats
     }
@@ -397,8 +415,129 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
     }
 
     /// Round/interaction counters of the batch tier.
+    ///
+    /// Superseded by [`metrics`](Self::metrics), which reports the same
+    /// counters (field `batch`) alongside everything else the engine can
+    /// observe; this thin shim remains so existing callers compile
+    /// unchanged.
     pub fn batch_stats(&self) -> BatchStats {
         self.tiers.batch.stats
+    }
+
+    /// Interactions executed per tier over the whole execution (maintained
+    /// at dispatch boundaries whether or not an observer is attached, and
+    /// persisted across [`snapshot`](Self::snapshot)/[`resume`]
+    /// (Self::resume) since snapshot format v3).
+    pub fn tier_usage(&self) -> TierUsage {
+        self.tiers.usage
+    }
+
+    /// Attaches `observer` (replacing any previous one): from here on the
+    /// engine records structured [`EngineEvent`]s, per-tier wall-time
+    /// accounting, and — if the observer carries a sampler — the
+    /// leader/support trajectory of
+    /// [`run_until_single_leader`](Self::run_until_single_leader).
+    ///
+    /// Observation consumes **no randomness** and never changes dispatch:
+    /// the observed simulation stays bit-identical (trajectory, step
+    /// counts, snapshot bytes) to a detached twin. On a simulation built by
+    /// [`resume`](Self::resume) this records an [`EngineEvent::Resumed`]
+    /// first, so resumed event logs are self-describing.
+    pub fn set_observer(&mut self, mut observer: EngineObserver) {
+        if let Some(step) = self.resumed_at {
+            observer.record(EngineEvent::Resumed { step });
+        }
+        self.obs = Some(Box::new(observer));
+    }
+
+    /// The attached observer, if any.
+    pub fn observer(&self) -> Option<&EngineObserver> {
+        self.obs.as_deref()
+    }
+
+    /// Detaches and returns the observer, if any (the simulation reverts to
+    /// the unobserved fast path).
+    pub fn take_observer(&mut self) -> Option<EngineObserver> {
+        self.obs.take().map(|b| *b)
+    }
+
+    /// One unified [`EngineMetrics`] snapshot: population, progress, tier
+    /// usage, jump/batch counters, cache state, and — when an observer is
+    /// attached — event counts and the wall-time timeline. Always
+    /// available; supersedes the [`jump_stats`](Self::jump_stats)/
+    /// [`batch_stats`](Self::batch_stats) split.
+    pub fn metrics(&self) -> EngineMetrics {
+        EngineMetrics {
+            population: self.n,
+            steps: self.steps,
+            parallel_time: self.parallel_time(),
+            support: self.support as u64,
+            distinct_states_seen: self.ids.len() as u64,
+            active_tier: self.active_tier(),
+            law: self.tiers.config.law_mode,
+            tier_usage: self.tiers.usage,
+            jump: self.tiers.jump.stats,
+            batch: self.tiers.batch.stats,
+            cache_active: self.pairs.is_active(),
+            compiled_pairs: self.pairs.compiled_pairs() as u64,
+            events_recorded: self.obs.as_deref().map_or(0, |o| o.events().len() as u64),
+            events_dropped: self.obs.as_deref().map_or(0, EngineObserver::dropped),
+            timeline: self.obs.as_deref().map(|o| *o.timeline()),
+        }
+    }
+
+    /// Records a tier-transition event when the active tier moved away from
+    /// `from` (no-op when detached or unchanged). Called at review/episode
+    /// boundaries only.
+    fn observe_transition(&mut self, from: EngineTier) {
+        let to = self.active_tier();
+        if to != from {
+            let step = self.steps;
+            if let Some(obs) = self.obs.as_deref_mut() {
+                obs.record(EngineEvent::TierTransition { step, from, to });
+            }
+        }
+    }
+
+    /// Accounts one dispatch's wall time to the observer's timeline.
+    fn note_time(&mut self, tier: EngineTier, interactions: u64, t0: Instant) {
+        let seconds = t0.elapsed().as_secs_f64();
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.timeline_mut().note(tier, interactions, seconds);
+        }
+    }
+
+    /// Per-step chunk cap that lands samples exactly on the trajectory
+    /// sampler's grid (`u64::MAX` — never binding — when detached or
+    /// without a sampler). Only per-step windows are capped: subdividing
+    /// them is RNG-invisible, whereas capping a jump/batch episode budget
+    /// would change the draws and break bit-identity, so on those tiers
+    /// samples land on the first episode boundary at or past each grid
+    /// point instead.
+    fn sample_window(&self) -> u64 {
+        match self.obs.as_deref().and_then(EngineObserver::sampler) {
+            Some(s) => s.next_due().saturating_sub(self.steps).max(1),
+            None => u64::MAX,
+        }
+    }
+
+    /// Records a trajectory sample if one is due at the current step (or
+    /// unconditionally, deduplicated by step, when `finish` marks a driver
+    /// exit). Cold: called at dispatch boundaries on the attached path only.
+    #[cold]
+    fn sample_trajectory(&mut self, leaders: i64, finish: bool) {
+        let (step, support) = (self.steps, self.support as u64);
+        if let Some(sampler) = self
+            .obs
+            .as_deref_mut()
+            .and_then(EngineObserver::sampler_mut)
+        {
+            let due = step >= sampler.next_due();
+            let last = sampler.trace().last_step();
+            if due || (finish && last != Some(step)) {
+                sampler.sample(step, leaders.max(0) as u64, support);
+            }
+        }
     }
 
     /// Test hook: engages the jump scheduler immediately and pins it on,
@@ -760,6 +899,7 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
     /// randomness and depends only on the counts, so cached and uncached
     /// twins compact identically and stay bit-identical.
     fn compact_states(&mut self) {
+        let live_before = self.states.len() as u64;
         let weights = self.sampler.weights();
         let mut live: Vec<u32> = (0..self.states.len() as u32)
             .filter(|&i| weights[i as usize] > 0)
@@ -799,6 +939,14 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
         self.tiers.jump.ledger.clear();
         self.tiers.jump.engaged = false;
         self.reseed_jump_ledger();
+        let (step, live_after) = (self.steps, self.states.len() as u64);
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.record(EngineEvent::Compaction {
+                step,
+                live_before,
+                live_after,
+            });
+        }
     }
 
     /// Jump engagement probe: rebuilds the ledger's weights against the
@@ -818,6 +966,14 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
         let w_active = w_total - self.tiers.jump.ledger.w_null();
         if w_active.saturating_mul(self.tiers.config.jump_engage_factor) <= w_total {
             self.tiers.jump.engaged = true;
+            let step = self.steps;
+            if let Some(obs) = self.obs.as_deref_mut() {
+                obs.record(EngineEvent::JumpEngage {
+                    step,
+                    w_active,
+                    w_total,
+                });
+            }
         }
     }
 
@@ -835,12 +991,33 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
             batch.engaged = false;
             return;
         }
-        if batch.engaged {
+        let was = batch.engaged;
+        if was {
             if tier::batch_exits(self.support, self.n, &config) {
                 batch.engaged = false;
             }
         } else if tier::batch_engages(self.support, self.n, &config) {
             batch.engaged = true;
+        }
+        let now = self.tiers.batch.engaged;
+        if now != was {
+            let (step, support) = (self.steps, self.support as u64);
+            let expected_run = tier::expected_run_length(self.n);
+            if let Some(obs) = self.obs.as_deref_mut() {
+                obs.record(if now {
+                    EngineEvent::BatchEngage {
+                        step,
+                        support,
+                        expected_run,
+                    }
+                } else {
+                    EngineEvent::BatchExit {
+                        step,
+                        support,
+                        expected_run,
+                    }
+                });
+            }
         }
     }
 
@@ -907,6 +1084,16 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
             if w_active_now.saturating_mul(self.tiers.config.jump_exit_factor) > w_total {
                 self.tiers.jump.engaged = false;
                 self.tiers.review_at = self.steps + self.review_interval();
+                let (step, stats) = (self.steps, self.tiers.jump.stats);
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.record(EngineEvent::JumpDisengage {
+                        step,
+                        w_active: w_active_now,
+                        w_total,
+                        episodes: stats.episodes,
+                        skipped: stats.skipped,
+                    });
+                }
             }
         }
         (skip + 1, delta)
@@ -944,6 +1131,8 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
         let mut bulk_total = 0u64;
         let mut hit = false;
         let mut segment = 0u32;
+        let mut collided = false;
+        let mut walked_any = false;
         loop {
             segment += 1;
             let (bulk, collide) = round::collision_free_prefix_from(
@@ -961,6 +1150,7 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
                 .is_some_and(|&l| (l - 1).unsigned_abs() <= 2 * bulk);
             if walk {
                 self.tiers.batch.stats.exact_walks += 1;
+                walked_any = true;
             }
             let draw = L::draw_segment(
                 &mut scratch,
@@ -1046,6 +1236,7 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
                 scratch.add_used(b);
                 consumed += 1;
                 self.tiers.batch.stats.collision_interactions += 1;
+                collided = true;
                 if let Some(l) = leaders.as_deref_mut() {
                     *l += i64::from(delta);
                     hit = *l == 1 && delta != 0;
@@ -1080,6 +1271,17 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
         if !self.tiers.jump.ledger.is_empty() {
             self.tiers.jump.ledger.mark_dirty();
         }
+        let (step, law) = (self.steps, self.tiers.config.law_mode);
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.record(EngineEvent::BatchEpisode {
+                step,
+                law,
+                segments: u64::from(segment),
+                bulk: bulk_total,
+                collision: collided,
+                walked: walked_any,
+            });
+        }
         (consumed, hit)
     }
 
@@ -1092,20 +1294,45 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
     pub fn run(&mut self, steps: u64) {
         let mut remaining = steps;
         while remaining > 0 {
+            // Observation work happens only here, at dispatch boundaries:
+            // one branch on the detached path, tier-transition events plus
+            // monotonic-clock spans on the attached one. Neither touches
+            // the RNG, so attached/detached twins stay bit-identical.
+            let watched = self.obs.is_some();
+            let before = if watched {
+                Some(self.active_tier())
+            } else {
+                None
+            };
             self.review_tiers();
+            if let Some(from) = before {
+                self.observe_transition(from);
+            }
             if self.tiers.jump.engaged {
+                let t0 = if watched { Some(Instant::now()) } else { None };
                 let (consumed, _) = self.jump_episode(remaining);
+                self.tiers.usage.note(EngineTier::Jump, consumed);
+                if let Some(t0) = t0 {
+                    self.note_time(EngineTier::Jump, consumed, t0);
+                    self.observe_transition(EngineTier::Jump);
+                }
                 remaining -= consumed;
                 continue;
             }
             if self.tiers.batch.engaged {
+                let t0 = if watched { Some(Instant::now()) } else { None };
                 let (consumed, _) = self.batch_episode(remaining, None);
+                self.tiers.usage.note(EngineTier::Batch, consumed);
+                if let Some(t0) = t0 {
+                    self.note_time(EngineTier::Batch, consumed, t0);
+                }
                 remaining -= consumed;
                 continue;
             }
             let window = remaining
                 .min(self.tiers.review_at.saturating_sub(self.steps))
                 .max(1);
+            let t0 = if watched { Some(Instant::now()) } else { None };
             let mut left = window;
             while left > 0 {
                 let did = self.run_chunk(left);
@@ -1114,6 +1341,15 @@ impl<P: Protocol, R: Rng64> CountSimulation<P, R> {
                     return;
                 }
                 left -= did;
+            }
+            let tier = if self.pairs.is_active() {
+                EngineTier::Compiled
+            } else {
+                EngineTier::Reference
+            };
+            self.tiers.usage.note(tier, window);
+            if let Some(t0) = t0 {
+                self.note_time(tier, window, t0);
             }
             remaining -= window;
         }
@@ -1260,41 +1496,84 @@ impl<P: LeaderElection, R: Rng64> CountSimulation<P, R> {
     pub fn run_until_single_leader(&mut self, max_steps: u64) -> RunOutcome {
         self.prime_role_tracking();
         let mut leaders = self.leader_count() as i64;
+        let watched = self.obs.is_some();
+        if watched {
+            // Initial trajectory sample (covers the entry configuration).
+            self.sample_trajectory(leaders, true);
+        }
         loop {
-            if leaders == 1 {
+            if leaders == 1 || self.steps >= max_steps {
+                if watched {
+                    // Final sample: the trace's last row always matches the
+                    // reported outcome, grid-aligned or not.
+                    self.sample_trajectory(leaders, true);
+                }
                 return RunOutcome {
                     steps: self.steps,
-                    converged: true,
+                    converged: leaders == 1,
                 };
             }
-            if self.steps >= max_steps {
-                return RunOutcome {
-                    steps: self.steps,
-                    converged: false,
-                };
-            }
+            let before = if watched {
+                Some(self.active_tier())
+            } else {
+                None
+            };
             self.review_tiers();
+            if let Some(from) = before {
+                self.observe_transition(from);
+            }
             if self.tiers.jump.engaged {
                 // Null interactions cannot change the leader count, so the
                 // telescoped run needs no bookkeeping; the episode's one
                 // executed interaction reports its cached delta and the step
                 // counter stays exact at the moment the count hits 1.
-                let (_, delta) = self.jump_episode(max_steps - self.steps);
+                let t0 = if watched { Some(Instant::now()) } else { None };
+                let (consumed, delta) = self.jump_episode(max_steps - self.steps);
+                self.tiers.usage.note(EngineTier::Jump, consumed);
                 leaders += i64::from(delta);
+                if let Some(t0) = t0 {
+                    self.note_time(EngineTier::Jump, consumed, t0);
+                    self.observe_transition(EngineTier::Jump);
+                    self.sample_trajectory(leaders, false);
+                }
                 continue;
             }
             if self.tiers.batch.engaged {
-                let (_, hit) = self.batch_episode(max_steps - self.steps, Some(&mut leaders));
+                let t0 = if watched { Some(Instant::now()) } else { None };
+                let (consumed, hit) =
+                    self.batch_episode(max_steps - self.steps, Some(&mut leaders));
+                self.tiers.usage.note(EngineTier::Batch, consumed);
                 debug_assert_eq!(hit, leaders == 1);
                 // Sampled invariant check: once per round, not per step.
                 debug_assert_eq!(leaders, self.leader_count() as i64);
+                if let Some(t0) = t0 {
+                    self.note_time(EngineTier::Batch, consumed, t0);
+                    self.sample_trajectory(leaders, false);
+                }
                 continue;
             }
             let burst = CONVERGENCE_BATCH
                 .min(max_steps - self.steps)
                 .min(self.tiers.review_at.saturating_sub(self.steps))
+                .min(self.sample_window())
                 .max(1);
-            if self.leader_chunk(burst, &mut leaders) {
+            let t0 = if watched { Some(Instant::now()) } else { None };
+            let from = self.steps;
+            let hit = self.leader_chunk(burst, &mut leaders);
+            let tier = if self.pairs.is_active() {
+                EngineTier::Compiled
+            } else {
+                EngineTier::Reference
+            };
+            self.tiers.usage.note(tier, self.steps - from);
+            if let Some(t0) = t0 {
+                self.note_time(tier, self.steps - from, t0);
+                self.sample_trajectory(leaders, false);
+            }
+            if hit {
+                if watched {
+                    self.sample_trajectory(leaders, true);
+                }
                 return RunOutcome {
                     steps: self.steps,
                     converged: true,
@@ -1328,7 +1607,11 @@ where
     /// Equal executions produce byte-identical snapshots: everything
     /// iteration-order-sensitive (the seen-state map) is serialized in a
     /// canonical order.
-    pub fn snapshot(&self) -> Vec<u8> {
+    ///
+    /// Takes `&mut self` only to record a [`EngineEvent::SnapshotTaken`]
+    /// event on an attached observer; the simulation state proper is not
+    /// modified.
+    pub fn snapshot(&mut self) -> Vec<u8> {
         let mut w = SnapshotWriter::new();
 
         w.begin_section(snapshot::TAG_CONFIG);
@@ -1405,6 +1688,13 @@ where
         w.put_u64(batch.stats.contingency_draws);
         w.put_u64(batch.stats.shuffle_skips);
         w.put_u64(batch.stats.episode_segments);
+        // v3: per-tier interaction usage survives the pause so resumed
+        // metrics keep attributing work to the tier that did it.
+        let usage = &self.tiers.usage;
+        w.put_u64(usage.reference);
+        w.put_u64(usage.compiled);
+        w.put_u64(usage.jump);
+        w.put_u64(usage.batch);
         w.end_section();
 
         w.begin_section(snapshot::TAG_RNG);
@@ -1415,7 +1705,14 @@ where
         }
         w.end_section();
 
-        w.finish()
+        let bytes = w.finish();
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.record(EngineEvent::SnapshotTaken {
+                step: self.steps,
+                bytes: bytes.len() as u64,
+            });
+        }
+        bytes
     }
 
     /// Rebuilds a simulation from [`snapshot`](Self::snapshot) bytes,
@@ -1502,6 +1799,12 @@ where
             shuffle_skips: sec.get_u64()?,
             episode_segments: sec.get_u64()?,
         };
+        let usage = TierUsage {
+            reference: sec.get_u64()?,
+            compiled: sec.get_u64()?,
+            jump: sec.get_u64()?,
+            batch: sec.get_u64()?,
+        };
         sec.expect_end("tier section has trailing bytes")?;
 
         let mut sec = r.section(snapshot::TAG_RNG)?;
@@ -1546,6 +1849,7 @@ where
         tiers.jump.stats = jump_stats;
         (tiers.batch.enabled, tiers.batch.engaged, tiers.batch.forced) = batch_flags;
         tiers.batch.stats = batch_stats;
+        tiers.usage = usage;
 
         let pairs = PairCache::restore(
             config.max_compiled_states,
@@ -1589,6 +1893,8 @@ where
             tiers,
             n,
             steps,
+            obs: None,
+            resumed_at: Some(steps),
         };
         // The null ledger is recomputed state: reseed the pair set from the
         // cache's null entries; the next probe/episode re-syncs the weights
@@ -2003,8 +2309,8 @@ mod tests {
         P: Protocol + Clone,
         P::State: SnapshotState,
     {
-        let bytes = sim.snapshot();
         let mut twin = sim.clone();
+        let bytes = twin.snapshot();
         let mut resumed = CountSimulation::<P, Xoshiro256PlusPlus>::resume(protocol, &bytes)
             .expect("own snapshot must resume");
         assert_eq!(resumed.steps(), twin.steps());
@@ -2139,10 +2445,10 @@ mod tests {
         let mut sim = CountSimulation::new(Frat, 256, rng(42)).unwrap();
         sim.run(1_000);
         let hash = crate::snapshot::fnv1a64(&sim.snapshot());
-        const GOLDEN: u64 = 0x9db5_6573_7c48_363b;
+        const GOLDEN: u64 = 0xf7c3_918c_8188_2535;
         assert!(
-            hash == GOLDEN || crate::snapshot::SNAPSHOT_VERSION > 2,
-            "snapshot bytes changed under version 2 (hash {hash:#018x}); \
+            hash == GOLDEN || crate::snapshot::SNAPSHOT_VERSION > 3,
+            "snapshot bytes changed under version 3 (hash {hash:#018x}); \
              bump SNAPSHOT_VERSION and update GOLDEN"
         );
     }

@@ -78,6 +78,7 @@ mod engine;
 pub mod epidemic;
 mod error;
 mod jump;
+pub mod obs;
 mod protocol;
 mod round;
 mod scheduler;
@@ -91,13 +92,14 @@ pub use config::Configuration;
 pub use count_engine::CountSimulation;
 pub use engine::{RunOutcome, Simulation};
 pub use error::EngineError;
+pub use obs::{EngineEvent, EngineMetrics, EngineObserver, TierTimeline, TrajectorySampler};
 pub use protocol::{check_symmetry, LeaderElection, Protocol, Role};
 pub use round::LawMode;
 pub use scheduler::{
     Interaction, ReplayScheduler, RoundRobinScheduler, Scheduler, UniformScheduler,
 };
 pub use snapshot::{SnapshotError, SnapshotState, SNAPSHOT_VERSION};
-pub use tier::{EngineConfig, EngineTier, JumpStats};
+pub use tier::{EngineConfig, EngineTier, JumpStats, TierUsage};
 pub use trace::Trace;
 pub use wide::{WideElection, WideLaneExport, WideSimulation, WideTierPolicy};
 

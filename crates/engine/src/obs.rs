@@ -1,0 +1,1055 @@
+//! Engine observability: structured events, unified metrics, and trajectory
+//! sampling for [`CountSimulation`](crate::CountSimulation) and
+//! [`WideSimulation`](crate::WideSimulation).
+//!
+//! The engine's tier dispatch is invisible from the outside: a run reports
+//! end-state numbers (`steps`, final counts, the two ad-hoc stats structs)
+//! but not *where the time went* or *what the trajectory looked like*. This
+//! module adds three observation surfaces:
+//!
+//! * [`EngineObserver`] — an attachable hook that sinks structured
+//!   [`EngineEvent`]s (tier transitions, jump engage/disengage with
+//!   hysteresis context, batch-round episodes with their law and segment
+//!   shape, compactions, snapshot/resume ops), accounts per-tier
+//!   interactions and wall time in a monotonic-clock [`TierTimeline`], and
+//!   optionally samples a [`TrajectorySampler`] trace.
+//! * [`EngineMetrics`] — one unified snapshot of everything the engine can
+//!   report (superseding the `jump_stats()`/`batch_stats()` split, which
+//!   remain as thin shims), serializable to JSON by hand (this workspace
+//!   takes no serde dependency) and parseable back for round-trip checks.
+//! * A JSONL event-log encoding — one [`EngineEvent`] per line via
+//!   [`EngineEvent::to_json_line`] / [`EngineEvent::parse_json_line`].
+//!
+//! # The no-RNG / bit-identity contract
+//!
+//! Observation consumes **no randomness** and never changes what the engine
+//! executes: a simulation with an observer attached produces bit-identical
+//! trajectories, final counts, step counts, and
+//! [`snapshot`](crate::CountSimulation::snapshot) bytes to its detached
+//! twin, on all four tiers and on the wide lane engine (pinned by the
+//! `tests/obs_identity.rs` suite). The disabled path costs one predictable
+//! branch at episode/review boundaries — never inside the per-interaction
+//! hot loops. Trajectory sampling only subdivides *per-step* chunk windows
+//! (per-step draws are identical per step, so window partitioning is
+//! invisible); jump and batch episode budgets are never capped for a sample,
+//! so on those tiers samples land on the first episode boundary at or past
+//! each grid point.
+//!
+//! # Event schema (JSONL)
+//!
+//! Every line is one flat JSON object with an `"event"` discriminator and a
+//! `"step"` field (the engine step count when the event fired):
+//!
+//! | `event` | extra fields |
+//! |---------|--------------|
+//! | `tier_transition` | `from`, `to` (tier names) |
+//! | `jump_engage` | `w_active`, `w_total` (scheduler weights at the probe) |
+//! | `jump_disengage` | `w_active`, `w_total`, `episodes`, `skipped` (cumulative) |
+//! | `batch_engage` | `support`, `expected_run` |
+//! | `batch_exit` | `support`, `expected_run` |
+//! | `batch_episode` | `law`, `segments`, `bulk`, `collision`, `walked` |
+//! | `compaction` | `live_before`, `live_after` (interned state ids) |
+//! | `snapshot` | `bytes` (serialized size) |
+//! | `resumed` | — |
+//! | `lane_retired` | `lane` (wide engine: lane index) |
+//! | `lane_spilled` | `lane` (wide engine: lane index) |
+
+use crate::batch::BatchStats;
+use crate::round::LawMode;
+use crate::tier::{EngineTier, JumpStats, TierUsage};
+use crate::trace::Trace;
+
+/// Default cap on buffered events per observer; past it events are counted
+/// in [`EngineObserver::dropped`] instead of stored, bounding memory on
+/// arbitrarily long runs.
+pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+/// One structured engine event (see the [module docs](self) for the JSONL
+/// schema). Events fire at episode/review boundaries only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// The active execution tier changed across a review or episode.
+    TierTransition {
+        /// Engine step count when the transition happened.
+        step: u64,
+        /// Tier before the transition.
+        from: EngineTier,
+        /// Tier after the transition.
+        to: EngineTier,
+    },
+    /// The jump scheduler engaged: known-null pairs carry enough scheduler
+    /// weight that telescoping pays.
+    JumpEngage {
+        /// Engine step count at the engaging review.
+        step: u64,
+        /// Active (non-known-null) scheduler weight at the probe.
+        w_active: u64,
+        /// Total scheduler weight `n(n−1)`.
+        w_total: u64,
+    },
+    /// The jump scheduler disengaged through its hysteresis exit.
+    JumpDisengage {
+        /// Engine step count at the disengaging episode.
+        step: u64,
+        /// Active scheduler weight that tripped the exit rule.
+        w_active: u64,
+        /// Total scheduler weight `n(n−1)`.
+        w_total: u64,
+        /// Cumulative jump episodes executed so far.
+        episodes: u64,
+        /// Cumulative null interactions telescoped so far.
+        skipped: u64,
+    },
+    /// The batch tier engaged (live support small enough for
+    /// hypergeometric rounds to pay).
+    BatchEngage {
+        /// Engine step count at the engaging review.
+        step: u64,
+        /// Live support at the review.
+        support: u64,
+        /// Expected collision-free run length at this population.
+        expected_run: u64,
+    },
+    /// The batch tier disengaged through its hysteresis exit.
+    BatchExit {
+        /// Engine step count at the disengaging review.
+        step: u64,
+        /// Live support at the review.
+        support: u64,
+        /// Expected collision-free run length at this population.
+        expected_run: u64,
+    },
+    /// One batch-tier round episode completed.
+    BatchEpisode {
+        /// Engine step count after the episode.
+        step: u64,
+        /// Round law the episode drew from.
+        law: LawMode,
+        /// Collision-free segments chained in this episode.
+        segments: u64,
+        /// Bulk (collision-free) interactions applied.
+        bulk: u64,
+        /// Whether the episode ended in a collision interaction.
+        collision: bool,
+        /// Whether any segment ran the exact shuffled walk (leader count
+        /// near 1).
+        walked: bool,
+    },
+    /// A tier review compacted the interned state-id space.
+    Compaction {
+        /// Engine step count at the compacting review.
+        step: u64,
+        /// Interned ids before compaction.
+        live_before: u64,
+        /// Interned ids after compaction.
+        live_after: u64,
+    },
+    /// A snapshot was serialized.
+    SnapshotTaken {
+        /// Engine step count the snapshot captures.
+        step: u64,
+        /// Serialized snapshot size in bytes.
+        bytes: u64,
+    },
+    /// The simulation was resumed from a snapshot (reported when an
+    /// observer is attached to a resumed engine).
+    Resumed {
+        /// Engine step count the snapshot restored.
+        step: u64,
+    },
+    /// A wide-engine lane finished (converged or exhausted its budget) and
+    /// left the lane set.
+    LaneRetired {
+        /// The retiring lane's steps at retirement.
+        step: u64,
+        /// Original lane index.
+        lane: u64,
+    },
+    /// A wide-engine lane was spilled out for scalar completion
+    /// (null-dominated under the auto policy).
+    LaneSpilled {
+        /// The spilled lane's steps at the spill.
+        step: u64,
+        /// Original lane index.
+        lane: u64,
+    },
+}
+
+impl EngineEvent {
+    /// The engine step count the event fired at.
+    pub fn step(&self) -> u64 {
+        match *self {
+            EngineEvent::TierTransition { step, .. }
+            | EngineEvent::JumpEngage { step, .. }
+            | EngineEvent::JumpDisengage { step, .. }
+            | EngineEvent::BatchEngage { step, .. }
+            | EngineEvent::BatchExit { step, .. }
+            | EngineEvent::BatchEpisode { step, .. }
+            | EngineEvent::Compaction { step, .. }
+            | EngineEvent::SnapshotTaken { step, .. }
+            | EngineEvent::Resumed { step }
+            | EngineEvent::LaneRetired { step, .. }
+            | EngineEvent::LaneSpilled { step, .. } => step,
+        }
+    }
+
+    /// The event's JSONL discriminator (the `"event"` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineEvent::TierTransition { .. } => "tier_transition",
+            EngineEvent::JumpEngage { .. } => "jump_engage",
+            EngineEvent::JumpDisengage { .. } => "jump_disengage",
+            EngineEvent::BatchEngage { .. } => "batch_engage",
+            EngineEvent::BatchExit { .. } => "batch_exit",
+            EngineEvent::BatchEpisode { .. } => "batch_episode",
+            EngineEvent::Compaction { .. } => "compaction",
+            EngineEvent::SnapshotTaken { .. } => "snapshot",
+            EngineEvent::Resumed { .. } => "resumed",
+            EngineEvent::LaneRetired { .. } => "lane_retired",
+            EngineEvent::LaneSpilled { .. } => "lane_spilled",
+        }
+    }
+
+    /// Serializes the event as one JSON line (no trailing newline) in the
+    /// [module-level schema](self).
+    pub fn to_json_line(&self) -> String {
+        let head = |step: u64| format!("{{\"event\":\"{}\",\"step\":{step}", self.kind());
+        match *self {
+            EngineEvent::TierTransition { step, from, to } => {
+                format!("{},\"from\":\"{from}\",\"to\":\"{to}\"}}", head(step))
+            }
+            EngineEvent::JumpEngage {
+                step,
+                w_active,
+                w_total,
+            } => format!(
+                "{},\"w_active\":{w_active},\"w_total\":{w_total}}}",
+                head(step)
+            ),
+            EngineEvent::JumpDisengage {
+                step,
+                w_active,
+                w_total,
+                episodes,
+                skipped,
+            } => format!(
+                "{},\"w_active\":{w_active},\"w_total\":{w_total},\"episodes\":{episodes},\"skipped\":{skipped}}}",
+                head(step)
+            ),
+            EngineEvent::BatchEngage {
+                step,
+                support,
+                expected_run,
+            } => format!(
+                "{},\"support\":{support},\"expected_run\":{expected_run}}}",
+                head(step)
+            ),
+            EngineEvent::BatchExit {
+                step,
+                support,
+                expected_run,
+            } => format!(
+                "{},\"support\":{support},\"expected_run\":{expected_run}}}",
+                head(step)
+            ),
+            EngineEvent::BatchEpisode {
+                step,
+                law,
+                segments,
+                bulk,
+                collision,
+                walked,
+            } => format!(
+                "{},\"law\":\"{law}\",\"segments\":{segments},\"bulk\":{bulk},\"collision\":{collision},\"walked\":{walked}}}",
+                head(step)
+            ),
+            EngineEvent::Compaction {
+                step,
+                live_before,
+                live_after,
+            } => format!(
+                "{},\"live_before\":{live_before},\"live_after\":{live_after}}}",
+                head(step)
+            ),
+            EngineEvent::SnapshotTaken { step, bytes } => {
+                format!("{},\"bytes\":{bytes}}}", head(step))
+            }
+            EngineEvent::Resumed { step } => format!("{}}}", head(step)),
+            EngineEvent::LaneRetired { step, lane } => {
+                format!("{},\"lane\":{lane}}}", head(step))
+            }
+            EngineEvent::LaneSpilled { step, lane } => {
+                format!("{},\"lane\":{lane}}}", head(step))
+            }
+        }
+    }
+
+    /// Parses one JSON line produced by [`to_json_line`]
+    /// (Self::to_json_line); `None` on any malformation. Together they form
+    /// the round-trip the schema tests pin.
+    pub fn parse_json_line(line: &str) -> Option<Self> {
+        let kind = scan_str(line, "\"event\"")?;
+        let step = scan_u64(line, "\"step\"")?;
+        Some(match kind.as_str() {
+            "tier_transition" => EngineEvent::TierTransition {
+                step,
+                from: parse_tier(&scan_str(line, "\"from\"")?)?,
+                to: parse_tier(&scan_str(line, "\"to\"")?)?,
+            },
+            "jump_engage" => EngineEvent::JumpEngage {
+                step,
+                w_active: scan_u64(line, "\"w_active\"")?,
+                w_total: scan_u64(line, "\"w_total\"")?,
+            },
+            "jump_disengage" => EngineEvent::JumpDisengage {
+                step,
+                w_active: scan_u64(line, "\"w_active\"")?,
+                w_total: scan_u64(line, "\"w_total\"")?,
+                episodes: scan_u64(line, "\"episodes\"")?,
+                skipped: scan_u64(line, "\"skipped\"")?,
+            },
+            "batch_engage" => EngineEvent::BatchEngage {
+                step,
+                support: scan_u64(line, "\"support\"")?,
+                expected_run: scan_u64(line, "\"expected_run\"")?,
+            },
+            "batch_exit" => EngineEvent::BatchExit {
+                step,
+                support: scan_u64(line, "\"support\"")?,
+                expected_run: scan_u64(line, "\"expected_run\"")?,
+            },
+            "batch_episode" => EngineEvent::BatchEpisode {
+                step,
+                law: parse_law(&scan_str(line, "\"law\"")?)?,
+                segments: scan_u64(line, "\"segments\"")?,
+                bulk: scan_u64(line, "\"bulk\"")?,
+                collision: scan_bool(line, "\"collision\"")?,
+                walked: scan_bool(line, "\"walked\"")?,
+            },
+            "compaction" => EngineEvent::Compaction {
+                step,
+                live_before: scan_u64(line, "\"live_before\"")?,
+                live_after: scan_u64(line, "\"live_after\"")?,
+            },
+            "snapshot" => EngineEvent::SnapshotTaken {
+                step,
+                bytes: scan_u64(line, "\"bytes\"")?,
+            },
+            "resumed" => EngineEvent::Resumed { step },
+            "lane_retired" => EngineEvent::LaneRetired {
+                step,
+                lane: scan_u64(line, "\"lane\"")?,
+            },
+            "lane_spilled" => EngineEvent::LaneSpilled {
+                step,
+                lane: scan_u64(line, "\"lane\"")?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+fn parse_tier(name: &str) -> Option<EngineTier> {
+    Some(match name {
+        "reference" => EngineTier::Reference,
+        "compiled" => EngineTier::Compiled,
+        "jump" => EngineTier::Jump,
+        "batch" => EngineTier::Batch,
+        _ => return None,
+    })
+}
+
+fn parse_law(name: &str) -> Option<LawMode> {
+    Some(match name {
+        "sequence" => LawMode::SequenceExpansion,
+        "contingency" => LawMode::Contingency,
+        "multiround" => LawMode::MultiRound,
+        _ => return None,
+    })
+}
+
+/// Wall-clock and interaction accounting for one execution tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TierSpan {
+    /// Interactions executed (or telescoped) under this tier.
+    pub interactions: u64,
+    /// Wall-clock seconds spent dispatching to this tier (monotonic clock,
+    /// measured around episode/chunk dispatches only while an observer is
+    /// attached; **never serialized** — snapshots stay byte-deterministic).
+    pub seconds: f64,
+    /// Dispatches (episodes or per-step chunks) into this tier.
+    pub dispatches: u64,
+}
+
+/// Per-tier interaction and wall-time accounting, maintained by the engine
+/// while an observer is attached. Persistent interaction counters that
+/// survive snapshot/resume live in [`TierUsage`] instead (wall time cannot
+/// survive a resume and is never serialized).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TierTimeline {
+    /// The uncached per-step tier.
+    pub reference: TierSpan,
+    /// The compiled per-step tier.
+    pub compiled: TierSpan,
+    /// The null-telescoping jump tier.
+    pub jump: TierSpan,
+    /// The hypergeometric batch tier.
+    pub batch: TierSpan,
+}
+
+impl TierTimeline {
+    /// Accounts one dispatch of `interactions` interactions taking
+    /// `seconds` wall seconds to `tier`.
+    pub(crate) fn note(&mut self, tier: EngineTier, interactions: u64, seconds: f64) {
+        let span = match tier {
+            EngineTier::Reference => &mut self.reference,
+            EngineTier::Compiled => &mut self.compiled,
+            EngineTier::Jump => &mut self.jump,
+            EngineTier::Batch => &mut self.batch,
+        };
+        span.interactions += interactions;
+        span.seconds += seconds;
+        span.dispatches += 1;
+    }
+
+    /// Total wall seconds across all tiers.
+    pub fn total_seconds(&self) -> f64 {
+        self.reference.seconds + self.compiled.seconds + self.jump.seconds + self.batch.seconds
+    }
+
+    /// The per-tier spans as `(tier, span)` rows in dispatch-priority order.
+    pub fn spans(&self) -> [(EngineTier, TierSpan); 4] {
+        [
+            (EngineTier::Jump, self.jump),
+            (EngineTier::Batch, self.batch),
+            (EngineTier::Compiled, self.compiled),
+            (EngineTier::Reference, self.reference),
+        ]
+    }
+}
+
+/// Samples observables (leader count, live support) every `every`
+/// interactions into a [`Trace`], for CSV export keyed by parallel time
+/// (interactions / n — the trace's own step column carries the raw
+/// interaction count).
+///
+/// Samples are taken at dispatch boundaries: on per-step tiers the engine
+/// subdivides its chunk windows so samples land exactly on the `every`
+/// grid; on the jump/batch tiers episode budgets are *not* capped (capping
+/// would change the RNG stream and break bit-identity), so a sample lands
+/// on the first episode boundary at or past each grid point, with the exact
+/// step count recorded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectorySampler {
+    every: u64,
+    next_at: u64,
+    trace: Trace,
+}
+
+/// Column names of the trajectory trace.
+pub const TRAJECTORY_SERIES: [&str; 2] = ["leaders", "support"];
+
+impl TrajectorySampler {
+    /// A sampler on an `every`-interaction grid (floored at 1).
+    pub fn new(every: u64) -> Self {
+        Self {
+            every: every.max(1),
+            next_at: 0,
+            trace: Trace::new(TRAJECTORY_SERIES),
+        }
+    }
+
+    /// The sampling grid interval.
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// The next grid step at or past which a sample is due.
+    pub(crate) fn next_due(&self) -> u64 {
+        self.next_at
+    }
+
+    /// Records a sample at `step` and advances the grid strictly past it.
+    pub(crate) fn sample(&mut self, step: u64, leaders: u64, support: u64) {
+        self.trace.record(step, &[leaders as f64, support as f64]);
+        self.next_at = (step / self.every + 1).saturating_mul(self.every);
+    }
+
+    /// The sampled trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the sampler, returning its trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+}
+
+/// The attachable observation hook (see the [module docs](self)): buffers
+/// [`EngineEvent`]s up to a capacity, accounts a [`TierTimeline`], and
+/// optionally drives a [`TrajectorySampler`].
+///
+/// Attach with [`CountSimulation::set_observer`]
+/// (crate::CountSimulation::set_observer) (or the wide-engine equivalent),
+/// read through [`CountSimulation::observer`]
+/// (crate::CountSimulation::observer), detach with
+/// [`CountSimulation::take_observer`]
+/// (crate::CountSimulation::take_observer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineObserver {
+    events: Vec<EngineEvent>,
+    capacity: usize,
+    dropped: u64,
+    timeline: TierTimeline,
+    sampler: Option<TrajectorySampler>,
+}
+
+impl Default for EngineObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineObserver {
+    /// An observer with the [default event capacity]
+    /// (DEFAULT_EVENT_CAPACITY) and no trajectory sampler.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// An observer buffering at most `capacity` events (further events are
+    /// counted in [`dropped`](Self::dropped), not stored).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+            timeline: TierTimeline::default(),
+            sampler: None,
+        }
+    }
+
+    /// Adds a trajectory sampler on an `every`-interaction grid (builder
+    /// style).
+    #[must_use]
+    pub fn with_trajectory(mut self, every: u64) -> Self {
+        self.sampler = Some(TrajectorySampler::new(every));
+        self
+    }
+
+    /// Sinks one event, dropping (and counting) past capacity.
+    pub fn record(&mut self, event: EngineEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The buffered events, in emission order.
+    pub fn events(&self) -> &[EngineEvent] {
+        &self.events
+    }
+
+    /// Events dropped past the buffer capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The per-tier interaction / wall-time accounting.
+    pub fn timeline(&self) -> &TierTimeline {
+        &self.timeline
+    }
+
+    pub(crate) fn timeline_mut(&mut self) -> &mut TierTimeline {
+        &mut self.timeline
+    }
+
+    /// The trajectory sampler, if one was requested.
+    pub fn sampler(&self) -> Option<&TrajectorySampler> {
+        self.sampler.as_ref()
+    }
+
+    pub(crate) fn sampler_mut(&mut self) -> Option<&mut TrajectorySampler> {
+        self.sampler.as_mut()
+    }
+
+    /// The sampled trajectory trace, if a sampler was requested.
+    pub fn trajectory(&self) -> Option<&Trace> {
+        self.sampler.as_ref().map(TrajectorySampler::trace)
+    }
+
+    /// Consumes the observer, returning the sampled trajectory trace (if a
+    /// sampler was requested) without cloning it.
+    pub fn into_trace(self) -> Option<Trace> {
+        self.sampler.map(TrajectorySampler::into_trace)
+    }
+
+    /// Serializes the buffered events as JSONL (one event per line,
+    /// trailing newline after each).
+    pub fn events_to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(&event.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One unified metrics snapshot of a count or wide simulation: population,
+/// progress, tier usage, and the per-tier stats the engine previously
+/// reported only through `jump_stats()` / `batch_stats()`. Obtained from
+/// [`CountSimulation::metrics`](crate::CountSimulation::metrics) or
+/// [`WideSimulation::metrics`](crate::WideSimulation::metrics); always
+/// available — the observer-only extras (event counts, timeline) are
+/// populated when an observer is attached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineMetrics {
+    /// Population size `n`.
+    pub population: u64,
+    /// Interactions simulated so far.
+    pub steps: u64,
+    /// `steps / n`.
+    pub parallel_time: f64,
+    /// Live support (states with nonzero count; wide: maximum over lanes).
+    pub support: u64,
+    /// Distinct states interned over the whole execution.
+    pub distinct_states_seen: u64,
+    /// The tier the engine is currently dispatching to.
+    pub active_tier: EngineTier,
+    /// The batch tier's configured round law.
+    pub law: LawMode,
+    /// Interactions executed per tier (persistent: serialized in snapshots
+    /// and restored on resume).
+    pub tier_usage: TierUsage,
+    /// Jump-scheduler counters.
+    pub jump: JumpStats,
+    /// Batch-tier round counters.
+    pub batch: BatchStats,
+    /// Whether the compiled pair cache is active.
+    pub cache_active: bool,
+    /// Ordered state pairs currently compiled in the pair cache.
+    pub compiled_pairs: u64,
+    /// Events buffered by the attached observer (0 when detached).
+    pub events_recorded: u64,
+    /// Events dropped past the observer's capacity (0 when detached).
+    pub events_dropped: u64,
+    /// Per-tier wall-time accounting; `None` when no observer is attached
+    /// (wall time is only measured under observation).
+    pub timeline: Option<TierTimeline>,
+}
+
+/// Schema tag embedded in (and required from) the metrics JSON.
+pub const METRICS_SCHEMA: &str = "pp-engine-metrics/v1";
+
+impl EngineMetrics {
+    /// Serializes the metrics as one JSON object (pretty-stable field
+    /// order; hand-rolled — the workspace takes no serde dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!(
+            "{{\"schema\":\"{METRICS_SCHEMA}\",\"population\":{},\"steps\":{},\
+             \"parallel_time\":{},\"support\":{},\"distinct_states_seen\":{},\
+             \"active_tier\":\"{}\",\"law\":\"{}\",",
+            self.population,
+            self.steps,
+            self.parallel_time,
+            self.support,
+            self.distinct_states_seen,
+            self.active_tier,
+            self.law,
+        ));
+        out.push_str(&format!(
+            "\"tier_usage\":{{\"reference\":{},\"compiled\":{},\"jump\":{},\"batch\":{}}},",
+            self.tier_usage.reference,
+            self.tier_usage.compiled,
+            self.tier_usage.jump,
+            self.tier_usage.batch,
+        ));
+        out.push_str(&format!(
+            "\"jump\":{{\"episodes\":{},\"skipped\":{}}},",
+            self.jump.episodes, self.jump.skipped,
+        ));
+        out.push_str(&format!(
+            "\"batch\":{{\"episodes\":{},\"bulk_interactions\":{},\"collision_interactions\":{},\
+             \"exact_walks\":{},\"contingency_draws\":{},\"shuffle_skips\":{},\
+             \"episode_segments\":{}}},",
+            self.batch.episodes,
+            self.batch.bulk_interactions,
+            self.batch.collision_interactions,
+            self.batch.exact_walks,
+            self.batch.contingency_draws,
+            self.batch.shuffle_skips,
+            self.batch.episode_segments,
+        ));
+        out.push_str(&format!(
+            "\"cache\":{{\"active\":{},\"compiled_pairs\":{}}},",
+            self.cache_active, self.compiled_pairs,
+        ));
+        out.push_str(&format!(
+            "\"events\":{{\"recorded\":{},\"dropped\":{}}},",
+            self.events_recorded, self.events_dropped,
+        ));
+        match &self.timeline {
+            None => out.push_str("\"timeline\":null}"),
+            Some(t) => {
+                out.push_str("\"timeline\":{");
+                for (i, (tier, span)) in [
+                    ("reference", t.reference),
+                    ("compiled", t.compiled),
+                    ("jump", t.jump),
+                    ("batch", t.batch),
+                ]
+                .iter()
+                .enumerate()
+                {
+                    out.push_str(&format!(
+                        "\"{tier}\":{{\"interactions\":{},\"seconds\":{},\"dispatches\":{}}}{}",
+                        span.interactions,
+                        span.seconds,
+                        span.dispatches,
+                        if i < 3 { "," } else { "" }
+                    ));
+                }
+                out.push_str("}}");
+            }
+        }
+        out
+    }
+
+    /// Parses a JSON object produced by [`to_json`](Self::to_json); `None`
+    /// on any malformation, including a missing or wrong schema tag.
+    /// Round-trips exactly (floats are printed in shortest-round-trip
+    /// form).
+    pub fn from_json(text: &str) -> Option<Self> {
+        if scan_str(text, "\"schema\"")? != METRICS_SCHEMA {
+            return None;
+        }
+        let usage = object_slice(text, "\"tier_usage\"")?;
+        let jump = object_slice(text, "\"jump\"")?;
+        let batch = object_slice(text, "\"batch\"")?;
+        let cache = object_slice(text, "\"cache\"")?;
+        let events = object_slice(text, "\"events\"")?;
+        let timeline = match object_slice(text, "\"timeline\"") {
+            Some(t) => {
+                let span = |key: &str| -> Option<TierSpan> {
+                    let obj = object_slice(t, key)?;
+                    Some(TierSpan {
+                        interactions: scan_u64(obj, "\"interactions\"")?,
+                        seconds: scan_f64(obj, "\"seconds\"")?,
+                        dispatches: scan_u64(obj, "\"dispatches\"")?,
+                    })
+                };
+                Some(TierTimeline {
+                    reference: span("\"reference\"")?,
+                    compiled: span("\"compiled\"")?,
+                    jump: span("\"jump\"")?,
+                    batch: span("\"batch\"")?,
+                })
+            }
+            None => None,
+        };
+        Some(Self {
+            population: scan_u64(text, "\"population\"")?,
+            steps: scan_u64(text, "\"steps\"")?,
+            parallel_time: scan_f64(text, "\"parallel_time\"")?,
+            support: scan_u64(text, "\"support\"")?,
+            distinct_states_seen: scan_u64(text, "\"distinct_states_seen\"")?,
+            active_tier: parse_tier(&scan_str(text, "\"active_tier\"")?)?,
+            law: parse_law(&scan_str(text, "\"law\"")?)?,
+            tier_usage: TierUsage {
+                reference: scan_u64(usage, "\"reference\"")?,
+                compiled: scan_u64(usage, "\"compiled\"")?,
+                jump: scan_u64(usage, "\"jump\"")?,
+                batch: scan_u64(usage, "\"batch\"")?,
+            },
+            jump: JumpStats {
+                episodes: scan_u64(jump, "\"episodes\"")?,
+                skipped: scan_u64(jump, "\"skipped\"")?,
+            },
+            batch: BatchStats {
+                episodes: scan_u64(batch, "\"episodes\"")?,
+                bulk_interactions: scan_u64(batch, "\"bulk_interactions\"")?,
+                collision_interactions: scan_u64(batch, "\"collision_interactions\"")?,
+                exact_walks: scan_u64(batch, "\"exact_walks\"")?,
+                contingency_draws: scan_u64(batch, "\"contingency_draws\"")?,
+                shuffle_skips: scan_u64(batch, "\"shuffle_skips\"")?,
+                episode_segments: scan_u64(batch, "\"episode_segments\"")?,
+            },
+            cache_active: scan_bool(cache, "\"active\"")?,
+            compiled_pairs: scan_u64(cache, "\"compiled_pairs\"")?,
+            events_recorded: scan_u64(events, "\"recorded\"")?,
+            events_dropped: scan_u64(events, "\"dropped\"")?,
+            timeline,
+        })
+    }
+}
+
+/// Value of `"key": "string"` after the quoted `key` in `text`.
+fn scan_str(text: &str, key: &str) -> Option<String> {
+    let at = text.find(key)? + key.len();
+    let rest = text[at..].trim_start_matches([':', ' ']);
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Value of `"key": <number>` after the quoted `key` in `text`.
+fn scan_f64(text: &str, key: &str) -> Option<f64> {
+    let at = text.find(key)? + key.len();
+    let rest = text[at..].trim_start_matches([':', ' ']);
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn scan_u64(text: &str, key: &str) -> Option<u64> {
+    let at = text.find(key)? + key.len();
+    let rest = text[at..].trim_start_matches([':', ' ']);
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Value of `"key": true|false` after the quoted `key` in `text`.
+fn scan_bool(text: &str, key: &str) -> Option<bool> {
+    let at = text.find(key)? + key.len();
+    let rest = text[at..].trim_start_matches([':', ' ']);
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// The balanced `{...}` object following `"key":` in `text`; `None` for a
+/// missing key or a `null` value. Occurrences of `key` that are not
+/// followed by `:` and an object (e.g. the same word as a nested key with a
+/// scalar value, or as a string *value*) are skipped, so `"jump"` resolves
+/// to the jump-stats object even though `tier_usage` also has a `jump`
+/// field. The format this parses is the crate's own output (no braces
+/// inside strings), so brace counting is exact.
+fn object_slice<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    for (at, _) in text.match_indices(key) {
+        let rest = text[at + key.len()..].trim_start();
+        let Some(rest) = rest.strip_prefix(':') else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        if rest.starts_with("null") {
+            return None;
+        }
+        if !rest.starts_with('{') {
+            continue;
+        }
+        let mut depth = 0usize;
+        for (i, c) in rest.char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(&rest[..=i]);
+                    }
+                }
+                _ => {}
+            }
+        }
+        return None;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<EngineEvent> {
+        vec![
+            EngineEvent::TierTransition {
+                step: 0,
+                from: EngineTier::Compiled,
+                to: EngineTier::Batch,
+            },
+            EngineEvent::JumpEngage {
+                step: 10,
+                w_active: 3,
+                w_total: 90,
+            },
+            EngineEvent::JumpDisengage {
+                step: 25,
+                w_active: 80,
+                w_total: 90,
+                episodes: 4,
+                skipped: 11,
+            },
+            EngineEvent::BatchEngage {
+                step: 30,
+                support: 12,
+                expected_run: 640,
+            },
+            EngineEvent::BatchExit {
+                step: 31,
+                support: 2000,
+                expected_run: 640,
+            },
+            EngineEvent::BatchEpisode {
+                step: 700,
+                law: LawMode::Contingency,
+                segments: 2,
+                bulk: 633,
+                collision: true,
+                walked: false,
+            },
+            EngineEvent::Compaction {
+                step: 4096,
+                live_before: 900,
+                live_after: 130,
+            },
+            EngineEvent::SnapshotTaken {
+                step: 5000,
+                bytes: 2048,
+            },
+            EngineEvent::Resumed { step: 5000 },
+            EngineEvent::LaneRetired { step: 777, lane: 3 },
+            EngineEvent::LaneSpilled { step: 778, lane: 0 },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips_through_jsonl() {
+        for event in sample_events() {
+            let line = event.to_json_line();
+            assert_eq!(
+                EngineEvent::parse_json_line(&line),
+                Some(event),
+                "line: {line}"
+            );
+            assert_eq!(
+                event.step(),
+                EngineEvent::parse_json_line(&line).unwrap().step()
+            );
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for line in [
+            "",
+            "{}",
+            "{\"event\":\"unknown\",\"step\":3}",
+            "{\"event\":\"jump_engage\",\"step\":3}", // missing fields
+            "{\"event\":\"tier_transition\",\"step\":1,\"from\":\"warp\",\"to\":\"batch\"}",
+        ] {
+            assert_eq!(EngineEvent::parse_json_line(line), None, "accepted {line}");
+        }
+    }
+
+    #[test]
+    fn observer_caps_and_counts_dropped_events() {
+        let mut obs = EngineObserver::with_capacity(2);
+        for event in sample_events() {
+            obs.record(event);
+        }
+        assert_eq!(obs.events().len(), 2);
+        assert_eq!(obs.dropped(), sample_events().len() as u64 - 2);
+        let jsonl = obs.events_to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            assert!(EngineEvent::parse_json_line(line).is_some());
+        }
+    }
+
+    #[test]
+    fn trajectory_sampler_advances_its_grid() {
+        let mut s = TrajectorySampler::new(100);
+        assert_eq!(s.next_due(), 0);
+        s.sample(0, 16, 2);
+        assert_eq!(s.next_due(), 100);
+        // A sample landing past several grid points advances past the last.
+        s.sample(342, 9, 3);
+        assert_eq!(s.next_due(), 400);
+        assert_eq!(s.trace().len(), 2);
+        assert_eq!(s.trace().names(), ["leaders", "support"]);
+        assert_eq!(TrajectorySampler::new(0).every(), 1, "grid floors at 1");
+    }
+
+    fn sample_metrics(timeline: Option<TierTimeline>) -> EngineMetrics {
+        EngineMetrics {
+            population: 1 << 20,
+            steps: 123_456,
+            parallel_time: 123_456.0 / (1u64 << 20) as f64,
+            support: 130,
+            distinct_states_seen: 280,
+            active_tier: EngineTier::Batch,
+            law: LawMode::MultiRound,
+            tier_usage: TierUsage {
+                reference: 1,
+                compiled: 2,
+                jump: 3,
+                batch: 4,
+            },
+            jump: JumpStats {
+                episodes: 7,
+                skipped: 99,
+            },
+            batch: BatchStats {
+                episodes: 5,
+                bulk_interactions: 3000,
+                collision_interactions: 4,
+                exact_walks: 1,
+                contingency_draws: 17,
+                shuffle_skips: 2,
+                episode_segments: 9,
+            },
+            cache_active: true,
+            compiled_pairs: 412,
+            events_recorded: 31,
+            events_dropped: 0,
+            timeline,
+        }
+    }
+
+    #[test]
+    fn metrics_round_trip_without_timeline() {
+        let m = sample_metrics(None);
+        let json = m.to_json();
+        assert!(json.contains("\"timeline\":null"));
+        assert_eq!(EngineMetrics::from_json(&json), Some(m));
+    }
+
+    #[test]
+    fn metrics_round_trip_with_timeline() {
+        let mut t = TierTimeline::default();
+        t.note(EngineTier::Batch, 5000, 0.125);
+        t.note(EngineTier::Compiled, 10, 0.5e-6);
+        t.note(EngineTier::Jump, 77, 0.25);
+        let m = sample_metrics(Some(t));
+        let json = m.to_json();
+        assert_eq!(EngineMetrics::from_json(&json), Some(m.clone()));
+        assert!((m.timeline.unwrap().total_seconds() - 0.3750005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_parser_rejects_wrong_schema() {
+        let m = sample_metrics(None);
+        let json = m.to_json().replace(METRICS_SCHEMA, "pp-engine-metrics/v0");
+        assert_eq!(EngineMetrics::from_json(&json), None);
+        assert_eq!(EngineMetrics::from_json("{}"), None);
+    }
+
+    #[test]
+    fn timeline_spans_cover_all_tiers() {
+        let mut t = TierTimeline::default();
+        for (tier, _) in t.spans() {
+            t.note(tier, 1, 0.0);
+        }
+        assert!(t.spans().iter().all(|(_, span)| span.dispatches == 1));
+        assert_eq!(t.reference.interactions, 1);
+    }
+}

@@ -53,8 +53,10 @@ use std::fmt;
 
 /// Version tag written after the magic; bump on any byte-layout change.
 /// Version 2 appended the round-law mode to the config section and the
-/// contingency/segment counters to the tier section.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// contingency/segment counters to the tier section. Version 3 appended
+/// the per-tier interaction usage counters to the tier section so resumed
+/// runs keep attributing past work in [`metrics`](crate::CountSimulation::metrics).
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// 8-byte magic prefix identifying count-engine snapshots.
 pub(crate) const MAGIC: [u8; 8] = *b"PPENGSNP";

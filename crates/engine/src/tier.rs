@@ -157,6 +157,41 @@ pub struct JumpStats {
     pub skipped: u64,
 }
 
+/// Interactions executed per tier over the whole execution, maintained at
+/// dispatch boundaries regardless of whether an observer is attached (the
+/// counters are pure functions of the trajectory, so attaching one cannot
+/// change them). Serialized in snapshots since format v3, so they survive
+/// resume; wall-clock accounting, which cannot survive a resume, lives in
+/// the observer-only [`TierTimeline`](crate::obs::TierTimeline) instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierUsage {
+    /// Interactions executed on the uncached reference tier.
+    pub reference: u64,
+    /// Interactions executed on the compiled tier.
+    pub compiled: u64,
+    /// Interactions executed (or telescoped) by the jump scheduler.
+    pub jump: u64,
+    /// Interactions executed by hypergeometric batch rounds.
+    pub batch: u64,
+}
+
+impl TierUsage {
+    /// Accounts `interactions` interactions to `tier`.
+    pub(crate) fn note(&mut self, tier: EngineTier, interactions: u64) {
+        match tier {
+            EngineTier::Reference => self.reference += interactions,
+            EngineTier::Compiled => self.compiled += interactions,
+            EngineTier::Jump => self.jump += interactions,
+            EngineTier::Batch => self.batch += interactions,
+        }
+    }
+
+    /// Total interactions across all tiers.
+    pub fn total(&self) -> u64 {
+        self.reference + self.compiled + self.jump + self.batch
+    }
+}
+
 /// Jump-scheduler state riding along the count engine (see [`crate::jump`]).
 #[derive(Debug, Clone)]
 pub(crate) struct JumpState {
@@ -195,6 +230,8 @@ pub(crate) struct TierController {
     /// Step count at which the next tier review (jump probe, batch
     /// engage/disengage, compaction check) runs.
     pub review_at: u64,
+    /// Per-tier interaction counters (snapshot-persistent since format v3).
+    pub usage: TierUsage,
 }
 
 impl TierController {
@@ -204,6 +241,7 @@ impl TierController {
             jump: JumpState::new(),
             batch: BatchState::new(),
             review_at: 0,
+            usage: TierUsage::default(),
         }
     }
 }

@@ -57,9 +57,46 @@ impl Trace {
             values.len()
         );
         if let Some(&(last, _)) = self.rows.last() {
-            assert!(step >= last, "steps must be non-decreasing");
+            assert!(
+                step >= last,
+                "steps must be non-decreasing: step {step} after step {last}"
+            );
+        }
+        if self.rows.capacity() == self.rows.len() {
+            // Sampled runs record thousands of rows; grow in visible chunks
+            // instead of relying on push's doubling from a cold vector.
+            self.rows.reserve(64.max(self.rows.len()));
         }
         self.rows.push((step, values.to_vec()));
+    }
+
+    /// Appends every row of `other` to `self`, consuming it — the natural way
+    /// to stitch the trace segments of a suspended-and-resumed run back into
+    /// one series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series names differ, or if `other` starts at a step
+    /// before the last step recorded in `self`.
+    pub fn merge(&mut self, other: Trace) {
+        assert_eq!(
+            self.names, other.names,
+            "cannot merge traces with different series"
+        );
+        if let (Some(&(last, _)), Some(&(first, _))) = (self.rows.last(), other.rows.first()) {
+            assert!(
+                first >= last,
+                "steps must be non-decreasing: merged trace starts at step {first}, \
+                 before step {last}"
+            );
+        }
+        self.rows.reserve(other.rows.len());
+        self.rows.extend(other.rows);
+    }
+
+    /// The step of the most recently recorded row, if any.
+    pub fn last_step(&self) -> Option<u64> {
+        self.rows.last().map(|&(step, _)| step)
     }
 
     /// Number of recorded rows.
@@ -157,6 +194,49 @@ mod tests {
         let mut t = Trace::new(["a"]);
         t.record(10, &[1.0]);
         t.record(5, &[2.0]);
+    }
+
+    #[test]
+    fn panic_message_names_both_steps() {
+        let mut t = Trace::new(["a"]);
+        t.record(10, &[1.0]);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.record(5, &[2.0]);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("formatted panic");
+        assert!(msg.contains("step 5") && msg.contains("step 10"), "{msg}");
+    }
+
+    #[test]
+    fn merge_concatenates_resumed_segments() {
+        let mut a = Trace::new(["v"]);
+        a.record(0, &[3.0]);
+        a.record(10, &[2.0]);
+        let mut b = Trace::new(["v"]);
+        b.record(10, &[2.0]);
+        b.record(25, &[1.0]);
+        a.merge(b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.last_step(), Some(25));
+        assert_eq!(a.last_value("v"), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "different series")]
+    fn merge_rejects_mismatched_series() {
+        let mut a = Trace::new(["v"]);
+        a.merge(Trace::new(["w"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn merge_rejects_backward_steps() {
+        let mut a = Trace::new(["v"]);
+        a.record(10, &[1.0]);
+        let mut b = Trace::new(["v"]);
+        b.record(5, &[2.0]);
+        a.merge(b);
     }
 
     #[test]

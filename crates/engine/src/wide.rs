@@ -71,13 +71,15 @@
 //! telescopes the null tail in `O(1)` expected work per real transition.
 
 use crate::compiled::{self, PairCache};
+use crate::obs::{EngineEvent, EngineMetrics, EngineObserver};
 use crate::round::{self, BatchScratch, SegmentDraw};
-use crate::tier::{self, EngineConfig};
+use crate::tier::{self, EngineConfig, EngineTier, JumpStats, TierUsage};
 use crate::{
     BatchStats, EngineError, LeaderElection, Protocol, Role, RunOutcome, CONVERGENCE_BATCH,
 };
 use pp_rand::{Rng64, SumTreeSampler, Xoshiro256PlusPlus};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Sentinel in the seen-state map for global ids reclaimed by compaction
 /// (same convention as the scalar engine).
@@ -385,6 +387,14 @@ pub struct WideSimulation<P: Protocol, R = Xoshiro256PlusPlus> {
     n: u64,
     stats: BatchStats,
     round: RoundBuffers,
+    /// Interactions executed per dispatch mode, summed over all lanes
+    /// (batch rounds count as [`EngineTier::Batch`], per-step chunks as
+    /// [`EngineTier::Compiled`] — the wide engine always runs through the
+    /// shared pair cache).
+    usage: TierUsage,
+    /// Structured-event observer; boxed so the detached engine pays one
+    /// pointer of state and one branch per round/chunk boundary.
+    obs: Option<Box<EngineObserver>>,
 }
 
 impl<P: Protocol, R: Rng64> WideSimulation<P, R> {
@@ -484,6 +494,8 @@ impl<P: Protocol, R: Rng64> WideSimulation<P, R> {
             n: n as u64,
             stats: BatchStats::default(),
             round: RoundBuffers::default(),
+            usage: TierUsage::default(),
+            obs: None,
         })
     }
 
@@ -526,8 +538,66 @@ impl<P: Protocol, R: Rng64> WideSimulation<P, R> {
     }
 
     /// Aggregate batch-tier counters across all lanes.
+    ///
+    /// Superseded by [`metrics`](Self::metrics), which reports these
+    /// counters alongside the rest of the engine's observables; kept as a
+    /// thin shim for existing callers.
     pub fn batch_stats(&self) -> BatchStats {
         self.stats
+    }
+
+    /// Interactions executed per dispatch mode, summed over all lanes.
+    pub fn tier_usage(&self) -> TierUsage {
+        self.usage
+    }
+
+    /// Attaches `observer` to receive structured engine events. Observation
+    /// consumes no randomness and leaves every lane's trajectory
+    /// bit-identical to a detached run.
+    pub fn set_observer(&mut self, observer: EngineObserver) {
+        self.obs = Some(Box::new(observer));
+    }
+
+    /// The attached observer, if any.
+    pub fn observer(&self) -> Option<&EngineObserver> {
+        self.obs.as_deref()
+    }
+
+    /// Detaches and returns the observer, if one was attached.
+    pub fn take_observer(&mut self) -> Option<EngineObserver> {
+        self.obs.take().map(|boxed| *boxed)
+    }
+
+    /// A unified point-in-time snapshot of the wide engine's observables.
+    ///
+    /// `steps` is the lockstep minimum over live lanes, `support` the
+    /// maximum lane support (the quantity the batch heuristics test), and
+    /// the jump counters are always zero — the wide engine has no jump
+    /// tier.
+    pub fn metrics(&self) -> EngineMetrics {
+        let steps = self.steps();
+        let support = self.lanes.iter().map(|l| l.support).max().unwrap_or(0);
+        EngineMetrics {
+            population: self.n,
+            steps,
+            parallel_time: steps as f64 / self.n as f64,
+            support: support as u64,
+            distinct_states_seen: self.shared.ids.len() as u64,
+            active_tier: if self.batch_mode {
+                EngineTier::Batch
+            } else {
+                EngineTier::Compiled
+            },
+            law: self.config.law_mode,
+            tier_usage: self.usage,
+            jump: JumpStats::default(),
+            batch: self.stats,
+            cache_active: self.shared.pairs.is_active(),
+            compiled_pairs: self.shared.pairs.compiled_pairs() as u64,
+            events_recorded: self.obs.as_deref().map_or(0, |o| o.events().len() as u64),
+            events_dropped: self.obs.as_deref().map_or(0, EngineObserver::dropped),
+            timeline: self.obs.as_deref().map(|o| *o.timeline()),
+        }
     }
 
     /// Distinct states seen by the union of all lanes (the shared interned
@@ -678,6 +748,14 @@ impl<P: Protocol, R: Rng64> WideSimulation<P, R> {
         let targets: Vec<u64> = self.lanes.iter().map(|l| l.steps + steps).collect();
         loop {
             self.review();
+            let watched = self.obs.is_some();
+            let t0 = if watched { Some(Instant::now()) } else { None };
+            let before: u64 = self.lanes.iter().map(|l| l.steps).sum();
+            let mode = if self.batch_mode {
+                EngineTier::Batch
+            } else {
+                EngineTier::Compiled
+            };
             if self.batch_mode {
                 let budgets: Vec<u64> = self
                     .lanes
@@ -703,6 +781,14 @@ impl<P: Protocol, R: Rng64> WideSimulation<P, R> {
                         debug_assert!(did > 0, "chunks always make progress");
                         left -= did.min(left);
                     }
+                }
+            }
+            let advanced = self.lanes.iter().map(|l| l.steps).sum::<u64>() - before;
+            self.usage.note(mode, advanced);
+            if let Some(t0) = t0 {
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.timeline_mut()
+                        .note(mode, advanced, t0.elapsed().as_secs_f64());
                 }
             }
             if self.lanes.iter().zip(&targets).all(|(l, &t)| l.steps >= t) {
@@ -740,11 +826,25 @@ impl<P: Protocol, R: Rng64> WideSimulation<P, R> {
         if self.batch_mode {
             if tier::batch_exits(sup_max, self.n, &self.config) || !self.shared.pairs.is_active() {
                 self.exit_batch();
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.record(EngineEvent::BatchExit {
+                        step: min_steps,
+                        support: sup_max as u64,
+                        expected_run: tier::expected_run_length(self.n),
+                    });
+                }
             }
         } else if self.shared.pairs.is_active()
             && tier::batch_engages(sup_max, self.n, &self.config)
         {
             self.enter_batch();
+            if let Some(obs) = self.obs.as_deref_mut() {
+                obs.record(EngineEvent::BatchEngage {
+                    step: min_steps,
+                    support: sup_max as u64,
+                    expected_run: tier::expected_run_length(self.n),
+                });
+            }
         }
     }
 
@@ -1409,6 +1509,12 @@ impl<P: LeaderElection, R: Rng64> WideSimulation<P, R> {
                 };
                 if let Some(outcome) = outcome {
                     let lane = self.remove_lane(pos);
+                    if let Some(obs) = self.obs.as_deref_mut() {
+                        obs.record(EngineEvent::LaneRetired {
+                            step: lane.steps,
+                            lane: lane.index as u64,
+                        });
+                    }
                     outcomes[lane.index] = Some(outcome);
                 }
             }
@@ -1421,12 +1527,27 @@ impl<P: LeaderElection, R: Rng64> WideSimulation<P, R> {
                 self.sync_soa();
                 let dominated = self.null_dominated_lanes();
                 for &pos in dominated.iter().rev() {
-                    spilled.push(self.export_lane(pos));
+                    let export = self.export_lane(pos);
+                    if let Some(obs) = self.obs.as_deref_mut() {
+                        obs.record(EngineEvent::LaneSpilled {
+                            step: export.steps,
+                            lane: export.index as u64,
+                        });
+                    }
+                    spilled.push(export);
                 }
                 if self.lanes.is_empty() {
                     break;
                 }
             }
+            let watched = self.obs.is_some();
+            let t0 = if watched { Some(Instant::now()) } else { None };
+            let before: u64 = self.lanes.iter().map(|l| l.steps).sum();
+            let mode = if self.batch_mode {
+                EngineTier::Batch
+            } else {
+                EngineTier::Compiled
+            };
             if self.batch_mode {
                 let budgets: Vec<u64> = self.lanes.iter().map(|l| max_steps - l.steps).collect();
                 if self.policy == WideTierPolicy::LawOnly {
@@ -1442,6 +1563,14 @@ impl<P: LeaderElection, R: Rng64> WideSimulation<P, R> {
                     }
                     let burst = CONVERGENCE_BATCH.min(max_steps - lane_steps).max(1);
                     lane_chunk(&mut self.shared, &mut self.lanes[pos], burst, true);
+                }
+            }
+            let advanced = self.lanes.iter().map(|l| l.steps).sum::<u64>() - before;
+            self.usage.note(mode, advanced);
+            if let Some(t0) = t0 {
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.timeline_mut()
+                        .note(mode, advanced, t0.elapsed().as_secs_f64());
                 }
             }
         }

@@ -6,9 +6,14 @@
 //! stand-in emits into the tracked snapshot: machine/harness metadata, the
 //! per-group benchmark records, and the headline numbers (the `P_LL`
 //! step-rate workload on the batch tier, the wide lane engine's per-seed
-//! rate with its lane-scaling curve, and the whole-election jump workload)
-//! with their speedups against the frozen pre-PR-2 baseline and the scalar
-//! batch tier.
+//! rate with its lane-scaling curve, the whole-election jump workload, and
+//! the observability layer's attached-vs-detached spread) with their
+//! speedups against the frozen pre-PR-2 baseline and the scalar batch
+//! tier. Each headline row also embeds an `engine_metrics` summary — the
+//! same workload re-run once at a fixed seed with detached observation, so
+//! the snapshot records *what the engine did* (per-tier interaction usage,
+//! episode counts, live support) next to how fast it did it; the summaries
+//! are deterministic, carrying no wall-clock.
 //!
 //! ```text
 //! cargo run --release -p pp-sim --bin bench_snapshot           # full samples
@@ -21,6 +26,13 @@
 //! the CI regression gate reads its baseline from — untouched; regenerate
 //! the tracked file with full samples on a quiet machine.
 
+use pp_core::Pll;
+use pp_engine::{
+    CountSimulation, EngineConfig, EngineMetrics, EngineObserver, LawMode, WideSimulation,
+    WideTierPolicy,
+};
+use pp_protocols::Fratricide;
+use pp_rand::{SeedSequence, Xoshiro256PlusPlus};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -88,8 +100,14 @@ fn main() {
         groups.contains_key("engine/count_steps_round"),
         "round-law group missing from bench output"
     );
+    assert!(
+        groups.contains_key("engine/count_steps_obs"),
+        "observability group missing from bench output"
+    );
 
-    let snapshot = render_snapshot(&groups, quick);
+    eprintln!("capturing headline engine-metrics summaries...");
+    let metrics = headline_metrics(quick);
+    let snapshot = render_snapshot(&groups, &metrics, quick);
     // Quick mode is a pipeline sanity pass: its reduced-sample medians must
     // never overwrite the tracked snapshot (the CI regression gate reads
     // baselines from it), so they land under target/ instead.
@@ -197,7 +215,77 @@ fn today() -> String {
 /// Lane widths the wide group's scaling curve covers (mirrors the bench).
 const WIDE_LANE_WIDTHS: [usize; 4] = [1, 4, 8, 16];
 
-fn render_snapshot(groups: &BTreeMap<String, Vec<Record>>, quick: bool) -> String {
+/// Re-runs each headline workload once at a fixed seed and returns its
+/// [`EngineMetrics`] summary, keyed by headline section name. Observation
+/// stays detached everywhere except the observability row itself, so every
+/// summary is deterministic (the observability one additionally carries the
+/// attached run's event count and per-tier wall-time split). `--quick`
+/// shrinks the population the same way it shrinks bench samples.
+fn headline_metrics(quick: bool) -> BTreeMap<&'static str, EngineMetrics> {
+    let n: usize = if quick { 1 << 14 } else { 1 << 20 };
+    // The windowed groups measure mid-election; 16 parallel time units sits
+    // inside their WINDOW_FROM..WINDOW_TO band.
+    let window = 16 * n as u64;
+    let mut out = BTreeMap::new();
+
+    let batch_pinned_pll = || {
+        let rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let mut sim =
+            CountSimulation::new(Pll::for_population(n).expect("n >= 2"), n, rng).expect("n >= 2");
+        sim.force_batch_mode();
+        sim
+    };
+
+    let mut sim = batch_pinned_pll();
+    sim.run(window);
+    out.insert("step_workload", sim.metrics());
+
+    let rng = Xoshiro256PlusPlus::seed_from_u64(1);
+    let config = EngineConfig {
+        law_mode: LawMode::Contingency,
+        ..EngineConfig::default()
+    };
+    let mut sim = CountSimulation::with_config(Fratricide, n, rng, config).expect("n >= 2");
+    sim.force_batch_mode();
+    sim.run(window);
+    out.insert("round_law_workload", sim.metrics());
+
+    let mut wide = WideSimulation::with_config(
+        Pll::for_population(n).expect("n >= 2"),
+        n,
+        SeedSequence::new(1).rngs(8),
+        EngineConfig::default(),
+        WideTierPolicy::PinnedBatch,
+    )
+    .expect("n >= 2");
+    wide.run(window);
+    out.insert("wide_lane_workload", wide.metrics());
+
+    let rng = Xoshiro256PlusPlus::seed_from_u64(1);
+    let mut sim = CountSimulation::new(Fratricide, n, rng).expect("n >= 2");
+    let outcome = sim.run_until_single_leader(u64::MAX);
+    assert!(outcome.converged, "headline election must converge");
+    out.insert("election_workload", sim.metrics());
+
+    let mut sim = batch_pinned_pll();
+    sim.set_observer(EngineObserver::new());
+    sim.run(window);
+    out.insert("observability_overhead", sim.metrics());
+
+    out
+}
+
+fn render_snapshot(
+    groups: &BTreeMap<String, Vec<Record>>,
+    metrics: &BTreeMap<&'static str, EngineMetrics>,
+    quick: bool,
+) -> String {
+    let engine_metrics_line = |section: &str| {
+        let m = metrics
+            .get(section)
+            .unwrap_or_else(|| panic!("metrics summary for {section} missing"));
+        format!("      \"engine_metrics\": {},\n", m.to_json())
+    };
     let batch_pll = find(groups, "engine/count_steps_batch", "pll/1048576");
     let compiled_pll = find(groups, "engine/count_steps_compiled", "pll/1048576");
     let election = find(groups, "engine/election_jump", "fratricide/1048576");
@@ -242,6 +330,17 @@ fn render_snapshot(groups: &BTreeMap<String, Vec<Record>>, quick: bool) -> Strin
         .elements_per_second
         .expect("throughput group")
     };
+    let obs_rate = |row: &str| {
+        find(
+            groups,
+            "engine/count_steps_obs",
+            &format!("pll/1048576/{row}"),
+        )
+        .elements_per_second
+        .expect("throughput group")
+    };
+    let obs_detached_rate = obs_rate("detached");
+    let obs_attached_rate = obs_rate("attached");
 
     let mut out = String::new();
     out.push_str("{\n");
@@ -265,6 +364,7 @@ fn render_snapshot(groups: &BTreeMap<String, Vec<Record>>, quick: bool) -> Strin
     out.push_str("  \"headline\": {\n");
     out.push_str("    \"step_workload\": {\n");
     out.push_str("      \"case\": \"CountSimulation / Pll / n = 2^20, mid-election steps (engine/count_steps_batch, batch tier)\",\n");
+    out.push_str(&engine_metrics_line("step_workload"));
     out.push_str(&format!(
         "      \"interactions_per_second\": {batch_rate},\n"
     ));
@@ -279,6 +379,7 @@ fn render_snapshot(groups: &BTreeMap<String, Vec<Record>>, quick: bool) -> Strin
     out.push_str("    },\n");
     out.push_str("    \"round_law_workload\": {\n");
     out.push_str("      \"case\": \"CountSimulation / Fratricide + Pll / n = 2^20, mid-election steps under each batch round law (engine/count_steps_round, batch pinned, adjacent rows)\",\n");
+    out.push_str(&engine_metrics_line("round_law_workload"));
     out.push_str("      \"fratricide_interactions_per_second\": {\n");
     for (i, law) in ["sequence", "contingency", "multiround"].iter().enumerate() {
         out.push_str(&format!(
@@ -305,6 +406,7 @@ fn render_snapshot(groups: &BTreeMap<String, Vec<Record>>, quick: bool) -> Strin
     out.push_str("    },\n");
     out.push_str("    \"wide_lane_workload\": {\n");
     out.push_str("      \"case\": \"WideSimulation / Pll / n = 2^20, 8 lanes in lockstep, mid-election steps (engine/count_steps_wide, pinned batch rounds)\",\n");
+    out.push_str(&engine_metrics_line("wide_lane_workload"));
     out.push_str(&format!(
         "      \"per_seed_interactions_per_second\": {wide8_rate},\n"
     ));
@@ -339,6 +441,7 @@ fn render_snapshot(groups: &BTreeMap<String, Vec<Record>>, quick: bool) -> Strin
     out.push_str("    },\n");
     out.push_str("    \"election_workload\": {\n");
     out.push_str("      \"case\": \"CountSimulation / Fratricide / n = 2^20, whole election (engine/election_jump)\",\n");
+    out.push_str(&engine_metrics_line("election_workload"));
     out.push_str(&format!(
         "      \"wall_seconds_per_election\": {election_secs},\n"
     ));
@@ -353,6 +456,21 @@ fn render_snapshot(groups: &BTreeMap<String, Vec<Record>>, quick: bool) -> Strin
         effective / PRE_PR_BASELINE_INT_PER_SEC
     ));
     out.push_str("      \"note\": \"The jump scheduler telescopes the Theta(n^2)-step null tail into O(n) executed episodes; the batch tier covers the dense early phase. Simulated-interaction count is the instrumented per-election mean recorded in PR 3.\"\n");
+    out.push_str("    },\n");
+    out.push_str("    \"observability_overhead\": {\n");
+    out.push_str("      \"case\": \"CountSimulation / Pll / n = 2^20, mid-election steps with an attached-but-idle EngineObserver vs detached (engine/count_steps_obs, batch pinned, adjacent rows)\",\n");
+    out.push_str(&engine_metrics_line("observability_overhead"));
+    out.push_str(&format!(
+        "      \"detached_interactions_per_second\": {obs_detached_rate},\n"
+    ));
+    out.push_str(&format!(
+        "      \"attached_interactions_per_second\": {obs_attached_rate},\n"
+    ));
+    out.push_str(&format!(
+        "      \"attached_over_detached\": {:.4},\n",
+        obs_attached_rate / obs_detached_rate
+    ));
+    out.push_str("      \"note\": \"Observation touches the hot loop only at episode and review boundaries (one branch plus an Instant read when it fires), never per interaction, and consumes no RNG — the attached run's trajectory and snapshot bytes are bit-identical to the detached run's (tests/obs_identity.rs). The CI smoke gate holds the attached row to within 2% of the adjacent detached row. The engine_metrics summary here is the attached run's, so it also carries the event count and the per-tier wall-time timeline the other summaries omit.\"\n");
     out.push_str("    }\n");
     out.push_str("  },\n");
     out.push_str("  \"groups\": {\n");

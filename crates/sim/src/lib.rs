@@ -37,14 +37,19 @@
 mod checkpoint;
 pub mod experiments;
 mod runner;
+pub mod trajectory;
 
 pub use checkpoint::{
     stabilization_sweep_checkpointed, stabilization_sweep_checkpointed_wide, CheckpointConfig,
     ExperimentCheckpoint, SweepStatus,
 };
 pub use runner::{
-    parallel_map, stabilization_sweep, stabilization_sweep_agents, stabilization_sweep_wide,
-    sweep_lane_width, sweep_law_mode, SweepPoint,
+    enable_sweep_rollup, parallel_map, stabilization_sweep, stabilization_sweep_agents,
+    stabilization_sweep_wide, sweep_lane_width, sweep_law_mode, take_sweep_rollups, SweepPoint,
+    SweepRollup,
+};
+pub use trajectory::{
+    observed_pll_election, pll_attribution_trajectory, ObservedElection, PllTrajectory,
 };
 
 use pp_stats::Table;

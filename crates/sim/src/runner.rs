@@ -21,6 +21,8 @@ use pp_rand::{SeedSequence, Xoshiro256PlusPlus};
 use pp_stats::Summary;
 use std::io::{IsTerminal, Write as _};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 /// Hard cap on the `PP_SIM_THREADS` override (clamped, `EngineConfig`
 /// style, rather than erroring).
@@ -99,6 +101,61 @@ fn progress_enabled(jobs: usize) -> bool {
         && std::env::var("PP_SIM_PROGRESS").map_or(true, |v| v != "0")
 }
 
+/// Throughput and progress aggregate of one [`parallel_map`] fan-out,
+/// recorded when rollup collection is enabled (see
+/// [`enable_sweep_rollup`]). One rollup per `parallel_map` call — a
+/// sweep's experiment typically accumulates several.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepRollup {
+    /// Jobs the fan-out executed.
+    pub jobs: u64,
+    /// Worker threads it ran on.
+    pub workers: u64,
+    /// Wall-clock duration of the whole fan-out.
+    pub wall_seconds: f64,
+    /// `jobs / wall_seconds` (0 when the fan-out was instantaneous).
+    pub jobs_per_second: f64,
+}
+
+impl SweepRollup {
+    /// Serializes the rollup as one JSON object (hand-rolled; the
+    /// workspace takes no serde dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"jobs\":{},\"workers\":{},\"wall_seconds\":{},\"jobs_per_second\":{}}}",
+            self.jobs, self.workers, self.wall_seconds, self.jobs_per_second
+        )
+    }
+}
+
+static ROLLUPS: OnceLock<Mutex<Vec<SweepRollup>>> = OnceLock::new();
+static ROLLUP_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns on process-wide rollup collection: every subsequent
+/// [`parallel_map`] records a [`SweepRollup`] retrievable with
+/// [`take_sweep_rollups`]. Collection is off by default — the recorder
+/// costs one relaxed atomic load per fan-out when disabled.
+pub fn enable_sweep_rollup() {
+    ROLLUP_ENABLED.store(true, Ordering::Release);
+}
+
+/// Drains and returns every rollup recorded since the last call (empty
+/// when collection was never enabled).
+pub fn take_sweep_rollups() -> Vec<SweepRollup> {
+    ROLLUPS
+        .get()
+        .map(|m| std::mem::take(&mut *m.lock().expect("rollup lock poisoned")))
+        .unwrap_or_default()
+}
+
+fn record_rollup(rollup: SweepRollup) {
+    ROLLUPS
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .expect("rollup lock poisoned")
+        .push(rollup);
+}
+
 /// Sets the flag on drop, so the progress monitor stops even when a worker
 /// panic unwinds the scope.
 struct StopOnDrop<'a>(&'a AtomicBool);
@@ -149,6 +206,7 @@ where
 {
     let workers = worker_count(jobs.len());
     let total = jobs.len();
+    let started = Instant::now();
     let next = AtomicUsize::new(0);
     let finished = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
@@ -161,7 +219,15 @@ where
                 while !stop.load(Ordering::Acquire) {
                     let claimed = next.load(Ordering::Relaxed).min(total);
                     let done = finished.load(Ordering::Relaxed);
-                    eprint!("\r  sweep: {done}/{total} jobs done, {claimed} claimed");
+                    // Linear ETA from throughput so far; blank until the
+                    // first job lands.
+                    let eta = if done > 0 && done < total {
+                        let rate = done as f64 / started.elapsed().as_secs_f64();
+                        format!(", eta {:.0}s", (total - done) as f64 / rate.max(1e-9))
+                    } else {
+                        String::new()
+                    };
+                    eprint!("\r  sweep: {done}/{total} jobs done, {claimed} claimed{eta}");
                     let _ = std::io::stderr().flush();
                     std::thread::sleep(std::time::Duration::from_millis(200));
                 }
@@ -192,6 +258,15 @@ where
             }
         }
     });
+    if ROLLUP_ENABLED.load(Ordering::Acquire) {
+        let wall = started.elapsed().as_secs_f64();
+        record_rollup(SweepRollup {
+            jobs: total as u64,
+            workers: workers as u64,
+            wall_seconds: wall,
+            jobs_per_second: if wall > 0.0 { total as f64 / wall } else { 0.0 },
+        });
+    }
     results
         .into_iter()
         .map(|r| r.expect("every job index was claimed exactly once"))
@@ -499,6 +574,25 @@ mod tests {
         assert!(out.is_empty());
         let out = parallel_map(&[7u64], |&x| x * 2);
         assert_eq!(out, vec![14]);
+    }
+
+    #[test]
+    fn rollups_record_fanout_throughput() {
+        // The flag is process-global, so concurrent tests may add rollups
+        // of their own; assert ours is among the drained set.
+        enable_sweep_rollup();
+        let jobs: Vec<u64> = (0..137).collect();
+        let _ = parallel_map(&jobs, |&x| x);
+        let rollups = take_sweep_rollups();
+        let ours = rollups
+            .iter()
+            .find(|r| r.jobs == 137)
+            .expect("the fan-out recorded a rollup");
+        assert!(ours.workers >= 1);
+        assert!(ours.wall_seconds >= 0.0);
+        assert!(ours.jobs_per_second > 0.0);
+        let json = ours.to_json();
+        assert!(json.contains("\"jobs\":137"), "{json}");
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Integration: the observability layer's **bit-identity contract** — an
+//! attached [`EngineObserver`] (with or without a trajectory sampler)
+//! consumes no randomness and leaves the execution bit-identical to a
+//! detached run: same step counts, same final configurations, and same
+//! `snapshot()` bytes, across all four scalar tiers, all three round laws,
+//! and the wide engine's lanes. Plus schema round-trips for the JSONL
+//! event log and the metrics JSON.
+
+use population_protocols::core::Pll;
+use population_protocols::engine::{
+    CountSimulation, EngineConfig, EngineEvent, EngineMetrics, EngineObserver, LawMode,
+    LeaderElection, SnapshotState, WideSimulation, WideTierPolicy,
+};
+use population_protocols::rand::{SeedSequence, Xoshiro256PlusPlus};
+use proptest::prelude::*;
+
+/// How a test pins the engine's execution tier.
+#[derive(Debug, Clone, Copy)]
+enum TierMode {
+    Auto,
+    Reference,
+    Jump,
+    Batch,
+}
+
+const MODES: [TierMode; 4] = [
+    TierMode::Auto,
+    TierMode::Reference,
+    TierMode::Jump,
+    TierMode::Batch,
+];
+
+const LAWS: [LawMode; 3] = [
+    LawMode::SequenceExpansion,
+    LawMode::Contingency,
+    LawMode::MultiRound,
+];
+
+fn build<P>(
+    protocol: P,
+    n: usize,
+    seed: u64,
+    mode: TierMode,
+    law: LawMode,
+) -> CountSimulation<P, Xoshiro256PlusPlus>
+where
+    P: LeaderElection,
+{
+    let rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    let config = EngineConfig {
+        law_mode: law,
+        ..EngineConfig::default()
+    };
+    let mut sim = CountSimulation::with_config(protocol, n, rng, config).expect("n >= 2");
+    match mode {
+        TierMode::Auto => {}
+        TierMode::Reference => sim.set_compiled_cache(false),
+        TierMode::Jump => sim.force_jump_mode(),
+        TierMode::Batch => sim.force_batch_mode(),
+    }
+    sim
+}
+
+/// Drives an observed twin and a detached twin through the same segments
+/// and asserts every observable — including the snapshot bytes — matches.
+fn assert_observation_invisible<P>(protocol: P, n: usize, seed: u64, mode: TierMode, law: LawMode)
+where
+    P: LeaderElection + Clone,
+    P::State: SnapshotState,
+{
+    let mut plain = build(protocol.clone(), n, seed, mode, law);
+    let mut watched = build(protocol, n, seed, mode, law);
+    watched.set_observer(EngineObserver::new().with_trajectory(997));
+    for segment in [509u64, 4096, 12_000] {
+        plain.run(segment);
+        watched.run(segment);
+        assert_eq!(plain.steps(), watched.steps(), "steps after +{segment}");
+        assert_eq!(
+            plain.state_counts(),
+            watched.state_counts(),
+            "counts after +{segment} ({mode:?}, {law})"
+        );
+    }
+    let a = plain.run_until_single_leader(200_000);
+    let b = watched.run_until_single_leader(200_000);
+    assert_eq!(a, b, "election outcome diverged ({mode:?}, {law})");
+    assert_eq!(plain.leader_count(), watched.leader_count());
+    let observer = watched.take_observer().expect("observer attached");
+    assert_eq!(
+        plain.snapshot(),
+        watched.snapshot(),
+        "snapshot bytes diverged ({mode:?}, {law})"
+    );
+    // The trajectory's final row reflects the reported outcome.
+    let trace = observer.trajectory().expect("sampler attached");
+    assert!(!trace.is_empty(), "trajectory recorded nothing");
+    assert_eq!(trace.last_step(), Some(b.steps));
+    if b.converged {
+        assert_eq!(trace.last_value("leaders"), Some(1.0));
+    }
+}
+
+proptest! {
+    #[test]
+    fn observation_is_invisible_on_every_tier_and_law(
+        seed in any::<u64>(),
+        mode in 0usize..4,
+        law in 0usize..3,
+    ) {
+        let n = 1 << 11;
+        let protocol = Pll::for_population(n).expect("n >= 2");
+        assert_observation_invisible(protocol, n, seed, MODES[mode], LAWS[law]);
+    }
+}
+
+#[test]
+fn observation_is_invisible_on_the_heuristic_batch_crossover() {
+    // n = 2^13 fratricide crosses Compiled → Batch/Jump on its own.
+    use population_protocols::protocols::Fratricide;
+    for law in LAWS {
+        assert_observation_invisible(Fratricide, 1 << 13, 7, TierMode::Auto, law);
+    }
+}
+
+#[test]
+fn observation_is_invisible_on_wide_lanes() {
+    let n = 1 << 12;
+    let protocol = Pll::for_population(n).expect("n >= 2");
+    for policy in [
+        WideTierPolicy::Auto,
+        WideTierPolicy::PinnedPerStep,
+        WideTierPolicy::PinnedBatch,
+        WideTierPolicy::LawOnly,
+    ] {
+        let seq = SeedSequence::new(1234);
+        let rngs = |s: &SeedSequence| (0..4u64).map(|i| s.rng_at(i)).collect();
+        let mut plain =
+            WideSimulation::with_config(protocol, n, rngs(&seq), EngineConfig::default(), policy)
+                .expect("n >= 2");
+        let mut watched =
+            WideSimulation::with_config(protocol, n, rngs(&seq), EngineConfig::default(), policy)
+                .expect("n >= 2");
+        watched.set_observer(EngineObserver::new());
+        plain.run(20_000);
+        watched.run(20_000);
+        assert_eq!(plain.steps(), watched.steps(), "{policy:?}");
+        for pos in 0..plain.lanes() {
+            assert_eq!(
+                plain.lane_state_counts(pos),
+                watched.lane_state_counts(pos),
+                "{policy:?} lane {pos}"
+            );
+        }
+        let a = plain.run_until_single_leader(u64::MAX);
+        let b = watched.run_until_single_leader(u64::MAX);
+        assert_eq!(a.outcomes, b.outcomes, "{policy:?}");
+        assert_eq!(a.spilled.len(), b.spilled.len(), "{policy:?}");
+        let metrics = watched.metrics();
+        assert_eq!(metrics.population, n as u64);
+        assert_eq!(metrics.tier_usage, plain.tier_usage());
+    }
+}
+
+#[test]
+fn metrics_and_events_survive_their_serialized_forms() {
+    let n = 1 << 12;
+    let protocol = Pll::for_population(n).expect("n >= 2");
+    let mut sim = build(protocol, n, 99, TierMode::Auto, LawMode::SequenceExpansion);
+    sim.set_observer(EngineObserver::new().with_trajectory(512));
+    let _ = sim.run_until_single_leader(200_000);
+    let _ = sim.snapshot();
+
+    let metrics = sim.metrics();
+    let parsed = EngineMetrics::from_json(&metrics.to_json()).expect("metrics JSON round-trips");
+    assert_eq!(metrics, parsed);
+
+    let observer = sim.observer().expect("observer attached");
+    assert!(
+        !observer.events().is_empty(),
+        "an auto-tier election must emit events"
+    );
+    for line in observer.events_to_jsonl().lines() {
+        let event = EngineEvent::parse_json_line(line)
+            .unwrap_or_else(|| panic!("event line failed to parse: {line}"));
+        assert_eq!(event.to_json_line(), line);
+    }
+}
+
+#[test]
+fn metrics_survive_snapshot_resume() {
+    let n = 1 << 12;
+    let protocol = Pll::for_population(n).expect("n >= 2");
+    let mut sim = build(protocol, n, 17, TierMode::Auto, LawMode::SequenceExpansion);
+    sim.run(30_000);
+    let before = sim.metrics();
+    assert_eq!(before.tier_usage.total(), sim.steps());
+    let bytes = sim.snapshot();
+    let resumed =
+        CountSimulation::<Pll, Xoshiro256PlusPlus>::resume(protocol, &bytes).expect("resumes");
+    let after = resumed.metrics();
+    assert_eq!(before.tier_usage, after.tier_usage);
+    assert_eq!(before.jump, after.jump);
+    assert_eq!(before.batch, after.batch);
+    assert_eq!(before.steps, after.steps);
+}

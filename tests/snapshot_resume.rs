@@ -62,8 +62,8 @@ where
     P: LeaderElection + Clone,
     P::State: SnapshotState,
 {
-    let bytes = sim.snapshot();
     let mut twin = sim.clone();
+    let bytes = twin.snapshot();
     let mut resumed = CountSimulation::<P, Xoshiro256PlusPlus>::resume(protocol, &bytes)
         .expect("a just-taken snapshot resumes");
     assert_eq!(resumed.steps(), twin.steps());
