@@ -64,11 +64,11 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// Journal file name inside a sweep's checkpoint directory.
-const JOURNAL_FILE: &str = "journal.txt";
+pub(crate) const JOURNAL_FILE: &str = "journal.txt";
 
 /// Journal header prefix; the version is part of the format. `v2` added
 /// lane-bundle blocks and the execution mode in the fingerprint.
-const HEADER_PREFIX: &str = "ppsweep v2";
+pub(crate) const HEADER_PREFIX: &str = "ppsweep v2";
 
 /// Where and how a sweep checkpoints.
 #[derive(Debug, Clone)]
@@ -248,6 +248,12 @@ where
                 planned += bundle.seeds.len();
                 to_run.push(bundle);
             }
+            // Largest-n-first fan-out (see [`crate::runner::cost_order`]):
+            // pending bundles are selected in job order above — keeping the
+            // job limit's semantics — then *scheduled* most-expensive-first.
+            // Results are journaled and aggregated by bundle start, so the
+            // ordering changes makespan only, never a byte of output.
+            to_run.sort_by_key(|bundle| std::cmp::Reverse(bundle.n));
             if !to_run.is_empty() {
                 let journal = Mutex::new(open_journal_for_append(&journal_path, fp)?);
                 let fresh = crate::parallel_map(&to_run, |bundle| {
@@ -354,7 +360,7 @@ fn job_snapshot_path(dir: &Path, index: usize) -> PathBuf {
 
 /// Writes via a temporary file + rename so readers never observe a torn
 /// snapshot.
-fn write_atomically(path: &Path, bytes: &[u8]) -> io::Result<()> {
+pub(crate) fn write_atomically(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let tmp = path.with_extension("ckpt.tmp");
     std::fs::write(&tmp, bytes)?;
     std::fs::rename(&tmp, path)
@@ -367,7 +373,7 @@ fn write_atomically(path: &Path, bytes: &[u8]) -> io::Result<()> {
 /// bundle runs at different widths or under different round laws (`law` is
 /// the `PP_SIM_LAW` resolution), so mixing them in one journal must be
 /// rejected.
-fn fingerprint(
+pub(crate) fn fingerprint(
     ns: &[usize],
     seeds: u64,
     master_seed: u64,
@@ -403,7 +409,11 @@ fn fingerprint(
 /// Parses the journal at `path` (missing file → empty). Checks the header
 /// fingerprint and tolerates exactly one trailing unparseable line (a record
 /// cut short by a crash mid-append).
-fn load_journal(path: &Path, fp: u64, job_count: usize) -> io::Result<HashMap<usize, (bool, f64)>> {
+pub(crate) fn load_journal(
+    path: &Path,
+    fp: u64,
+    job_count: usize,
+) -> io::Result<HashMap<usize, (bool, f64)>> {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(HashMap::new()),
@@ -485,7 +495,7 @@ fn parse_bundle_marker(line: &str, job_count: usize) -> Option<()> {
 
 /// Opens the journal for appending, writing the header first when the file
 /// is new or empty.
-fn open_journal_for_append(path: &Path, fp: u64) -> io::Result<std::fs::File> {
+pub(crate) fn open_journal_for_append(path: &Path, fp: u64) -> io::Result<std::fs::File> {
     let mut file = std::fs::OpenOptions::new()
         .create(true)
         .append(true)

@@ -36,6 +36,7 @@
 
 mod checkpoint;
 pub mod experiments;
+pub mod fabric;
 mod runner;
 pub mod trajectory;
 
@@ -44,9 +45,9 @@ pub use checkpoint::{
     ExperimentCheckpoint, SweepStatus,
 };
 pub use runner::{
-    enable_sweep_rollup, parallel_map, stabilization_sweep, stabilization_sweep_agents,
-    stabilization_sweep_wide, sweep_lane_width, sweep_law_mode, take_sweep_rollups, SweepPoint,
-    SweepRollup,
+    enable_sweep_rollup, parallel_map, set_sweep_shard, stabilization_sweep,
+    stabilization_sweep_agents, stabilization_sweep_wide, sweep_lane_width, sweep_law_mode,
+    sweep_shard, take_sweep_rollups, SweepPoint, SweepRollup,
 };
 pub use trajectory::{
     observed_pll_election, pll_attribution_trajectory, ObservedElection, PllTrajectory,

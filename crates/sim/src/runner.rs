@@ -20,7 +20,7 @@ use pp_engine::{
 use pp_rand::{SeedSequence, Xoshiro256PlusPlus};
 use pp_stats::Summary;
 use std::io::{IsTerminal, Write as _};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -49,7 +49,7 @@ fn worker_override(raw: Option<&str>, detected: usize) -> usize {
 
 /// Worker threads for `jobs` jobs: the `PP_SIM_THREADS` override if set,
 /// else [`std::thread::available_parallelism`], never more than the jobs.
-fn worker_count(jobs: usize) -> usize {
+pub(crate) fn worker_count(jobs: usize) -> usize {
     let detected = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
@@ -115,21 +115,55 @@ pub struct SweepRollup {
     pub wall_seconds: f64,
     /// `jobs / wall_seconds` (0 when the fan-out was instantaneous).
     pub jobs_per_second: f64,
+    /// OS process that ran the fan-out. With the multi-process sweep fabric
+    /// a grid's fan-outs span several worker processes; the pid is what lets
+    /// a metrics consumer group per-process rows before summing throughput
+    /// across them.
+    pub pid: u32,
+    /// Sweep-fabric shard identity ([`set_sweep_shard`]), `None` outside
+    /// `ppsweep` worker mode.
+    pub shard: Option<u64>,
 }
 
 impl SweepRollup {
     /// Serializes the rollup as one JSON object (hand-rolled; the
-    /// workspace takes no serde dependency).
+    /// workspace takes no serde dependency). `shard` is `null` outside
+    /// fabric worker mode.
     pub fn to_json(&self) -> String {
+        let shard = self
+            .shard
+            .map_or_else(|| "null".to_string(), |s| s.to_string());
         format!(
-            "{{\"jobs\":{},\"workers\":{},\"wall_seconds\":{},\"jobs_per_second\":{}}}",
-            self.jobs, self.workers, self.wall_seconds, self.jobs_per_second
+            "{{\"jobs\":{},\"workers\":{},\"wall_seconds\":{},\"jobs_per_second\":{},\
+             \"pid\":{},\"shard\":{shard}}}",
+            self.jobs, self.workers, self.wall_seconds, self.jobs_per_second, self.pid
         )
     }
 }
 
 static ROLLUPS: OnceLock<Mutex<Vec<SweepRollup>>> = OnceLock::new();
 static ROLLUP_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Process-global shard identity for rollups: `-1` encodes `None` (shard
+/// ids are far below `i64::MAX` — the fabric caps shard counts at 4096).
+static SWEEP_SHARD: AtomicI64 = AtomicI64::new(-1);
+
+/// Declares which sweep-fabric shard this process is (or `None` to clear);
+/// every subsequent [`SweepRollup`] carries it. Called once at `ppsweep`
+/// worker startup so `--metrics-out`-style reports can attribute fan-outs
+/// to shards when aggregating cross-process throughput.
+pub fn set_sweep_shard(shard: Option<u64>) {
+    let encoded = shard.map_or(-1, |s| i64::try_from(s).expect("shard ids are small"));
+    SWEEP_SHARD.store(encoded, Ordering::Release);
+}
+
+/// The shard identity declared by [`set_sweep_shard`], if any.
+pub fn sweep_shard() -> Option<u64> {
+    match SWEEP_SHARD.load(Ordering::Acquire) {
+        -1 => None,
+        s => Some(s as u64),
+    }
+}
 
 /// Turns on process-wide rollup collection: every subsequent
 /// [`parallel_map`] records a [`SweepRollup`] retrievable with
@@ -154,6 +188,55 @@ fn record_rollup(rollup: SweepRollup) {
         .lock()
         .expect("rollup lock poisoned")
         .push(rollup);
+}
+
+/// Records a rollup on behalf of a fan-out that drives its own worker
+/// threads instead of going through [`parallel_map`] (the sweep fabric's
+/// claim loop). No-op unless collection is enabled, like the inline
+/// recorder.
+pub(crate) fn record_fanout_rollup(jobs: u64, workers: u64, wall_seconds: f64) {
+    if !ROLLUP_ENABLED.load(Ordering::Acquire) {
+        return;
+    }
+    record_rollup(SweepRollup {
+        jobs,
+        workers,
+        wall_seconds,
+        jobs_per_second: if wall_seconds > 0.0 {
+            jobs as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        pid: std::process::id(),
+        shard: sweep_shard(),
+    });
+}
+
+/// Progress-line ETA suffix, based on the **completed-job** rate.
+///
+/// Sweep job laws are heavy-tailed (stabilization time is a random variable
+/// with a long upper tail), so a linear extrapolation can mislead in a
+/// specific way: late in a fan-out most remaining "work" is a handful of
+/// claimed-but-unfinished stragglers whose cost the completed-job average
+/// does not represent. The estimate itself stays the completed-rate
+/// extrapolation — anything cleverer would be guessing — but when the
+/// claimed-but-unfinished jobs make up at least half of what remains, the
+/// line shows a visible `≥` qualifier: the stragglers already in flight put
+/// a floor, not a ceiling, on the time left. Empty until the first job
+/// completes (there is no completed rate to extrapolate from).
+pub(crate) fn eta_suffix(done: usize, claimed: usize, total: usize, elapsed_secs: f64) -> String {
+    if done == 0 || done >= total {
+        return String::new();
+    }
+    let rate = done as f64 / elapsed_secs.max(1e-9);
+    let remaining = total - done;
+    let in_flight = claimed.saturating_sub(done).min(remaining);
+    let qualifier = if 2 * in_flight >= remaining {
+        "\u{2265} "
+    } else {
+        ""
+    };
+    format!(", eta {qualifier}{:.0}s", remaining as f64 / rate.max(1e-9))
 }
 
 /// Sets the flag on drop, so the progress monitor stops even when a worker
@@ -219,14 +302,7 @@ where
                 while !stop.load(Ordering::Acquire) {
                     let claimed = next.load(Ordering::Relaxed).min(total);
                     let done = finished.load(Ordering::Relaxed);
-                    // Linear ETA from throughput so far; blank until the
-                    // first job lands.
-                    let eta = if done > 0 && done < total {
-                        let rate = done as f64 / started.elapsed().as_secs_f64();
-                        format!(", eta {:.0}s", (total - done) as f64 / rate.max(1e-9))
-                    } else {
-                        String::new()
-                    };
+                    let eta = eta_suffix(done, claimed, total, started.elapsed().as_secs_f64());
                     eprint!("\r  sweep: {done}/{total} jobs done, {claimed} claimed{eta}");
                     let _ = std::io::stderr().flush();
                     std::thread::sleep(std::time::Duration::from_millis(200));
@@ -265,6 +341,8 @@ where
             workers: workers as u64,
             wall_seconds: wall,
             jobs_per_second: if wall > 0.0 { total as f64 / wall } else { 0.0 },
+            pid: std::process::id(),
+            shard: sweep_shard(),
         });
     }
     results
@@ -340,16 +418,73 @@ where
     P: LeaderElection,
     F: Fn(usize) -> P + Sync,
 {
+    let flat = sweep_flat_wide(&make, ns, seeds, master_seed, max_steps, lanes);
+    aggregate_points(ns, seeds, &flat)
+}
+
+/// Cost-model ordering of a bundle fan-out: indices into `bundles`,
+/// most-expensive-first.
+///
+/// Per-bundle cost is monotone in `n` for every protocol in this workspace
+/// (the power-law fits recorded in `BENCH_engine.json` and table 1's
+/// scaling exponents all have positive slope: even the `O(log n)`-time
+/// protocols cost `Ω(n)` work per seed since steps scale as `n · time`), so
+/// largest-`n`-first **is** the fitted-cost order — no per-protocol rate
+/// table needed for ordering to be correct, only monotonicity. The sort is
+/// stable, so same-`n` bundles keep job order.
+///
+/// Why ordering matters: stabilization times are heavy-tailed per seed, and
+/// a mixed-`n` grid's biggest bundles dominate the makespan. A FIFO
+/// fan-out can hand a worker a largest-`n` bundle *last*, leaving every
+/// other worker idle behind it; scheduling the expensive work first bounds
+/// that idle tail by the cheapest bundle's cost instead of the dearest's
+/// (classic LPT scheduling). Results are scattered back by bundle start
+/// index, so observable output is unchanged.
+pub(crate) fn cost_order(bundles: &[SweepBundle]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..bundles.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(bundles[i].n));
+    order
+}
+
+/// Job-ordered flat `(converged, parallel_time)` outcomes of a wide sweep:
+/// the shared core of [`stabilization_sweep_wide`] and the sweep fabric's
+/// sequential mode. Bundles fan out largest-`n`-first ([`cost_order`]) and
+/// results scatter back by bundle start, so the returned order — and every
+/// bit of every result — is independent of the scheduling.
+pub(crate) fn sweep_flat_wide<P, F>(
+    make: &F,
+    ns: &[usize],
+    seeds: u64,
+    master_seed: u64,
+    max_steps: u64,
+    lanes: usize,
+) -> Vec<(bool, f64)>
+where
+    P: LeaderElection,
+    F: Fn(usize) -> P + Sync,
+{
     let bundles = sweep_bundles(ns, seeds, master_seed, lanes);
     let law = sweep_law_mode();
-    let outcomes = parallel_map(&bundles, |bundle| {
-        run_bundle(&make, bundle.n, &bundle.seeds, max_steps, law)
+    let order = cost_order(&bundles);
+    let ordered: Vec<&SweepBundle> = order.iter().map(|&i| &bundles[i]).collect();
+    let outcomes = parallel_map(&ordered, |bundle| {
+        (
+            bundle.start,
+            run_bundle(make, bundle.n, &bundle.seeds, max_steps, law),
+        )
     });
-    // Bundles partition the flat job list in order and each yields its
-    // lanes in seed order, so flattening restores the per-job order the
-    // aggregation slices by.
-    let flat: Vec<(bool, f64)> = outcomes.into_iter().flatten().collect();
-    aggregate_points(ns, seeds, &flat)
+    // Scatter each bundle's lane results back into flat job order (the
+    // aggregation slices by contiguous job range).
+    let total: usize = bundles.iter().map(|b| b.seeds.len()).sum();
+    let mut flat: Vec<Option<(bool, f64)>> = vec![None; total];
+    for (start, results) in outcomes {
+        for (k, r) in results.into_iter().enumerate() {
+            flat[start + k] = Some(r);
+        }
+    }
+    flat.into_iter()
+        .map(|r| r.expect("bundles partition the job list"))
+        .collect()
 }
 
 /// [`stabilization_sweep`] on the per-agent reference engine
@@ -593,6 +728,73 @@ mod tests {
         assert!(ours.jobs_per_second > 0.0);
         let json = ours.to_json();
         assert!(json.contains("\"jobs\":137"), "{json}");
+    }
+
+    #[test]
+    fn rollup_json_carries_process_and_shard_identity() {
+        let mut rollup = SweepRollup {
+            jobs: 4,
+            workers: 2,
+            wall_seconds: 2.0,
+            jobs_per_second: 2.0,
+            pid: 7,
+            shard: None,
+        };
+        let json = rollup.to_json();
+        assert!(json.contains("\"pid\":7"), "{json}");
+        assert!(json.contains("\"shard\":null"), "{json}");
+        rollup.shard = Some(3);
+        let json = rollup.to_json();
+        assert!(json.contains("\"shard\":3"), "{json}");
+    }
+
+    #[test]
+    fn eta_suffix_qualifies_straggler_dominated_estimates() {
+        // No completed jobs yet, or nothing left: no estimate.
+        assert_eq!(eta_suffix(0, 4, 10, 1.0), "");
+        assert_eq!(eta_suffix(10, 10, 10, 1.0), "");
+        // Completed-rate extrapolation: 5 done in 5 s → 1 job/s, 5 remain.
+        // Nothing claimed beyond the finished jobs — plain estimate.
+        assert_eq!(eta_suffix(5, 5, 10, 5.0), ", eta 5s");
+        // In-flight stragglers below half the remainder — still plain.
+        assert_eq!(eta_suffix(5, 7, 10, 5.0), ", eta 5s");
+        // Claimed-but-unfinished ≥ half of what remains: the extrapolation
+        // is a floor, and the line must say so.
+        assert_eq!(eta_suffix(5, 9, 10, 5.0), ", eta \u{2265} 5s");
+        assert_eq!(eta_suffix(2, 10, 10, 4.0), ", eta \u{2265} 16s");
+    }
+
+    #[test]
+    fn cost_order_is_largest_n_first_and_stable() {
+        // ns deliberately not sorted: 5 seeds at width 2 → bundles
+        // [2, 2, 1] per size, and the order must pick every n = 64 bundle
+        // first while preserving job order within each size.
+        let bundles = sweep_bundles(&[16, 64, 32], 5, 3, 2);
+        let order = cost_order(&bundles);
+        let ns: Vec<usize> = order.iter().map(|&i| bundles[i].n).collect();
+        assert_eq!(ns, vec![64, 64, 64, 32, 32, 32, 16, 16, 16]);
+        let starts: Vec<usize> = order.iter().map(|&i| bundles[i].start).collect();
+        assert_eq!(starts, vec![5, 7, 9, 10, 12, 14, 0, 2, 4]);
+    }
+
+    #[test]
+    fn largest_n_first_scheduling_keeps_results_in_job_order() {
+        // The scheduled sweep must scatter back to exactly the flat
+        // job-order results of a plain bundle-by-bundle traversal — same
+        // order, same bits.
+        let ns = [32usize, 16];
+        let law = sweep_law_mode();
+        let flat = sweep_flat_wide(&|_| Fratricide, &ns, 5, 42, u64::MAX, 2);
+        let bundles = sweep_bundles(&ns, 5, 42, 2);
+        let expected: Vec<(bool, f64)> = bundles
+            .iter()
+            .flat_map(|b| run_bundle(&|_| Fratricide, b.n, &b.seeds, u64::MAX, law))
+            .collect();
+        assert_eq!(flat.len(), expected.len());
+        for (a, b) in flat.iter().zip(&expected) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
     }
 
     #[test]

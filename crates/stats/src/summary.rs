@@ -139,6 +139,31 @@ impl Summary {
         &self.values
     }
 
+    /// FNV-1a 64 over the observation count and the exact bit pattern of
+    /// every retained value, in insertion order.
+    ///
+    /// Two summaries share a checksum exactly when they hold the same
+    /// observations in the same order — the cheap cross-process witness of
+    /// the sweep fabric's merge contract: a shard-merged summary whose
+    /// checksum matches the sequential sweep's reproduced its every
+    /// observation bit-for-bit, not merely table cells that round the same
+    /// way. (In-order [`merge`](Self::merge) preserves it; out-of-order
+    /// merges, like different execution modes, are visible.)
+    pub fn checksum(&self) -> u64 {
+        fn eat(mut h: u64, word: u64) -> u64 {
+            for b in word.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        }
+        let mut h = eat(0xcbf2_9ce4_8422_2325, self.count);
+        for &x in &self.values {
+            h = eat(h, x.to_bits());
+        }
+        h
+    }
+
     /// Absorbs every observation of `other`, in `other`'s insertion order.
     ///
     /// Implemented by re-pushing the retained raw values, so merging partial
@@ -259,6 +284,29 @@ mod tests {
         assert_eq!(ab.median(), ba.median());
         assert!((ab.mean() - ba.mean()).abs() < 1e-12);
         assert!((ab.variance() - ba.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checksum_witnesses_values_and_order() {
+        let a: Summary = [1.0, 2.0, 3.0].into_iter().collect();
+        let b: Summary = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(a.checksum(), b.checksum());
+        // Order matters: a reordered merge must be visible.
+        let reordered: Summary = [3.0, 2.0, 1.0].into_iter().collect();
+        assert_ne!(a.checksum(), reordered.checksum());
+        // So do values — down to a single ulp, invisible to any rounded
+        // table cell.
+        let ulp = f64::from_bits(3.0f64.to_bits() + 1);
+        let nudged: Summary = [1.0, 2.0, ulp].into_iter().collect();
+        assert_ne!(a.checksum(), nudged.checksum());
+        // And the count alone (empty vs one zero observation).
+        let empty = Summary::new();
+        let zero: Summary = [0.0].into_iter().collect();
+        assert_ne!(empty.checksum(), zero.checksum());
+        // In-order merge preserves the checksum exactly.
+        let mut merged: Summary = [1.0].into_iter().collect();
+        merged.merge(&[2.0, 3.0].into_iter().collect());
+        assert_eq!(a.checksum(), merged.checksum());
     }
 
     #[test]
